@@ -1,0 +1,44 @@
+"""Shared infrastructure for the experiment harness.
+
+Every experiment writes its result table to ``benchmarks/results/``
+(so EXPERIMENTS.md can quote measured numbers) and benchmarks a
+representative operation through pytest-benchmark.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_result(results_dir):
+    """write_result(name, text): persist an experiment table."""
+
+    def writer(name: str, text: str) -> None:
+        path = os.path.join(results_dir, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+
+    return writer
+
+
+@pytest.fixture(autouse=True)
+def _run_experiments_under_benchmark_only(request, benchmark):
+    """Experiment tests that only produce tables/assertions (no timing
+    loop) must still run under ``--benchmark-only``: the harness's
+    contract is that that command regenerates every result table.
+    pytest-benchmark skips tests whose fixture closure lacks its
+    fixture, so this autouse fixture pulls it in for every experiment
+    test and, for those that never call it themselves, records a
+    single no-op round to keep the plugin satisfied."""
+    yield
+    if request.config.getoption("--benchmark-only", default=False)             and not benchmark.stats:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

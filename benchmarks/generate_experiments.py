@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the measured tables.
+
+Run the harness first, then this script::
+
+    pytest benchmarks/ --benchmark-only    # writes benchmarks/results/
+    python benchmarks/generate_experiments.py
+
+The narrative below states each paper claim; the quoted tables are the
+latest measured run from ``benchmarks/results/``.
+"""
+
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "results")
+TARGET = os.path.join(os.path.dirname(HERE), "EXPERIMENTS.md")
+
+
+def load_tables():
+    tables = {}
+    for name in sorted(os.listdir(RESULTS)):
+        if name.endswith(".txt"):
+            with open(os.path.join(RESULTS, name)) as handle:
+                tables[name[:-4]] = handle.read().rstrip()
+    return tables
+
+
+def render(tables):
+    def tbl(key):
+        return "```\n%s\n```" % tables[key]
+
+    return f"""# EXPERIMENTS — paper vs. measured
+
+The paper (EDBT 2000) has no numeric evaluation tables; its evaluation
+artifacts are worked examples, figures and qualitative claims.  Each is
+reproduced as an instrumented experiment in `benchmarks/`
+(`pytest benchmarks/ --benchmark-only` regenerates every table below
+into `benchmarks/results/`; this file is rebuilt from them by
+`python benchmarks/generate_experiments.py`).  "Paper" states the
+claim; "Measured" quotes this repository's run.
+
+Absolute numbers are from this machine/substrates and will vary; the
+*shapes* (who wins, growth rates, crossovers) are the reproduction
+targets and are asserted by the benchmark tests themselves.
+
+---
+
+## E1 — Figures 3 & 4: XMAS query → algebra plan → answer
+
+**Paper:** the Figure 3 query translates to the Figure 4 plan; on the
+Example 2 data it yields the two `med_home` elements shown in Sec. 3.
+
+**Measured:** the translated plan is operator-isomorphic to Figure 4
+(2 sources, 4 getDescendants, 1 join on `$V1 = $V2`, groupBys on
+`{{$H}}` and `{{}}`, 2 createElements; our translation adds one harmless
+unary concatenate at the answer level):
+
+{tbl("E1_fig4_plan")}
+
+Lazily navigated answer == eager evaluation == the paper's document:
+
+{tbl("E1_answer")}
+
+Obtaining the root handle costs **0 source navigations** (asserted),
+matching "returns a handle ... without even accessing the sources".
+
+## E2 — Example 1 / Definition 2: browsability classes
+
+**Paper:** q_conc (concatenation) is *bounded browsable*, q_sigma
+(label filter) is *(unbounded) browsable*, q_sort (reordering) is
+*unbrowsable*; with the `select(σ)` command, q_sigma becomes bounded.
+
+**Measured** (source navigations for a fixed client navigation, source
+sizes 4→64, relevant datum placed early vs late):
+
+{tbl("E2_browsability")}
+
+The empirical classifier, the static plan analyzer, and the paper
+agree on all three.  The σ upgrade, implemented end to end
+(`use_sigma` pushes sibling selection into the sources), measures
+bounded exactly as Example 1 predicts:
+
+{tbl("E2_sigma_upgrade")}
+
+## E3 — Section 1: lazy beats materialization for partial browsing
+
+**Paper:** users issue broad queries, look at the first few results,
+and stop; materializing the full answer is "not an option".
+
+**Measured** (allbooks view over 2×300 books, query "price < 40",
+233 total hits):
+
+{tbl("E3_lazy_vs_eager")}
+
+Shape: huge win for small prefixes (~54× at first-1), monotone growth,
+and a ~2.3× constant-factor overhead if the client insists on
+navigating *everything* lazily — exactly the regime the paper scopes
+its approach to.  Time-to-first-result is independent of catalog size
+(asserted: 400-book catalog ≤ 3× the 50-book cost).
+
+## E4 — Section 4 / Example 5: wrapper granularity
+
+**Paper:** the relational wrapper ships n tuples per fill; buffering
+"drastically reduces communication overhead"; the wrapper "does not
+have to deal with navigations at the attribute level"; wrappers
+translate XMAS subqueries into SQL (Example 5 / Figure 6).
+
+**Measured** (1000-row table):
+
+Full scan — round trips fall ~N/n:
+
+{tbl("E4_granularity_full_scan")}
+
+First-10-rows browse — large n overships:
+
+{tbl("E4_granularity_prefix")}
+
+Attribute-level navigation after a row fill causes **0 further fills**
+(asserted).  Pushing the XMAS filter down as SQL (the
+`RelationalQueryWrapper` exporting Figure 6's `view[tuple[att...]]`
+shape) vs shipping the base table and filtering in the mediator:
+
+{tbl("E4_query_pushdown")}
+
+Adaptive wrapper-controlled granularity (extension): start small,
+double on sequential continuation — peeks ship like small chunks,
+scans round-trip like large ones:
+
+{tbl("E4_adaptive")}
+
+## E5 — Example 7 / Figure 8: liberal LXP and prefetching
+
+**Paper:** the buffer's chase algorithms must work for the most
+liberal protocol (holes at arbitrary positions, Example 7's trace);
+prefetching decouples client pull from wrapper push.
+
+**Measured:** Example 7's trace replays verbatim (asserted); strict,
+chunked, whole-tree, and randomized-liberal policies all reconstruct
+the identical document:
+
+{tbl("E5_lxp_policies")}
+
+Prefetch lookahead trades demand stalls for (slightly) more page
+requests on a paginated web source (first-20 browse, 60-page site):
+
+{tbl("E5_prefetch")}
+
+## E6 — Appendix A, Figures 9 & 10: operator command tables
+
+**Paper:** per-command node-id mappings for createElement and groupBy;
+e.g. fetching a created element's constant label touches no input, and
+`r` between grouped members scans to the next binding with the same
+group-by list (Example 8).
+
+**Measured** per-command source-navigation costs on the Example 8
+instance:
+
+{tbl("E6_operator_tables")}
+
+Constant-label fetch is free; member navigation follows Figure 10's
+`next`/`next_gb` scans (Example 8's groups
+`[school1, school2, school4] / [school3] / [school5]` asserted).
+
+Per-operator cost *scaling* (average source navigations per output
+step, input sizes 20/40/80): getDescendants and the construction
+operators are O(1) per step; groupBy/distinct pay O(n) scans per new
+group/uniqueness test; orderBy's forced scan amortizes to a constant
+per step but is all charged to the first binding:
+
+{tbl("E6_cost_scaling")}
+
+## E7 — Section 3: operator caches (ablation)
+
+**Paper:** "some operators perform much more efficiently by caching
+parts of their input" — the join inner cache (footnote 9), recursive
+getDescendants frontiers, groupBy's buffered G_prev.
+
+**Measured** (identical plans, `cache_enabled` on/off; the
+recursive-frontier case re-walks, since that cache exists for
+node-id revisits):
+
+{tbl("E7_cache_ablation")}
+
+Caches never hurt (asserted per case); the join inner cache wins by
+~the outer cardinality.
+
+## E8 — Section 3: rewriting for navigational complexity
+
+**Paper:** the initial plan is rewritten into one "optimized with
+respect to navigational complexity" (rule set omitted in the paper).
+
+**Measured** (full browse, 20-home sources):
+
+{tbl("E8_rewriting")}
+
+Answers are bit-identical with and without rewriting (asserted; also
+property-checked over random plans).
+
+## E9 — Section 5: thin-client transparency and overhead
+
+**Paper:** the client library makes the virtual document
+"indistinguishable from a main memory resident document accessed via
+DOM".
+
+**Measured:** identical client code renders identical output over the
+virtual answer and a materialized copy (asserted); cost:
+
+{tbl("E9_client_overhead")}
+
+The first pass pays for query evaluation; memoized re-traversal is
+in-memory-speed.
+
+## E10 — Section 5 outlook: remote clients via fragment exchange
+*(extension: the paper's explicitly stated next step, implemented)*
+
+**Paper:** "In the future we will allow the client and the mediator to
+communicate over the network, however this will require exchanging
+fragments of XML documents to avoid the communication overhead."
+
+**Measured:** the virtual answer exported through LXP + a client-side
+buffer, vs the naive one-message-per-DOM-command design (full browse,
+30-home answer, simulated 20 ms link):
+
+{tbl("E10_remote_client")}
+
+Partial browsing stays proportionally cheap over the wire:
+
+{tbl("E10_remote_partial")}
+
+## E11 — Section 6 future work: hybrid lazy/eager evaluation
+*(extension: implemented and measured)*
+
+**Paper:** "The resulting strategy will be a combination of lazy
+demand-driven evaluation and intermediate eager steps."
+
+**Measured:** the `materialize-unbrowsable` optimizer rule inserts an
+intermediate eager step above orderBy/difference subplans (which force
+a full input scan regardless).  First browse costs the same; re-browsing
+the buffered result is free, while the purely lazy plan re-pays:
+
+{tbl("E11_hybrid")}
+"""
+
+
+def main() -> None:
+    tables = load_tables()
+    with open(TARGET, "w") as handle:
+        handle.write(render(tables))
+    print("wrote %s (%d tables quoted)" % (TARGET, len(tables)))
+
+
+if __name__ == "__main__":
+    main()

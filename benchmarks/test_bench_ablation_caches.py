@@ -1,0 +1,145 @@
+"""E7 -- Section 3's operator caches, ablated.
+
+Paper artifacts: "the mediator is not completely stateless; some
+operators perform much more efficiently by caching parts of their
+input": the nested-loop join's inner cache (footnote 9), the recursive
+getDescendants frontier cache, and groupBy's buffered G_prev /
+grouped-value lists.
+
+Reproduction: evaluate identical plans with ``cache_enabled`` on and
+off, metering source navigations.  Expected shape: caches never hurt,
+and the join inner cache wins by roughly the outer cardinality.
+"""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    Distinct,
+    GetDescendants,
+    GroupBy,
+    Join,
+    Project,
+    Source,
+    Var,
+)
+from repro.bench import format_table
+from repro.lazy import BindingsDocument, build_lazy_plan
+from repro.navigation import (
+    CountingDocument,
+    MaterializedDocument,
+    materialize,
+)
+from repro.xtree import Tree, elem
+
+
+def _navigations(plan, trees, cache, passes=1):
+    """Source navigations to walk the plan's bindings ``passes``
+    times over the *same* operator instance (re-walks model a client
+    resuming from previously issued node-ids)."""
+    docs = {url: CountingDocument(MaterializedDocument(t))
+            for url, t in trees.items()}
+    op = build_lazy_plan(plan, docs, cache_enabled=cache)
+    for _ in range(passes):
+        materialize(BindingsDocument(op))
+    return sum(d.total for d in docs.values())
+
+
+def _join_case(n=15):
+    homes = Tree("homesSrc", [Tree("homes", [
+        elem("home", elem("zip", str(91000 + i % 5)))
+        for i in range(n)])])
+    schools = Tree("schoolsSrc", [Tree("schools", [
+        elem("school", elem("zip", str(91000 + i % 5)))
+        for i in range(n)])])
+    left = GetDescendants(
+        GetDescendants(Source("homesSrc", "R1"), "R1", "homes.home",
+                       "H"), "H", "zip._", "V")
+    right = GetDescendants(
+        GetDescendants(Source("schoolsSrc", "R2"), "R2",
+                       "schools.school", "S"), "S", "zip._", "W")
+    plan = Join(left, right, Comparison(Var("V"), "=", Var("W")))
+    return plan, {"homesSrc": homes, "schoolsSrc": schools}
+
+
+def _recursive_path_case(depth=6, fanout=2):
+    def build(level):
+        if level == 0:
+            return elem("a", "leaf")
+        return Tree("a", [build(level - 1) for _ in range(fanout)])
+
+    tree = Tree("src", [build(depth)])
+    plan = Project(
+        GetDescendants(Source("src", "R"), "R", "a+", "X"), ["X"])
+    return plan, {"src": tree}
+
+
+def _groupby_case(n=30):
+    doc = Tree("src", [Tree("r", [
+        elem("p", elem("k", str(i % 4)), elem("v", str(i)))
+        for i in range(n)])])
+    base = GetDescendants(Source("src", "R"), "R", "r.p", "P")
+    plan = GroupBy(
+        GetDescendants(GetDescendants(base, "P", "k", "K"),
+                       "P", "v", "V"),
+        ["K"], [("V", "Vs")])
+    return plan, {"src": doc}
+
+
+def _distinct_case(n=25):
+    doc = Tree("src", [Tree("r", [
+        elem("x", str(i % 6)) for i in range(n)])])
+    plan = Distinct(Project(
+        GetDescendants(Source("src", "R"), "R", "r.x", "X"), ["X"]))
+    return plan, {"src": doc}
+
+
+#: (name, case builder, walk passes).  The recursive-frontier cache
+#: pays off when a client *revisits* node-ids, so that case re-walks.
+CASES = [
+    ("join inner cache (15x15)", _join_case, 1),
+    ("recursive getDescendants frontier (re-walk)",
+     _recursive_path_case, 2),
+    ("groupBy G_prev / key memo", _groupby_case, 1),
+    ("distinct seen-set", _distinct_case, 1),
+]
+
+
+@pytest.mark.parametrize("name,case,passes", CASES,
+                         ids=[c[0].split()[0] for c in CASES])
+def test_cache_never_hurts(name, case, passes):
+    plan, trees = case()
+    assert _navigations(plan, trees, cache=True, passes=passes) <= \
+        _navigations(plan, trees, cache=False, passes=passes)
+
+def test_recursive_frontier_cache_pays_on_revisit():
+    plan, trees = _recursive_path_case()
+    with_cache = _navigations(plan, trees, cache=True, passes=2)
+    without = _navigations(plan, trees, cache=False, passes=2)
+    assert with_cache < without
+
+
+def test_join_inner_cache_wins_by_outer_cardinality():
+    plan, trees = _join_case(n=15)
+    with_cache = _navigations(plan, trees, cache=True)
+    without = _navigations(plan, trees, cache=False)
+    # 15 outer bindings each rescan the inner side without the cache.
+    assert without > with_cache * 4
+
+
+def test_ablation_table(write_result, benchmark):
+    rows = []
+    for name, case, passes in CASES:
+        plan, trees = case()
+        with_cache = _navigations(plan, trees, cache=True,
+                                  passes=passes)
+        without = _navigations(plan, trees, cache=False, passes=passes)
+        rows.append([name, with_cache, without,
+                     "%.1fx" % (without / max(1, with_cache))])
+    table = format_table(
+        ["operator cache", "navs (cache on)", "navs (cache off)",
+         "off/on"], rows)
+    write_result("E7_cache_ablation", table)
+
+    plan, trees = _join_case(n=15)
+    benchmark(lambda: _navigations(plan, trees, cache=True))

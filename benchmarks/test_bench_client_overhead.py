@@ -1,0 +1,106 @@
+"""E9 -- Section 5: the thin client library's transparency and cost.
+
+Paper artifact: "A thin client library ... makes the virtual document
+exported by the mediator indistinguishable from a main memory resident
+document accessed via DOM."
+
+Reproduction: run identical client code over (a) the virtual answer
+and (b) a materialized in-memory copy; check the outputs coincide and
+benchmark both traversals to quantify the virtuality overhead.  Also
+check the memoization contract: re-traversal of an already-explored
+virtual document costs no further source navigations.
+"""
+
+import pytest
+
+from repro.bench import format_table, homes_and_schools
+from repro.client import open_virtual_document
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument
+from repro.bench import HOMES_SCHOOLS_QUERY
+
+N_HOMES = 15
+
+
+def _mediator():
+    med = MIXMediator()
+    for url, tree in homes_and_schools(N_HOMES).items():
+        med.register_source(url, MaterializedDocument(tree))
+    return med
+
+
+def _render(element):
+    """Generic client code: works on any XMLElement."""
+    if element.is_leaf:
+        return element.tag
+    return "%s(%s)" % (element.tag,
+                       ",".join(_render(c) for c in element.children()))
+
+
+def test_transparency():
+    med = _mediator()
+    result = med.prepare(HOMES_SCHOOLS_QUERY)
+    virtual_rendering = _render(result.root)
+
+    materialized = open_virtual_document(
+        MaterializedDocument(result.materialize()))
+    assert _render(materialized) == virtual_rendering
+
+
+def test_retraversal_costs_no_source_navigations():
+    med = _mediator()
+    result = med.prepare(HOMES_SCHOOLS_QUERY)
+    root = result.root
+    _render(root)
+    navs = med.total_source_navigations()
+    _render(root)  # memoized XMLElements: no new navigation
+    assert med.total_source_navigations() == navs
+
+
+def test_overhead_table(write_result):
+    import time
+    med = _mediator()
+    result = med.prepare(HOMES_SCHOOLS_QUERY)
+
+    start = time.perf_counter()
+    _render(result.root)
+    virtual_first_ms = (time.perf_counter() - start) * 1000
+
+    start = time.perf_counter()
+    _render(result.root)
+    virtual_again_ms = (time.perf_counter() - start) * 1000
+
+    materialized = open_virtual_document(
+        MaterializedDocument(result.materialize()))
+    start = time.perf_counter()
+    _render(materialized)
+    materialized_ms = (time.perf_counter() - start) * 1000
+
+    table = format_table(
+        ["traversal", "ms"],
+        [["virtual, first pass (evaluates the query)",
+          virtual_first_ms],
+         ["virtual, second pass (memoized)", virtual_again_ms],
+         ["materialized in-memory copy", materialized_ms]])
+    write_result("E9_client_overhead", table)
+    # Memoization makes re-traversal comparable to in-memory DOM.
+    assert virtual_again_ms < virtual_first_ms
+
+
+def test_bench_virtual_traversal(benchmark):
+    def run():
+        med = _mediator()
+        return _render(med.prepare(HOMES_SCHOOLS_QUERY).root)
+
+    benchmark(run)
+
+
+def test_bench_materialized_traversal(benchmark):
+    med = _mediator()
+    answer = med.prepare(HOMES_SCHOOLS_QUERY).materialize()
+
+    def run():
+        return _render(open_virtual_document(
+            MaterializedDocument(answer)))
+
+    benchmark(run)

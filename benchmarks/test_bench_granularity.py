@@ -1,0 +1,211 @@
+"""E4 -- Section 4 / Example 5: reconciling navigation and source
+granularities with the buffered relational wrapper.
+
+Paper artifact: the relational wrapper ships n tuples per fill
+("chunks of 100 tuples at a time"); the buffer mediates between
+node-at-a-time DOM-VXD navigation and tuple/chunk-at-a-time sources,
+"drastically reducing communication overhead".
+
+Reproduction: a 1000-row table browsed (a) completely and (b) only a
+10-row prefix, sweeping the chunk size n.  Expected shape: fill
+requests (round trips) fall roughly as N/n for the full scan; for the
+prefix browse, large n ships rows the client never looks at -- the
+granularity trade-off.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.buffer import BufferComponent
+from repro.navigation import materialize
+from repro.relational import Connection, Database
+from repro.wrappers import RelationalLXPWrapper
+
+N_ROWS = 1000
+
+
+def _database():
+    db = Database("bigdb")
+    table = db.create_table("items", [("name", "str"), ("qty", "int")])
+    table.insert_many([("item%04d" % i, i % 97) for i in range(N_ROWS)])
+    return db
+
+
+def _buffered(chunk):
+    wrapper = RelationalLXPWrapper(Connection(_database()),
+                                   chunk_size=chunk)
+    return BufferComponent(wrapper), wrapper
+
+
+def _browse_prefix(document, n_rows):
+    """Navigate the first ``n_rows`` rows (with their attributes)."""
+    table = document.down(document.down(document.root()))
+    row = table
+    visited = 0
+    while row is not None and visited < n_rows:
+        attr = document.down(row)
+        while attr is not None:
+            document.fetch(attr)
+            value = document.down(attr)
+            if value is not None:
+                document.fetch(value)
+            attr = document.right(attr)
+        visited += 1
+        row = document.right(row)
+    return visited
+
+
+def test_full_scan_fill_requests_fall_with_chunk_size(write_result):
+    rows = []
+    fills_by_chunk = {}
+    for chunk in (1, 10, 100, 1000):
+        buffer, wrapper = _buffered(chunk)
+        materialize(buffer)
+        fills_by_chunk[chunk] = buffer.stats.fills
+        rows.append([
+            chunk, buffer.stats.fills, wrapper.stats.elements_shipped,
+            "%.3f" % buffer.stats.hit_rate,
+        ])
+    table = format_table(
+        ["chunk n", "fill requests (full scan)", "elements shipped",
+         "buffer hit rate"], rows)
+    write_result("E4_granularity_full_scan", table)
+
+    assert fills_by_chunk[1] > fills_by_chunk[10] \
+        > fills_by_chunk[100] > fills_by_chunk[1000]
+    # Roughly N/n round trips at the row level.
+    assert fills_by_chunk[10] <= N_ROWS / 10 + 5
+    assert fills_by_chunk[100] <= N_ROWS / 100 + 5
+
+
+def test_prefix_browse_overshipping(write_result):
+    rows = []
+    shipped = {}
+    for chunk in (1, 10, 100, 1000):
+        buffer, wrapper = _buffered(chunk)
+        _browse_prefix(buffer, 10)
+        shipped[chunk] = wrapper.stats.elements_shipped
+        rows.append([chunk, buffer.stats.fills,
+                     wrapper.stats.elements_shipped])
+    table = format_table(
+        ["chunk n", "fill requests (first 10 rows)",
+         "elements shipped"], rows)
+    write_result("E4_granularity_prefix", table)
+
+    # Small n: many round trips, no waste.  Large n: one round trip,
+    # shipping ~chunk rows for a 10-row browse.
+    assert shipped[1000] > shipped[10] * 5
+    fills_small = [r[1] for r in rows if r[0] == 1][0]
+    fills_large = [r[1] for r in rows if r[0] == 1000][0]
+    assert fills_small > fills_large
+
+
+def test_wrapper_never_handles_attribute_navigation():
+    """Example 5's point: rows ship complete, so attribute-level
+    navigation is answered by the buffer without any fill."""
+    buffer, wrapper = _buffered(10)
+    table = buffer.down(buffer.down(buffer.root()))
+    fills_before = buffer.stats.fills
+    attr = buffer.down(table)       # into row1's attributes
+    buffer.fetch(attr)
+    buffer.fetch(buffer.down(attr))  # the value leaf
+    buffer.fetch(buffer.right(attr))
+    assert buffer.stats.fills == fills_before
+
+
+def test_bench_full_scan_chunk_100(benchmark):
+    def run():
+        buffer, _ = _buffered(100)
+        return materialize(buffer)
+
+    tree = benchmark(run)
+    assert len(tree.child(0).children) == N_ROWS
+
+
+class TestQueryPushdown:
+    """Example 5's premise: the wrapper translates the XMAS subquery
+    into SQL, so the source filters -- versus shipping the base table
+    and filtering in the mediator."""
+
+    QUERY_TEMPLATE = ("CONSTRUCT <hits> $R {$R} </hits> {} "
+                      "WHERE %s AND $R qty._ $Q AND $Q = 42")
+
+    def _run(self, pushdown: bool):
+        from repro.mediator import MIXMediator
+        from repro.wrappers import (
+            RelationalLXPWrapper,
+            RelationalQueryWrapper,
+        )
+        from repro.relational import Connection
+
+        conn = Connection(_database())
+        med = MIXMediator()
+        if pushdown:
+            wrapper = RelationalQueryWrapper(
+                conn, "SELECT * FROM items WHERE qty = 42",
+                chunk_size=20)
+            med.register_wrapper("src", wrapper)
+            query = self.QUERY_TEMPLATE % "src tuple $R"
+        else:
+            wrapper = RelationalLXPWrapper(conn, chunk_size=20)
+            med.register_wrapper("src", wrapper)
+            query = self.QUERY_TEMPLATE % "src items._ $R"
+        answer = med.prepare(query).materialize()
+        return (len(answer.children), med.total_source_navigations(),
+                wrapper.stats.elements_shipped)
+
+    def test_pushdown_ships_less_and_navigates_less(self, write_result):
+        hits_pd, navs_pd, shipped_pd = self._run(pushdown=True)
+        hits_md, navs_md, shipped_md = self._run(pushdown=False)
+        assert hits_pd == hits_md  # same answer cardinality
+        assert shipped_pd < shipped_md / 10
+        assert navs_pd < navs_md / 10
+        table = format_table(
+            ["strategy", "hits", "source navs", "elements shipped"],
+            [["SQL pushdown (Example 5)", hits_pd, navs_pd, shipped_pd],
+             ["base-table + mediator filter", hits_md, navs_md,
+              shipped_md]])
+        write_result("E4_query_pushdown", table)
+
+
+def test_adaptive_granularity(write_result):
+    """Wrapper-controlled adaptive chunks: cheap peeks AND cheap
+    scans, without picking one fixed n."""
+    from repro.buffer import AdaptiveTreeLXPServer, TreeLXPServer
+    from repro.xtree import Tree, elem
+
+    tree = Tree("r", [elem("x", str(i)) for i in range(N_ROWS)])
+
+    def run(server_factory, scan_all):
+        server = server_factory()
+        buffer = BufferComponent(server)
+        if scan_all:
+            materialize(buffer)
+        else:
+            buffer.fetch(buffer.down(buffer.root()))  # peek
+        return buffer.stats.fills, server.stats.elements_shipped
+
+    rows = []
+    for name, factory in [
+        ("fixed n=2", lambda: TreeLXPServer(tree, chunk_size=2,
+                                            depth=2)),
+        ("fixed n=128", lambda: TreeLXPServer(tree, chunk_size=128,
+                                              depth=2)),
+        ("adaptive 2..128",
+         lambda: AdaptiveTreeLXPServer(tree, initial_chunk=2,
+                                       max_chunk=128, depth=2)),
+    ]:
+        peek_fills, peek_shipped = run(factory, scan_all=False)
+        scan_fills, scan_shipped = run(factory, scan_all=True)
+        rows.append([name, peek_shipped, scan_fills])
+    table = format_table(
+        ["policy", "elements shipped (peek 1)",
+         "fill requests (full scan)"], rows)
+    write_result("E4_adaptive", table)
+
+    by_name = {r[0]: r for r in rows}
+    # Adaptive peeks like small chunks and scans like large ones.
+    assert by_name["adaptive 2..128"][1] <= \
+        by_name["fixed n=128"][1] / 10
+    assert by_name["adaptive 2..128"][2] <= \
+        by_name["fixed n=2"][2] / 10

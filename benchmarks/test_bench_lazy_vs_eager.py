@@ -1,0 +1,117 @@
+"""E3 -- Section 1's motivating claim: navigation-driven evaluation
+beats materializing the full answer when the user browses a prefix.
+
+Paper artifact: "users ... issue relatively broad queries, navigate the
+first few results and then stop ... materializing the full answer on
+the client side is not an option."
+
+Reproduction: the allbooks integrated view over two 300-book catalogs;
+a broad query (books under $40).  We sweep the number of results the
+user actually looks at and meter (i) source navigations and (ii)
+wall-clock, for lazy vs eager evaluation.  Expected shape: lazy cost
+grows with the fraction browsed; eager cost is flat at the worst case;
+lazy wins by a large factor for small prefixes and approaches eager
+(with constant-factor overhead) only when everything is read.
+"""
+
+import pytest
+
+from repro.bench import (
+    Timer,
+    allbooks_plan,
+    browse_first_k,
+    format_table,
+    two_bookstores,
+)
+from repro.mediator import MIXMediator
+from repro.wrappers import XMLFileWrapper
+from repro.xtree import Tree
+
+N_BOOKS = 300
+
+QUERY = """
+CONSTRUCT <hits> $B {$B} </hits> {}
+WHERE allbooks book $B AND $B price._ $P AND $P < 40
+"""
+
+
+def _mediator():
+    amazon, bn = two_bookstores(N_BOOKS, overlap=0.5)
+    med = MIXMediator()
+    med.register_wrapper(
+        "amazonSrc",
+        XMLFileWrapper("amazonSrc", Tree("catalog", amazon),
+                       chunk_size=20, depth=4))
+    med.register_wrapper(
+        "bnSrc",
+        XMLFileWrapper("bnSrc", Tree("catalog", bn),
+                       chunk_size=20, depth=4))
+    med.register_view("allbooks", allbooks_plan("amazonSrc", "bnSrc"))
+    return med
+
+
+def _lazy_cost(k):
+    med = _mediator()
+    with Timer() as timer:
+        root = med.prepare(QUERY).root
+        found = browse_first_k(root, k)
+    return found, med.total_source_navigations(), timer.ms
+
+
+def _eager_cost():
+    med = _mediator()
+    with Timer() as timer:
+        answer = med.query_eager(QUERY)
+    return len(answer.children), med.total_source_navigations(), timer.ms
+
+
+def test_prefix_browsing_cost_curve(write_result):
+    total_hits, eager_navs, eager_ms = _eager_cost()
+    rows = []
+    lazy_at = {}
+    for k in (1, 5, 20, 100, total_hits):
+        found, navs, ms = _lazy_cost(k)
+        lazy_at[k] = navs
+        rows.append(["lazy first-%d" % k, found, navs,
+                     "%.1fx" % (eager_navs / max(1, navs)), ms])
+    rows.append(["eager (full answer)", total_hits, eager_navs,
+                 "1.0x", eager_ms])
+    table = format_table(
+        ["strategy", "results seen", "source navigations",
+         "eager/this navs", "ms"], rows)
+    write_result("E3_lazy_vs_eager", table)
+
+    # The paper's shape: big win for small prefixes, monotone growth.
+    assert lazy_at[1] * 5 < eager_navs
+    assert lazy_at[1] <= lazy_at[5] <= lazy_at[20] <= lazy_at[100]
+
+
+def test_time_to_first_result_is_constant_in_source_size():
+    """Lazy time-to-first-result must not grow with catalog size the
+    way eager evaluation does (navs metric: deterministic)."""
+
+    def first_result_navs(n_books):
+        amazon, bn = two_bookstores(n_books, overlap=0.5)
+        med = MIXMediator()
+        med.register_wrapper(
+            "amazonSrc", XMLFileWrapper("amazonSrc",
+                                        Tree("catalog", amazon)))
+        med.register_wrapper(
+            "bnSrc", XMLFileWrapper("bnSrc", Tree("catalog", bn)))
+        med.register_view("allbooks",
+                          allbooks_plan("amazonSrc", "bnSrc"))
+        root = med.prepare(QUERY).root
+        browse_first_k(root, 1)
+        return med.total_source_navigations()
+
+    small, large = first_result_navs(50), first_result_navs(400)
+    # Depends only on where the first cheap book sits, not on size.
+    assert large < small * 3
+
+
+def test_bench_lazy_first_result(benchmark):
+    benchmark(lambda: _lazy_cost(1))
+
+
+def test_bench_eager_full_answer(benchmark):
+    benchmark(_eager_cost)

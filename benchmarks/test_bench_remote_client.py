@@ -1,0 +1,98 @@
+"""E10 (extension) -- Section 5's outlook: client/mediator over a
+network, "exchanging fragments of XML documents to avoid the
+communication overhead".
+
+Not an evaluation figure in the paper, but its explicitly stated next
+step; we implement and measure it.  The virtual answer document is
+exported through LXP and reassembled by a client-side buffer; the
+baseline is the naive design where every DOM-VXD command is its own
+round trip.
+
+Expected shape: fragment exchange cuts round trips by roughly the
+fragment size; bigger fragments trade bytes for messages.
+"""
+
+import pytest
+
+from repro.bench import (
+    browse_first_k,
+    format_table,
+    homes_and_schools,
+    HOMES_SCHOOLS_QUERY,
+)
+from repro.client import RPCDocument, connect_remote, \
+    open_virtual_document
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument
+
+N_HOMES = 30
+
+
+def _mediator():
+    med = MIXMediator()
+    for url, tree in homes_and_schools(N_HOMES).items():
+        med.register_source(url, MaterializedDocument(tree))
+    return med
+
+
+def _fragment_session(chunk, depth):
+    med = _mediator()
+    return connect_remote(med.prepare(HOMES_SCHOOLS_QUERY).document,
+                          chunk_size=chunk, depth=depth)
+
+
+def test_remote_answers_agree():
+    root, _ = _fragment_session(5, 3)
+    med = _mediator()
+    rpc_root = open_virtual_document(
+        RPCDocument(med.prepare(HOMES_SCHOOLS_QUERY).document))
+    assert root.to_tree() == rpc_root.to_tree()
+
+
+def test_fragment_exchange_cuts_round_trips(write_result):
+    rows = []
+    messages = {}
+    # RPC baseline: full browse.
+    med = _mediator()
+    rpc = RPCDocument(med.prepare(HOMES_SCHOOLS_QUERY).document)
+    open_virtual_document(rpc).to_tree()
+    rows.append(["RPC (1 command = 1 msg)", rpc.stats.messages,
+                 rpc.stats.bytes_transferred,
+                 round(rpc.stats.virtual_ms)])
+    messages["rpc"] = rpc.stats.messages
+
+    for chunk, depth in [(1, 1), (5, 3), (20, 6)]:
+        root, stats = _fragment_session(chunk, depth)
+        root.to_tree()
+        name = "LXP fragments chunk=%d depth=%d" % (chunk, depth)
+        rows.append([name, stats.messages, stats.bytes_transferred,
+                     round(stats.virtual_ms)])
+        messages[(chunk, depth)] = stats.messages
+
+    table = format_table(
+        ["client channel (full browse)", "messages", "bytes",
+         "virtual ms"], rows)
+    write_result("E10_remote_client", table)
+
+    assert messages[(5, 3)] * 3 < messages["rpc"]
+    assert messages[(20, 6)] <= messages[(5, 3)]
+
+
+def test_partial_browse_stays_cheap_remotely(write_result):
+    rows = []
+    for k in (1, 5, 15):
+        root, stats = _fragment_session(5, 3)
+        browse_first_k(root, k)
+        rows.append([k, stats.messages, stats.bytes_transferred])
+    table = format_table(
+        ["first-k med_homes", "messages", "bytes"], rows)
+    write_result("E10_remote_partial", table)
+    assert rows[0][1] < rows[-1][1]
+
+
+def test_bench_remote_full_browse(benchmark):
+    def run():
+        root, _ = _fragment_session(10, 4)
+        return root.to_tree()
+
+    benchmark(run)

@@ -1,0 +1,90 @@
+"""E8 -- Section 3, "Query Rewriting": optimizing plans for
+navigational complexity.
+
+Paper artifact: "during the rewriting phase, the initial plan is
+rewritten into a plan E'_q which is optimized with respect to
+navigational complexity" (rules omitted in the paper for space).
+
+Reproduction: selective queries whose initial plans filter late; the
+optimizer pushes selections toward the sources and fuses adjacent
+descendant extractions.  We meter source navigations for the full
+browse of the answer, with and without rewriting.
+"""
+
+import pytest
+
+from repro.bench import format_table, homes_and_schools
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument
+from repro.rewriter import optimize
+from repro.xmas import parse_xmas, translate
+
+#: A selective query: only one zip code's homes survive the filter.
+SELECTIVE_QUERY = """
+CONSTRUCT <answer>
+            <med_home> $H $S {$S} </med_home> {$H}
+          </answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2 AND $V1 = 91003
+"""
+
+#: A projection-only query: the zip chain fuses to one extraction.
+FUSABLE_QUERY = """
+CONSTRUCT <zips> $V {$V} </zips> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V
+"""
+
+
+def _mediator(optimize_plans, n_homes=20):
+    med = MIXMediator(optimize_plans=optimize_plans)
+    for url, tree in homes_and_schools(n_homes).items():
+        med.register_source(url, MaterializedDocument(tree))
+    return med
+
+
+def _navigations(query, optimize_plans):
+    med = _mediator(optimize_plans)
+    result = med.prepare(query)
+    answer = result.materialize()
+    return med.total_source_navigations(), answer, result
+
+
+def test_rewriting_preserves_answers():
+    for query in (SELECTIVE_QUERY, FUSABLE_QUERY):
+        _, unopt, _ = _navigations(query, False)
+        _, opt, _ = _navigations(query, True)
+        assert opt == unopt
+
+
+def test_selective_query_improves():
+    unopt_navs, _, _ = _navigations(SELECTIVE_QUERY, False)
+    opt_navs, _, result = _navigations(SELECTIVE_QUERY, True)
+    assert result.optimization_trace.applied
+    assert opt_navs < unopt_navs
+
+
+def test_fusion_reduces_navigations():
+    unopt_navs, _, _ = _navigations(FUSABLE_QUERY, False)
+    opt_navs, _, result = _navigations(FUSABLE_QUERY, True)
+    assert "fuse-get-descendants" in result.optimization_trace.applied
+    assert opt_navs <= unopt_navs
+
+
+def test_rewriting_table(write_result, benchmark):
+    rows = []
+    for name, query in [("selective join filter", SELECTIVE_QUERY),
+                        ("fusable zip extraction", FUSABLE_QUERY)]:
+        unopt_navs, _, _ = _navigations(query, False)
+        opt_navs, _, result = _navigations(query, True)
+        rows.append([
+            name, unopt_navs, opt_navs,
+            "%.2fx" % (unopt_navs / max(1, opt_navs)),
+            ", ".join(sorted(set(result.optimization_trace.applied))),
+        ])
+    table = format_table(
+        ["query", "navs (initial plan)", "navs (rewritten)",
+         "improvement", "rules fired"], rows)
+    write_result("E8_rewriting", table)
+
+    benchmark(lambda: optimize(translate(parse_xmas(SELECTIVE_QUERY))))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""BBQ-style browsing of a virtual mediated view.
+
+A scripted session of the browse-and-query client (paper Section 6):
+the user queries, lists, and walks into the virtual answer; the
+``stats`` lines show that every step pays only for what it reveals.
+
+Run:  python examples/bbq_browser.py            (scripted session)
+      python examples/bbq_browser.py -i         (interactive shell)
+"""
+
+import sys
+
+from repro import MIXMediator, XMLFileWrapper
+from repro.client.bbq import BBQSession
+
+HOMES_XML = """
+<homes>
+  <home><addr>La Jolla</addr><zip>91220</zip><price>725000</price></home>
+  <home><addr>El Cajon</addr><zip>91223</zip><price>350000</price></home>
+  <home><addr>Del Mar</addr><zip>91220</zip><price>990000</price></home>
+</homes>
+"""
+
+SCHOOLS_XML = """
+<schools>
+  <school><dir>Smith</dir><zip>91220</zip></school>
+  <school><dir>Bar</dir><zip>91220</zip></school>
+  <school><dir>Hart</dir><zip>91223</zip></school>
+</schools>
+"""
+
+QUERY = ("CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}"
+         "</answer> {} "
+         "WHERE homesSrc homes.home $H AND $H zip._ $V1 "
+         "AND schoolsSrc schools.school $S AND $S zip._ $V2 "
+         "AND $V1 = $V2 ORDER BY $V1")
+
+SCRIPT = [
+    "query " + QUERY,
+    "stats",
+    "ls",
+    "stats",
+    "cd 0",
+    "ls",
+    "cd home",
+    "text",
+    "up",
+    "cd school",
+    "tree",
+    "pwd",
+    "schema",
+    "stats",
+]
+
+
+def build_session() -> BBQSession:
+    mediator = MIXMediator()
+    mediator.register_wrapper(
+        "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+    mediator.register_wrapper(
+        "schoolsSrc", XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+    return BBQSession(mediator)
+
+
+def main() -> None:
+    session = build_session()
+    if "-i" in sys.argv[1:]:
+        print("BBQ shell -- commands: query ls cd up pwd text tree "
+              "stats; ctrl-d to exit")
+        while True:
+            try:
+                line = input("bbq> ")
+            except EOFError:
+                print()
+                return
+            output = session.execute(line)
+            if output:
+                print(output)
+    else:
+        for line in SCRIPT:
+            shown = line if len(line) < 70 else line[:67] + "..."
+            print("bbq> %s" % shown)
+            output = session.execute(line)
+            if output:
+                print(output)
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so that editable installs work without the `wheel` package.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,303 @@
+"""Eager (fully materializing) evaluation of XMAS algebra plans.
+
+This is the *reference semantics*: every operator is computed bottom-up
+over complete binding lists, exactly following the operator definitions
+of Section 3.  The lazy mediators of :mod:`repro.lazy` must be
+observationally equivalent to it -- the integration and property tests
+compare ``materialize(lazy_plan)`` against ``evaluate(plan, sources)``.
+
+It is also the paper's foil: "current mediator systems ... materialize
+the result of the user query" -- the lazy-vs-eager experiment (E3)
+meters this evaluator against the navigation-driven one.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from ..xtree.path import PathNFA
+from ..xtree.tree import Tree
+from .bindings import (
+    Binding,
+    BindingList,
+    make_list_value,
+    value_key,
+    value_text,
+)
+from .operators import (
+    Concatenate,
+    Constant,
+    CreateElement,
+    Difference,
+    Distinct,
+    GetDescendants,
+    GroupBy,
+    Join,
+    Materialize,
+    Operator,
+    OrderBy,
+    PlanError,
+    Project,
+    Rename,
+    Select,
+    Source,
+    TupleDestroy,
+    Union as UnionOp,
+)
+
+__all__ = ["evaluate", "evaluate_bindings", "match_descendants",
+           "sort_key_for_value"]
+
+#: Resolves a source URL to its exported document root tree.
+SourceResolver = typing.Union[Mapping[str, Tree], Callable[[str], Tree]]
+
+
+def _resolve(sources: SourceResolver, url: str) -> Tree:
+    if callable(sources):
+        return sources(url)
+    try:
+        return sources[url]
+    except KeyError:
+        raise PlanError("no source registered for url %r" % url) from None
+
+
+def evaluate(plan: Operator, sources: SourceResolver
+             ) -> typing.Union[Tree, BindingList]:
+    """Evaluate ``plan``; a TupleDestroy root yields the answer Tree,
+    any other root yields its BindingList."""
+    plan.validate()
+    if isinstance(plan, TupleDestroy):
+        bindings = evaluate_bindings(plan.child, sources)
+        if len(bindings) != 1:
+            raise PlanError(
+                "tupleDestroy expects a singleton binding list, got %d "
+                "bindings" % len(bindings)
+            )
+        return bindings[0].value(plan.var)
+    return evaluate_bindings(plan, sources)
+
+
+def evaluate_bindings(plan: Operator,
+                      sources: SourceResolver) -> BindingList:
+    """Evaluate a plan node to its (materialized) binding list."""
+    if isinstance(plan, Source):
+        root = _resolve(sources, plan.url)
+        return BindingList([Binding([(plan.out_var, root)])])
+
+    if isinstance(plan, Constant):
+        inner = evaluate_bindings(plan.child, sources)
+        return BindingList(
+            [b.extend(plan.out_var, plan.value) for b in inner],
+            variables=inner.variables + [plan.out_var],
+        )
+
+    if isinstance(plan, GetDescendants):
+        inner = evaluate_bindings(plan.child, sources)
+        nfa = PathNFA(plan.path)
+        out = BindingList(
+            variables=inner.variables + [plan.out_var])
+        for binding in inner:
+            parent = binding.value(plan.parent_var)
+            for descendant in match_descendants(parent, nfa):
+                out.append(binding.extend(plan.out_var, descendant))
+        return out
+
+    if isinstance(plan, Select):
+        inner = evaluate_bindings(plan.child, sources)
+        return BindingList(
+            [b for b in inner if plan.predicate.holds(b)],
+            variables=inner.variables,
+        )
+
+    if isinstance(plan, Project):
+        inner = evaluate_bindings(plan.child, sources)
+        return BindingList(
+            [b.project(plan.variables) for b in inner],
+            variables=list(plan.variables),
+        )
+
+    if isinstance(plan, Rename):
+        inner = evaluate_bindings(plan.child, sources)
+        renamed = [
+            Binding([(plan.mapping.get(name, name), value)
+                     for name, value in b.items()])
+            for b in inner
+        ]
+        return BindingList(
+            renamed,
+            variables=[plan.mapping.get(v, v) for v in inner.variables],
+        )
+
+    if isinstance(plan, Distinct):
+        inner = evaluate_bindings(plan.child, sources)
+        seen = set()
+        kept: List[Binding] = []
+        for binding in inner:
+            key = tuple(value_key(v) for _, v in binding.items())
+            if key not in seen:
+                seen.add(key)
+                kept.append(binding)
+        return BindingList(kept, variables=inner.variables)
+
+    if isinstance(plan, Join):
+        left = evaluate_bindings(plan.left, sources)
+        right = evaluate_bindings(plan.right, sources)
+        out = BindingList(variables=left.variables + right.variables)
+        for lb in left:
+            for rb in right:
+                merged = Binding(lb.items() + rb.items())
+                if plan.predicate.holds(merged):
+                    out.append(merged)
+        return out
+
+    if isinstance(plan, UnionOp):
+        left = evaluate_bindings(plan.left, sources)
+        right = evaluate_bindings(plan.right, sources)
+        return BindingList(
+            list(left) + [b.project(left.variables) for b in right],
+            variables=left.variables,
+        )
+
+    if isinstance(plan, Difference):
+        left = evaluate_bindings(plan.left, sources)
+        right = evaluate_bindings(plan.right, sources)
+        right_keys = {
+            tuple(value_key(b.value(v)) for v in left.variables)
+            for b in right
+        }
+        return BindingList(
+            [b for b in left
+             if tuple(value_key(b.value(v))
+                      for v in left.variables) not in right_keys],
+            variables=left.variables,
+        )
+
+    if isinstance(plan, Materialize):
+        # Semantically the identity; materialization is an
+        # operational property of the lazy implementation.
+        return evaluate_bindings(plan.child, sources)
+
+    if isinstance(plan, GroupBy):
+        return _evaluate_group_by(plan, sources)
+
+    if isinstance(plan, OrderBy):
+        inner = evaluate_bindings(plan.child, sources)
+        ordered = sorted(
+            inner,
+            key=lambda b: tuple(
+                sort_key_for_value(value_text(b.value(v)))
+                for v in plan.variables
+            ),
+            reverse=plan.descending,
+        )
+        return BindingList(ordered, variables=inner.variables)
+
+    if isinstance(plan, Concatenate):
+        inner = evaluate_bindings(plan.child, sources)
+        out = BindingList(variables=inner.variables + [plan.out_var])
+        for binding in inner:
+            items: List[Tree] = []
+            for var in plan.in_vars:
+                value = binding.value(var)
+                if value.label == "list":
+                    items.extend(value.children)
+                else:
+                    items.append(value)
+            out.append(binding.extend(plan.out_var,
+                                      make_list_value(items)))
+        return out
+
+    if isinstance(plan, CreateElement):
+        inner = evaluate_bindings(plan.child, sources)
+        out = BindingList(variables=inner.variables + [plan.out_var])
+        for binding in inner:
+            label = (value_text(binding.value(plan.label_var))
+                     if plan.label_var else plan.label_const)
+            content = binding.value(plan.content_var)
+            element = Tree(label, content.children)
+            out.append(binding.extend(plan.out_var, element))
+        return out
+
+    if isinstance(plan, TupleDestroy):
+        raise PlanError(
+            "tupleDestroy may only appear at the plan root; "
+            "use evaluate() for full plans"
+        )
+
+    raise PlanError("eager evaluator does not know operator %r" % plan)
+
+
+def _evaluate_group_by(plan: GroupBy,
+                       sources: SourceResolver) -> BindingList:
+    inner = evaluate_bindings(plan.child, sources)
+    out_vars = plan.group_vars + [o for _, o in plan.aggregations]
+
+    groups: Dict[Tuple, Dict] = {}
+    order: List[Tuple] = []
+    for binding in inner:
+        key = tuple(value_key(binding.value(v)) for v in plan.group_vars)
+        group = groups.get(key)
+        if group is None:
+            group = {
+                "witness": binding,
+                "collected": [[] for _ in plan.aggregations],
+            }
+            groups[key] = group
+            order.append(key)
+        for index, (var, _out) in enumerate(plan.aggregations):
+            group["collected"][index].append(binding.value(var))
+
+    if not plan.group_vars and not order:
+        # groupBy{} over the empty input still yields the single empty
+        # group (SQL's aggregate-without-GROUP-BY convention); this is
+        # what makes <answer></answer>{} produce an empty answer element
+        # rather than no answer at all.
+        empty = {"witness": None,
+                 "collected": [[] for _ in plan.aggregations]}
+        groups[()] = empty
+        order.append(())
+
+    out = BindingList(variables=out_vars)
+    for key in order:
+        group = groups[key]
+        witness = group["witness"]
+        items: List[Tuple[str, Tree]] = []
+        for var in plan.group_vars:
+            items.append((var, witness.value(var)))
+        for index, (_var, out_var) in enumerate(plan.aggregations):
+            items.append(
+                (out_var, make_list_value(group["collected"][index])))
+        out.append(Binding(items))
+    return out
+
+
+def match_descendants(parent: Tree, nfa: PathNFA) -> List[Tree]:
+    """All descendants of ``parent`` whose label path from (below)
+    ``parent`` matches the NFA, in document order.
+
+    Dead NFA frontiers prune whole subtrees -- the same pruning the
+    lazy mediator performs navigation-by-navigation.
+    """
+    matches: List[Tree] = []
+
+    def descend(node: Tree, states) -> None:
+        for child in node.children:
+            next_states = nfa.step(states, child.label)
+            if not nfa.is_alive(next_states):
+                continue
+            if nfa.is_accepting(next_states):
+                matches.append(child)
+            descend(child, next_states)
+
+    descend(parent, nfa.start_states)
+    return matches
+
+
+def sort_key_for_value(text: str):
+    """Numeric-aware sort key over value text (mirrors predicate
+    comparison semantics)."""
+    try:
+        return (0, float(text), "")
+    except ValueError:
+        return (1, 0.0, text)

@@ -1,0 +1,177 @@
+"""Predicates for the select and join operators.
+
+Predicates compare bound values (``$V1 = $V2``, ``$P < 100``) with
+SQL-ish weak typing: when both sides look numeric they compare as
+numbers, otherwise as strings.  Values are compared through
+:func:`~repro.algebra.bindings.value_text`, i.e. on their leaf text --
+which is what the zip-code join of the running example does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Set, Tuple, Union
+
+from ..xtree.tree import Tree
+from .bindings import Binding, value_text
+
+__all__ = ["Predicate", "Comparison", "And", "Or", "Not", "TruePredicate",
+           "Var", "Const", "compare_values"]
+
+_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference in a predicate."""
+    name: str
+
+    def __str__(self) -> str:
+        return "$%s" % self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal operand."""
+    value: Union[str, int, float]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return '"%s"' % self.value
+        return str(self.value)
+
+
+Operand = Union[Var, Const]
+
+
+def _coerce_pair(left: str, right: str) -> Tuple:
+    """Numeric comparison when both sides parse as numbers."""
+    try:
+        return float(left), float(right)
+    except (TypeError, ValueError):
+        return left, right
+
+
+def compare_values(left: str, op: str, right: str) -> bool:
+    """Apply ``op`` to two string values with numeric awareness."""
+    lv, rv = _coerce_pair(left, right)
+    if op == "=":
+        return lv == rv
+    if op == "!=":
+        return lv != rv
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    if op == ">=":
+        return lv >= rv
+    raise ValueError("unknown comparison operator %r" % op)
+
+
+class Predicate:
+    """Base class; subclasses implement evaluation over a binding."""
+
+    def evaluate(self, lookup: Callable[[str], str]) -> bool:
+        """Evaluate given ``lookup(var) -> string value``."""
+        raise NotImplementedError
+
+    def holds(self, binding: Binding) -> bool:
+        """Evaluate against an eager binding."""
+        return self.evaluate(lambda var: value_text(binding.value(var)))
+
+    def variables(self) -> Set[str]:
+        """All variables mentioned (for analysis and rewriting)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError("unknown comparison operator %r" % self.op)
+
+    def evaluate(self, lookup):
+        left = (lookup(self.left.name) if isinstance(self.left, Var)
+                else str(self.left.value))
+        right = (lookup(self.right.name) if isinstance(self.right, Var)
+                 else str(self.right.value))
+        return compare_values(left, self.op, right)
+
+    def variables(self):
+        names = set()
+        if isinstance(self.left, Var):
+            names.add(self.left.name)
+        if isinstance(self.right, Var):
+            names.add(self.right.name)
+        return names
+
+    def __str__(self) -> str:
+        return "%s %s %s" % (self.left, self.op, self.right)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: Tuple[Predicate, ...]
+
+    def evaluate(self, lookup):
+        return all(p.evaluate(lookup) for p in self.parts)
+
+    def variables(self):
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.variables()
+        return names
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: Tuple[Predicate, ...]
+
+    def evaluate(self, lookup):
+        return any(p.evaluate(lookup) for p in self.parts)
+
+    def variables(self):
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.variables()
+        return names
+
+    def __str__(self) -> str:
+        return " OR ".join("(%s)" % p for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, lookup):
+        return not self.inner.evaluate(lookup)
+
+    def variables(self):
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return "NOT (%s)" % self.inner
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always true (turns a join into a product)."""
+
+    def evaluate(self, lookup):
+        return True
+
+    def variables(self):
+        return set()
+
+    def __str__(self) -> str:
+        return "true"

@@ -1,0 +1,235 @@
+"""Serialization of algebra plans (and their predicates and paths) to
+plain JSON-compatible dictionaries.
+
+Lets compiled view plans be cached on disk, shipped between mediator
+tiers (Figure 1's stacking across address spaces), and inspected by
+tools.  ``plan_from_dict(plan_to_dict(p))`` reproduces a plan that
+evaluates identically; the property suite checks this over random
+plans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..xtree.tree import Tree
+from . import operators as ops
+from . import predicates as preds
+
+__all__ = ["plan_to_dict", "plan_from_dict", "plan_to_json",
+           "plan_from_json", "SerializationError"]
+
+
+from ..errors import ReproError
+
+
+class SerializationError(ReproError):
+    """Raised for unknown node kinds or malformed dictionaries."""
+
+
+# ----------------------------------------------------------------------
+# Trees: serialized via the compact (label, children) object form.
+# ----------------------------------------------------------------------
+
+def _tree_to_obj(tree: Tree):
+    return tree.to_obj()
+
+
+def _tree_from_obj(obj) -> Tree:
+    from ..xtree.tree import tree_from_obj
+    return tree_from_obj(_listify(obj))
+
+
+def _listify(obj):
+    # JSON turns the (label, children) tuples into 2-element lists.
+    if isinstance(obj, str):
+        return obj
+    label, children = obj
+    return (label, [_listify(c) for c in children])
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+
+def _operand_to_dict(operand) -> Dict[str, Any]:
+    if isinstance(operand, preds.Var):
+        return {"var": operand.name}
+    return {"const": operand.value}
+
+
+def _operand_from_dict(data):
+    if "var" in data:
+        return preds.Var(data["var"])
+    return preds.Const(data["const"])
+
+
+def predicate_to_dict(predicate: preds.Predicate) -> Dict[str, Any]:
+    if isinstance(predicate, preds.Comparison):
+        return {"kind": "cmp", "left": _operand_to_dict(predicate.left),
+                "op": predicate.op,
+                "right": _operand_to_dict(predicate.right)}
+    if isinstance(predicate, preds.And):
+        return {"kind": "and",
+                "parts": [predicate_to_dict(p) for p in predicate.parts]}
+    if isinstance(predicate, preds.Or):
+        return {"kind": "or",
+                "parts": [predicate_to_dict(p) for p in predicate.parts]}
+    if isinstance(predicate, preds.Not):
+        return {"kind": "not",
+                "inner": predicate_to_dict(predicate.inner)}
+    if isinstance(predicate, preds.TruePredicate):
+        return {"kind": "true"}
+    raise SerializationError("unknown predicate %r" % (predicate,))
+
+
+def predicate_from_dict(data: Dict[str, Any]) -> preds.Predicate:
+    kind = data["kind"]
+    if kind == "cmp":
+        return preds.Comparison(_operand_from_dict(data["left"]),
+                                data["op"],
+                                _operand_from_dict(data["right"]))
+    if kind == "and":
+        return preds.And(tuple(predicate_from_dict(p)
+                               for p in data["parts"]))
+    if kind == "or":
+        return preds.Or(tuple(predicate_from_dict(p)
+                              for p in data["parts"]))
+    if kind == "not":
+        return preds.Not(predicate_from_dict(data["inner"]))
+    if kind == "true":
+        return preds.TruePredicate()
+    raise SerializationError("unknown predicate kind %r" % kind)
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: ops.Operator) -> Dict[str, Any]:
+    """Serialize a plan tree to a JSON-compatible dictionary."""
+    if isinstance(plan, ops.Source):
+        return {"op": "source", "url": plan.url, "var": plan.out_var}
+    if isinstance(plan, ops.Constant):
+        return {"op": "constant", "child": plan_to_dict(plan.child),
+                "value": _tree_to_obj(plan.value), "var": plan.out_var}
+    if isinstance(plan, ops.GetDescendants):
+        return {"op": "getDescendants",
+                "child": plan_to_dict(plan.child),
+                "parent": plan.parent_var, "path": str(plan.path),
+                "var": plan.out_var}
+    if isinstance(plan, ops.Select):
+        return {"op": "select", "child": plan_to_dict(plan.child),
+                "predicate": predicate_to_dict(plan.predicate)}
+    if isinstance(plan, ops.Project):
+        return {"op": "project", "child": plan_to_dict(plan.child),
+                "vars": list(plan.variables)}
+    if isinstance(plan, ops.Rename):
+        return {"op": "rename", "child": plan_to_dict(plan.child),
+                "mapping": dict(plan.mapping)}
+    if isinstance(plan, ops.Distinct):
+        return {"op": "distinct", "child": plan_to_dict(plan.child)}
+    if isinstance(plan, ops.Materialize):
+        return {"op": "materialize",
+                "child": plan_to_dict(plan.child)}
+    if isinstance(plan, ops.Join):
+        return {"op": "join", "left": plan_to_dict(plan.left),
+                "right": plan_to_dict(plan.right),
+                "predicate": predicate_to_dict(plan.predicate)}
+    if isinstance(plan, ops.Union):
+        return {"op": "union", "left": plan_to_dict(plan.left),
+                "right": plan_to_dict(plan.right)}
+    if isinstance(plan, ops.Difference):
+        return {"op": "difference", "left": plan_to_dict(plan.left),
+                "right": plan_to_dict(plan.right)}
+    if isinstance(plan, ops.GroupBy):
+        return {"op": "groupBy", "child": plan_to_dict(plan.child),
+                "keys": list(plan.group_vars),
+                "aggregations": [list(a) for a in plan.aggregations]}
+    if isinstance(plan, ops.OrderBy):
+        return {"op": "orderBy", "child": plan_to_dict(plan.child),
+                "vars": list(plan.variables),
+                "descending": plan.descending}
+    if isinstance(plan, ops.Concatenate):
+        return {"op": "concatenate", "child": plan_to_dict(plan.child),
+                "vars": list(plan.in_vars), "var": plan.out_var}
+    if isinstance(plan, ops.CreateElement):
+        label = ({"var": plan.label_var} if plan.label_var
+                 else {"const": plan.label_const})
+        return {"op": "createElement",
+                "child": plan_to_dict(plan.child), "label": label,
+                "content": plan.content_var, "var": plan.out_var}
+    if isinstance(plan, ops.TupleDestroy):
+        return {"op": "tupleDestroy", "child": plan_to_dict(plan.child),
+                "var": plan.var}
+    raise SerializationError("unknown operator %r" % (plan,))
+
+
+def plan_from_dict(data: Dict[str, Any]) -> ops.Operator:
+    """Reconstruct a plan from its dictionary form."""
+    kind = data.get("op")
+    if kind == "source":
+        return ops.Source(data["url"], data["var"])
+    if kind == "constant":
+        return ops.Constant(plan_from_dict(data["child"]),
+                            _tree_from_obj(data["value"]), data["var"])
+    if kind == "getDescendants":
+        return ops.GetDescendants(plan_from_dict(data["child"]),
+                                  data["parent"], data["path"],
+                                  data["var"])
+    if kind == "select":
+        return ops.Select(plan_from_dict(data["child"]),
+                          predicate_from_dict(data["predicate"]))
+    if kind == "project":
+        return ops.Project(plan_from_dict(data["child"]), data["vars"])
+    if kind == "rename":
+        return ops.Rename(plan_from_dict(data["child"]),
+                          data["mapping"])
+    if kind == "distinct":
+        return ops.Distinct(plan_from_dict(data["child"]))
+    if kind == "materialize":
+        return ops.Materialize(plan_from_dict(data["child"]))
+    if kind == "join":
+        return ops.Join(plan_from_dict(data["left"]),
+                        plan_from_dict(data["right"]),
+                        predicate_from_dict(data["predicate"]))
+    if kind == "union":
+        return ops.Union(plan_from_dict(data["left"]),
+                         plan_from_dict(data["right"]))
+    if kind == "difference":
+        return ops.Difference(plan_from_dict(data["left"]),
+                              plan_from_dict(data["right"]))
+    if kind == "groupBy":
+        return ops.GroupBy(plan_from_dict(data["child"]), data["keys"],
+                           [tuple(a) for a in data["aggregations"]])
+    if kind == "orderBy":
+        return ops.OrderBy(plan_from_dict(data["child"]), data["vars"],
+                           data.get("descending", False))
+    if kind == "concatenate":
+        return ops.Concatenate(plan_from_dict(data["child"]),
+                               data["vars"], data["var"])
+    if kind == "createElement":
+        label_spec = data["label"]
+        label = (("var", label_spec["var"]) if "var" in label_spec
+                 else label_spec["const"])
+        return ops.CreateElement(plan_from_dict(data["child"]), label,
+                                 data["content"], data["var"])
+    if kind == "tupleDestroy":
+        return ops.TupleDestroy(plan_from_dict(data["child"]),
+                                data["var"])
+    raise SerializationError("unknown operator kind %r" % kind)
+
+
+def plan_to_json(plan: ops.Operator, indent: int = None) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str) -> ops.Operator:
+    """Reconstruct a plan from its JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise SerializationError("bad plan JSON: %s" % err) from None
+    return plan_from_dict(data)

@@ -1,0 +1,100 @@
+"""Measurement utilities shared by the benchmark harness and examples:
+navigation workloads, stat rows, and a fixed-width table printer (the
+shape the experiment scripts print their series in)."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..client.element import XMLElement
+from ..navigation.interface import NavigableDocument, materialize
+
+__all__ = ["browse_first_k", "depth_first_prefix", "format_table",
+           "Timer"]
+
+
+def browse_first_k(root: XMLElement, k: int,
+                   per_result: Optional[Callable[[XMLElement], None]]
+                   = None) -> int:
+    """The paper's canonical interaction: look at the first ``k``
+    results of a broad query, then stop.
+
+    Visits the first k children of the answer root, forcing each one's
+    subtree (as a user rendering a result row would); returns how many
+    results were actually available.
+    """
+    seen = 0
+    child = root.first_child()
+    while child is not None and seen < k:
+        if per_result is not None:
+            per_result(child)
+        else:
+            child.to_tree()  # force the result's content
+        seen += 1
+        child = child.right()
+    return seen
+
+
+def depth_first_prefix(document: NavigableDocument,
+                       max_nodes: int) -> int:
+    """Navigate the first ``max_nodes`` nodes of a document in
+    document order (d/r/f), returning the number visited."""
+    visited = 0
+    stack = [document.root()]
+    while stack and visited < max_nodes:
+        pointer = stack.pop()
+        document.fetch(pointer)
+        visited += 1
+        sibling = document.right(pointer)
+        if sibling is not None:
+            stack.append(sibling)
+        child = document.down(pointer)
+        if child is not None:
+            stack.append(child)
+    return visited
+
+
+class Timer:
+    """A context-managed wall-clock timer (milliseconds)."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.ms = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.ms = (time.perf_counter() - self._start) * 1000.0
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                  else cell.ljust(widths[i])
+                  for i, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False

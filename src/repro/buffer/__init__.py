@@ -1,0 +1,35 @@
+"""Buffer component and the Lean XML Fragment Protocol (paper Sec. 4):
+open trees with holes, fill-request chasing (Figure 8), granularity
+policies, and prefetching."""
+
+from .component import BufferComponent, BufferStats
+from .holes import (
+    FragElem,
+    FragHole,
+    Fragment,
+    LXPProtocolError,
+    OpenElem,
+    OpenHole,
+    count_holes,
+    fragment_of_tree,
+    open_tree_to_tree,
+    validate_fill_reply,
+)
+from .lxp import (
+    AdaptiveTreeLXPServer,
+    LXPServer,
+    LXPStats,
+    RandomizedLXPServer,
+    TreeLXPServer,
+)
+from .prefetch import PrefetchingBuffer, PrefetchStats
+
+__all__ = [
+    "OpenElem", "OpenHole", "FragElem", "FragHole", "Fragment",
+    "LXPProtocolError", "validate_fill_reply", "fragment_of_tree",
+    "open_tree_to_tree", "count_holes",
+    "LXPServer", "LXPStats", "TreeLXPServer", "AdaptiveTreeLXPServer",
+    "RandomizedLXPServer",
+    "BufferComponent", "BufferStats",
+    "PrefetchingBuffer", "PrefetchStats",
+]

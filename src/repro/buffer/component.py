@@ -1,0 +1,159 @@
+"""The generic buffer component (paper Section 4, Figure 8).
+
+Sits between a lazy mediator and a wrapper: answers DOM-VXD
+navigations from its open tree when it can, and issues LXP ``fill``
+requests when a navigation hits a hole.  One implementation serves
+every wrapper -- the modularity argument of the refined VXD
+architecture ("instead of having each wrapper handle its own buffering
+needs ... a separate generic buffer component").
+
+The ``down``/``right`` implementations are the chase algorithms of
+Figure 8, generalized to the most liberal LXP replies: fills may return
+holes at arbitrary positions, so the chase loops until it reaches an
+element or proves there is none, splicing fragments and dropping empty
+holes as it goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..navigation.interface import NavigableDocument
+from .holes import (
+    LXPProtocolError,
+    OpenElem,
+    OpenHole,
+    graft,
+    validate_fill_reply,
+)
+from .lxp import LXPServer
+
+__all__ = ["BufferComponent", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss accounting for one buffer."""
+
+    navigations: int = 0
+    hits: int = 0
+    fills: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.fills
+
+    @property
+    def hit_rate(self) -> float:
+        if self.navigations == 0:
+            return 1.0
+        return self.hits / self.navigations
+
+    def reset(self) -> None:
+        self.navigations = 0
+        self.hits = 0
+        self.fills = 0
+
+
+class BufferComponent(NavigableDocument):
+    """A NavigableDocument over an LXP wrapper, backed by an open tree.
+
+    Pointers are :class:`OpenElem` nodes (object identity).  The open
+    tree only ever grows/refines; handed-out pointers stay valid.
+    """
+
+    def __init__(self, server: LXPServer):
+        self.server = server
+        self.stats = BufferStats()
+        self._root: Optional[OpenElem] = None
+        #: a virtual super-root whose single child list holds the root
+        #: element (or its hole before the first fill)
+        self._top = OpenElem("#top")
+        self._top.children = [OpenHole(server.get_root().hole_id,
+                                       self._top)]
+
+    # -- splicing --------------------------------------------------------
+    def _fill_hole(self, hole: OpenHole) -> None:
+        """Replace ``hole`` by the wrapper's fill reply."""
+        fragments = self.server.fill(hole.hole_id)
+        validate_fill_reply(fragments)
+        self.stats.fills += 1
+        parent = hole.parent
+        index = parent.children.index(hole)
+        spliced = [graft(f, parent) for f in fragments]
+        parent.children[index:index + 1] = spliced
+
+    def _chase_elem_at(self, parent: OpenElem,
+                       index: int) -> Optional[OpenElem]:
+        """First element at or after ``index`` in ``parent``'s child
+        list, filling holes as needed (Figure 8's chase, iterative)."""
+        while index < len(parent.children):
+            node = parent.children[index]
+            if isinstance(node, OpenElem):
+                return node
+            self._fill_hole(node)
+            # The hole was replaced in place; re-examine this index.
+        return None
+
+    # -- NavigableDocument ---------------------------------------------------
+    def root(self) -> OpenElem:
+        """The root element pointer.
+
+        Note: resolving the root may require the first fill -- LXP's
+        ``get_root`` only returns a hole.  The overall architecture's
+        "handle without source access" property is preserved one level
+        up: the *mediator* does not call this until the client
+        navigates.
+        """
+        if self._root is None:
+            self.stats.navigations += 1
+            root = self._chase_elem_at(self._top, 0)
+            if root is None:
+                raise LXPProtocolError(
+                    "wrapper shipped no root element")
+            self._root = root
+        return self._root
+
+    def down(self, pointer: OpenElem) -> Optional[OpenElem]:
+        self.stats.navigations += 1
+        before = self.stats.fills
+        result = self._chase_elem_at(pointer, 0)
+        if self.stats.fills == before:
+            self.stats.hits += 1
+        return result
+
+    def right(self, pointer: OpenElem) -> Optional[OpenElem]:
+        self.stats.navigations += 1
+        before = self.stats.fills
+        parent = pointer.parent
+        if parent is None or parent is self._top:
+            # The root element has no siblings (the wrapper exports a
+            # single root; trailing holes beside it are not chased).
+            self.stats.hits += 1
+            return None
+        index = pointer.index_in_parent()
+        result = self._chase_elem_at(parent, index + 1)
+        if self.stats.fills == before:
+            self.stats.hits += 1
+        return result
+
+    def fetch(self, pointer: OpenElem) -> str:
+        # Labels always travel with their elements: a fetch never
+        # triggers a fill.
+        self.stats.navigations += 1
+        self.stats.hits += 1
+        return pointer.label
+
+    # -- inspection -------------------------------------------------------
+    def open_root(self) -> Optional[OpenElem]:
+        """The current open tree (None before the first navigation)."""
+        return self._root
+
+    def holes_outstanding(self) -> int:
+        from .holes import count_holes
+        root = self._root
+        if root is None:
+            return sum(1 for c in self._top.children
+                       if isinstance(c, OpenHole))
+        return count_holes(root)

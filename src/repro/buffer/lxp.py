@@ -1,0 +1,278 @@
+"""The Lean XML Fragment Protocol (LXP) -- paper Section 4.
+
+Two commands only::
+
+    get_root(uri)   ->  hole[id]          establish the connection
+    fill(hole[id])  ->  [fragment...]     explore the part the hole
+                                          represents
+
+The wrapper decides the reply granularity: one node, a chunk of
+siblings, a whole subtree, or any liberal mix with holes at arbitrary
+(non-adjacent) positions.  This module provides the server interface,
+a reference server over in-memory trees with configurable granularity
+policies, and a randomized liberal server used by the property tests
+to hammer the buffer's chase algorithms.
+
+Hole identifiers are *stateless* where possible (the MIXm relational
+wrapper's ``db.table.row`` scheme): ``TreeLXPServer`` encodes
+``(path, lo, hi)`` -- the represented sublist of children -- directly
+in the id, so the server keeps no per-hole table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..xtree.tree import Tree
+from .holes import FragElem, FragHole, Fragment, LXPProtocolError
+
+__all__ = ["LXPServer", "LXPStats", "TreeLXPServer",
+           "AdaptiveTreeLXPServer", "RandomizedLXPServer"]
+
+
+@dataclass
+class LXPStats:
+    """Traffic accounting for one LXP connection."""
+
+    fills: int = 0
+    elements_shipped: int = 0
+    holes_shipped: int = 0
+
+    def reset(self) -> None:
+        self.fills = 0
+        self.elements_shipped = 0
+        self.holes_shipped = 0
+
+
+class LXPServer:
+    """Interface every LXP wrapper implements."""
+
+    def get_root(self) -> FragHole:
+        """A hole standing for the (not yet shipped) root element."""
+        raise NotImplementedError
+
+    def fill(self, hole_id) -> List[Fragment]:
+        """Explore the part of the source the hole represents."""
+        raise NotImplementedError
+
+
+def _measure(stats: LXPStats, fragments: Sequence[Fragment]) -> None:
+    stats.fills += 1
+    stack = list(fragments)
+    while stack:
+        fragment = stack.pop()
+        if isinstance(fragment, FragHole):
+            stats.holes_shipped += 1
+        else:
+            stats.elements_shipped += 1
+            stack.extend(fragment.children)
+
+
+class TreeLXPServer(LXPServer):
+    """Serve a complete in-memory tree through LXP.
+
+    Granularity knobs (the levers of experiment E4/E5):
+
+    chunk_size:
+        Maximum sibling elements per fill; a trailing hole covers the
+        rest ("a relational source may return chunks of 100 tuples at
+        a time").
+    depth:
+        How many levels below a shipped element are included; children
+        past the horizon are replaced by a single hole.  ``depth=1``
+        ships elements with all children unexplored; a large depth
+        ships whole subtrees ("start streaming of huge documents by
+        sending complete elements").
+
+    Hole ids are ``(path, lo, hi)``: the represented sublist
+    ``children[lo:hi]`` of the node at child-index ``path`` (hi=None
+    means "to the end"), plus the root hole ``("root",)``.
+    """
+
+    def __init__(self, tree: Tree, chunk_size: int = 10,
+                 depth: int = 1000000):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.tree = tree
+        self.chunk_size = chunk_size
+        self.depth = depth
+        self.stats = LXPStats()
+
+    # -- helpers ----------------------------------------------------------
+    def _node_at(self, path: Tuple[int, ...]) -> Tree:
+        node = self.tree
+        for index in path:
+            node = node.child(index)
+        return node
+
+    def _ship_element(self, path: Tuple[int, ...], node: Tree,
+                      depth_left: int) -> FragElem:
+        if node.is_leaf:
+            return FragElem(node.label)
+        if depth_left <= 1:
+            # Children unexplored: one hole for the whole list.
+            return FragElem(node.label,
+                            (FragHole((path, 0, None)),))
+        kids = []
+        limit = min(len(node.children), self.chunk_size)
+        for index in range(limit):
+            kids.append(self._ship_element(
+                path + (index,), node.child(index), depth_left - 1))
+        if limit < len(node.children):
+            kids.append(FragHole((path, limit, None)))
+        return FragElem(node.label, tuple(kids))
+
+    # -- LXPServer ----------------------------------------------------------
+    def get_root(self) -> FragHole:
+        return FragHole(("root",))
+
+    def fill(self, hole_id) -> List[Fragment]:
+        if hole_id == ("root",):
+            reply: List[Fragment] = [
+                self._ship_element((), self.tree, self.depth)]
+            _measure(self.stats, reply)
+            return reply
+        try:
+            path, lo, hi = hole_id
+            parent = self._node_at(path)
+        except (ValueError, IndexError, TypeError):
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        end = len(parent.children) if hi is None else hi
+        reply = []
+        limit = min(end, lo + self.chunk_size)
+        for index in range(lo, limit):
+            reply.append(self._ship_element(
+                path + (index,), parent.child(index), self.depth))
+        if limit < end:
+            reply.append(FragHole((path, limit, hi)))
+        _measure(self.stats, reply)
+        return reply
+
+
+class AdaptiveTreeLXPServer(TreeLXPServer):
+    """TreeLXPServer with wrapper-controlled *adaptive* granularity.
+
+    "the wrapper control[s] the granularity at which it exports data"
+    (paper Section 4) -- this policy starts small (cheap for clients
+    that peek and leave) and doubles the chunk on each sequential
+    continuation fill (cheap for clients that keep scanning), up to
+    ``max_chunk``.  The growth state is encoded in the hole id
+    (``(path, lo, hi, next_chunk)``), so the server stays stateless.
+    """
+
+    def __init__(self, tree: Tree, initial_chunk: int = 2,
+                 max_chunk: int = 64, depth: int = 1000000):
+        super().__init__(tree, chunk_size=initial_chunk, depth=depth)
+        if max_chunk < initial_chunk:
+            raise ValueError("max_chunk must be >= initial_chunk")
+        self.initial_chunk = initial_chunk
+        self.max_chunk = max_chunk
+
+    def fill(self, hole_id) -> List[Fragment]:
+        if hole_id == ("root",):
+            self.chunk_size = self.initial_chunk
+            reply: List[Fragment] = [
+                self._ship_element((), self.tree, self.depth)]
+            _measure(self.stats, reply)
+            return reply
+        try:
+            if len(hole_id) == 4:
+                path, lo, hi, chunk = hole_id
+            else:
+                path, lo, hi = hole_id
+                chunk = self.initial_chunk
+            parent = self._node_at(path)
+        except (ValueError, IndexError, TypeError):
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        end = len(parent.children) if hi is None else hi
+        self.chunk_size = chunk  # _ship_element uses it for subtrees
+        reply = []
+        limit = min(end, lo + chunk)
+        for index in range(lo, limit):
+            reply.append(self._ship_element(
+                path + (index,), parent.child(index), self.depth))
+        if limit < end:
+            grown = min(chunk * 2, self.max_chunk)
+            reply.append(FragHole((path, limit, hi, grown)))
+        _measure(self.stats, reply)
+        return reply
+
+
+class RandomizedLXPServer(LXPServer):
+    """A deliberately *liberal* LXP server for robustness testing.
+
+    Every fill answers with a random legal mix of elements and holes:
+    random split points, holes at the front, middle or back (never two
+    adjacent, always some progress), random subtree depths.  Seeded,
+    so failures reproduce.  Example 7's trace is one possible behaviour
+    of this server.
+    """
+
+    def __init__(self, tree: Tree, seed: int = 0,
+                 max_run: int = 3):
+        self.tree = tree
+        self.rng = random.Random(seed)
+        self.max_run = max(1, max_run)
+        self.stats = LXPStats()
+
+    def _node_at(self, path: Tuple[int, ...]) -> Tree:
+        node = self.tree
+        for index in path:
+            node = node.child(index)
+        return node
+
+    def get_root(self) -> FragHole:
+        return FragHole(("root",))
+
+    def _ship_element(self, path: Tuple[int, ...],
+                      node: Tree) -> FragElem:
+        if node.is_leaf:
+            return FragElem(node.label)
+        if self.rng.random() < 0.5:
+            # Leave the children wholly unexplored.
+            return FragElem(node.label,
+                            (FragHole((path, 0, len(node.children))),))
+        return FragElem(
+            node.label,
+            tuple(self._split_range(path, 0, len(node.children))))
+
+    def _split_range(self, path: Tuple[int, ...], lo: int,
+                     hi: int) -> List[Fragment]:
+        """A random legal fragment list covering children [lo, hi)."""
+        if lo >= hi:
+            return []
+        fragments: List[Fragment] = []
+        index = lo
+        # Optionally a leading hole covering a prefix.
+        if self.rng.random() < 0.3 and hi - index >= 2:
+            cut = self.rng.randint(index + 1, hi - 1)
+            fragments.append(FragHole((path, index, cut)))
+            index = cut
+        while index < hi:
+            run = min(self.rng.randint(1, self.max_run), hi - index)
+            for offset in range(run):
+                fragments.append(self._ship_element(
+                    path + (index + offset,),
+                    self._node_at(path).child(index + offset)))
+            index += run
+            if index < hi:
+                cut = self.rng.randint(index + 1, hi)
+                fragments.append(FragHole((path, index, cut)))
+                index = cut
+        return fragments
+
+    def fill(self, hole_id) -> List[Fragment]:
+        if hole_id == ("root",):
+            reply: List[Fragment] = [self._ship_element((), self.tree)]
+            _measure(self.stats, reply)
+            return reply
+        path, lo, hi = hole_id
+        parent = self._node_at(path)
+        end = len(parent.children) if hi is None else hi
+        reply = self._split_range(path, lo, end)
+        _measure(self.stats, reply)
+        return reply

@@ -1,0 +1,112 @@
+"""Prefetching: decoupling client pull from wrapper push (Section 4).
+
+"a buffer can be used to decouple the client-driven view navigation
+('pull from above') and the production of results by the wrapped
+source ('push from below') based on an asynchronous prefetching
+strategy."
+
+We model the asynchrony's *effect* deterministically: between
+client-issued navigations the prefetcher fills up to ``lookahead``
+outstanding holes (leftmost-first -- the direction a forward-browsing
+client will need next).  The stats separate demand fills (the client
+waited for these) from prefetch fills (overlapped with client think
+time), so experiment E5 can report stall counts rather than pretend
+wall-clock concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .component import BufferComponent
+from .holes import OpenElem, OpenHole
+
+__all__ = ["PrefetchingBuffer", "PrefetchStats"]
+
+
+@dataclass
+class PrefetchStats:
+    demand_fills: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def total_fills(self) -> int:
+        return self.demand_fills + self.prefetch_fills
+
+
+class PrefetchingBuffer(BufferComponent):
+    """A BufferComponent that fills holes ahead of the client.
+
+    Parameters
+    ----------
+    server:
+        The LXP wrapper to pull from.
+    lookahead:
+        Maximum holes filled per client navigation, beyond what the
+        navigation itself demanded.  0 disables prefetching (plain
+        buffer behaviour).
+    """
+
+    def __init__(self, server, lookahead: int = 2):
+        super().__init__(server)
+        self.lookahead = lookahead
+        self.prefetch_stats = PrefetchStats()
+        self._in_prefetch = False
+        #: prefetch fills issued since the last demand fill -- the
+        #: prefetcher never runs more than ``lookahead`` fills ahead of
+        #: what the client actually consumed.
+        self._ahead = 0
+
+    # Every real fill passes through _fill_hole; classify it.
+    def _fill_hole(self, hole: OpenHole) -> None:
+        super()._fill_hole(hole)
+        if self._in_prefetch:
+            self.prefetch_stats.prefetch_fills += 1
+            self._ahead += 1
+        else:
+            self.prefetch_stats.demand_fills += 1
+            self._ahead = 0
+
+    def _leftmost_holes(self, limit: int) -> List[OpenHole]:
+        """Up to ``limit`` holes in document order from the open root."""
+        found: List[OpenHole] = []
+        start = self._root if self._root is not None else self._top
+
+        def walk(node: OpenElem) -> None:
+            for child in node.children:
+                if len(found) >= limit:
+                    return
+                if isinstance(child, OpenHole):
+                    found.append(child)
+                else:
+                    walk(child)
+
+        walk(start)
+        return found
+
+    def _prefetch(self) -> None:
+        if self.lookahead <= 0 or self._ahead >= self.lookahead:
+            return
+        budget = self.lookahead - self._ahead
+        self._in_prefetch = True
+        try:
+            for hole in self._leftmost_holes(budget):
+                # The hole may have been detached by a previous splice
+                # in this round; skip stale ones.
+                if hole.parent is not None \
+                        and hole in hole.parent.children:
+                    self._fill_hole(hole)
+        finally:
+            self._in_prefetch = False
+
+    # -- navigations trigger a prefetch round afterwards -----------------
+    def down(self, pointer):
+        result = super().down(pointer)
+        self._prefetch()
+        return result
+
+    def right(self, pointer):
+        result = super().right(pointer)
+        self._prefetch()
+        return result

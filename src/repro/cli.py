@@ -1,0 +1,152 @@
+"""Command-line interface: run XMAS queries over XML files.
+
+Usage::
+
+    python -m repro query  -s homesSrc=homes.xml -s schoolsSrc=schools.xml \\
+                           -q "CONSTRUCT ... WHERE ..."        # or -f q.xmas
+    python -m repro plan   -q "..."      # show initial + rewritten plan
+    python -m repro classify -q "..."    # per-node browsability report
+
+``query`` builds a MIX mediator over the given files (each behind the
+XML wrapper and the generic buffer), evaluates the query lazily, and
+prints the answer document plus (with ``--stats``) the per-source
+navigation counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .mediator.mix import MIXMediator
+from .rewriter.analyzer import classify_plan, explain_plan
+from .rewriter.optimizer import optimize
+from .wrappers.xmlfile import XMLFileWrapper
+from .xmas.parser import parse_xmas
+from .xmas.translate import translate
+from .xtree.serialize import to_xml
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIX: navigation-driven evaluation of virtual "
+                    "mediated views (EDBT 2000 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_query_arguments(p, with_sources: bool):
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("-q", "--query", help="XMAS query text")
+        group.add_argument("-f", "--query-file",
+                           help="file containing the XMAS query")
+        if with_sources:
+            p.add_argument(
+                "-s", "--source", action="append", default=[],
+                metavar="NAME=FILE",
+                help="register an XML file as source NAME "
+                     "(repeatable)")
+
+    run = sub.add_parser("query", help="evaluate a query lazily")
+    add_query_arguments(run, with_sources=True)
+    run.add_argument("--eager", action="store_true",
+                     help="materialize eagerly instead (the baseline)")
+    run.add_argument("--pretty", action="store_true",
+                     help="indent the answer document")
+    run.add_argument("--stats", action="store_true",
+                     help="print per-source navigation counts")
+    run.add_argument("--chunk-size", type=int, default=10,
+                     help="wrapper fill granularity (default 10)")
+    run.add_argument("--no-optimize", action="store_true",
+                     help="skip the rewriting phase")
+
+    plan = sub.add_parser("plan", help="show the algebraic plan")
+    add_query_arguments(plan, with_sources=False)
+
+    classify = sub.add_parser(
+        "classify", help="static browsability analysis")
+    add_query_arguments(classify, with_sources=False)
+    classify.add_argument("--sigma", action="store_true",
+                          help="assume select(sigma) is available")
+    return parser
+
+
+def _query_text(args) -> str:
+    if args.query is not None:
+        return args.query
+    with open(args.query_file) as handle:
+        return handle.read()
+
+
+def _parse_sources(specs: List[str]) -> Dict[str, str]:
+    sources = {}
+    for spec in specs:
+        name, eq, path = spec.partition("=")
+        if not eq or not name or not path:
+            raise SystemExit(
+                "bad --source %r (expected NAME=FILE)" % spec)
+        sources[name] = path
+    return sources
+
+
+def _cmd_query(args) -> int:
+    mediator = MIXMediator(optimize_plans=not args.no_optimize)
+    for name, path in _parse_sources(args.source).items():
+        with open(path) as handle:
+            xml_text = handle.read()
+        mediator.register_wrapper(
+            name, XMLFileWrapper(name, xml_text,
+                                 chunk_size=args.chunk_size))
+    text = _query_text(args)
+    if args.eager:
+        answer = mediator.query_eager(text)
+    else:
+        answer = mediator.prepare(text).materialize()
+    print(to_xml(answer, pretty=args.pretty))
+    if args.stats:
+        print("-- source navigations --", file=sys.stderr)
+        for name, meter in sorted(mediator.meters.items()):
+            print("  %-16s %s" % (name, meter.counters),
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    plan = translate(parse_xmas(_query_text(args)))
+    print("initial plan:")
+    print(plan.pretty())
+    optimized, trace = optimize(plan)
+    if trace.applied:
+        print()
+        print("rewritten plan (%s):" % ", ".join(trace.applied))
+        print(optimized.pretty())
+    else:
+        print()
+        print("no rewrite rules applied")
+    print()
+    print("browsability: %s" % classify_plan(optimized))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    plan = translate(parse_xmas(_query_text(args)))
+    print(explain_plan(plan, sigma_available=args.sigma))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
+    raise SystemExit("unknown command %r" % args.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

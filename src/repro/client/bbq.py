@@ -1,0 +1,182 @@
+"""BBQ: a browse-and-query session over virtual mediated views.
+
+The paper's Section 6 mentions "the DTD-oriented query interface BBQ
+which blends browsing and querying of XML data" as the client being
+developed for the navigation-driven mediator.  This module provides a
+scriptable session with that flavour: issue an XMAS query, then *walk*
+the virtual answer with shell-like commands -- every step translated
+into DOM-VXD navigations, so the user only pays for what they look at.
+
+Commands (see :meth:`BBQSession.execute`)::
+
+    query <xmas text>     run a query; cwd := the virtual answer root
+    ls                    list the children of the cwd (tag + preview)
+    cd <n | tag>          descend into the n-th child / first <tag>
+    up                    back to the parent
+    pwd                   the path of tags from the root
+    text                  the text content of the cwd (forces subtree)
+    tree                  render the cwd subtree
+    stats                 source navigations spent so far
+    schema                the inferred DTD of the current query
+
+The session object is plain Python; the interactive loop in
+``examples/bbq_browser.py`` is a thin wrapper around
+:meth:`execute`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .element import XMLElement
+
+__all__ = ["BBQSession", "BBQError"]
+
+
+from ..errors import ReproError
+
+
+class BBQError(ReproError):
+    """Raised for invalid commands or navigation (stays in-session)."""
+
+
+class BBQSession:
+    """A stateful browse-and-query session against a MIX mediator."""
+
+    def __init__(self, mediator):
+        self.mediator = mediator
+        self._stack: List[XMLElement] = []
+        self._last_query_text: Optional[str] = None
+
+    # -- state -------------------------------------------------------------
+    @property
+    def cwd(self) -> XMLElement:
+        if not self._stack:
+            raise BBQError("no document open; run a query first")
+        return self._stack[-1]
+
+    @property
+    def has_document(self) -> bool:
+        return bool(self._stack)
+
+    # -- commands ------------------------------------------------------------
+    def query(self, xmas_text: str) -> XMLElement:
+        """Run an XMAS query; the cwd becomes the virtual answer root."""
+        result = self.mediator.prepare(xmas_text)
+        self._stack = [result.root]
+        self._last_query_text = xmas_text
+        return self.cwd
+
+    def schema(self) -> str:
+        """The inferred DTD of the current query's answers (the
+        DTD-oriented side of BBQ)."""
+        if self._last_query_text is None:
+            raise BBQError("no query to infer a schema from")
+        from ..xmas.dtd import infer_dtd
+        from ..xmas.parser import parse_xmas
+        return infer_dtd(parse_xmas(self._last_query_text)).render()
+
+    def ls(self) -> List[str]:
+        """Tags of the cwd's children with a short content preview."""
+        lines = []
+        for index, child in enumerate(self.cwd.children()):
+            preview = _preview(child)
+            lines.append("%2d: <%s>%s" % (
+                index, child.tag, "  " + preview if preview else ""))
+        return lines
+
+    def cd(self, target: str) -> XMLElement:
+        """Descend into a child by index or by tag name."""
+        children = self.cwd.child_list()
+        if not children:
+            raise BBQError("<%s> has no children" % self.cwd.tag)
+        chosen: Optional[XMLElement] = None
+        if target.lstrip("-").isdigit():
+            index = int(target)
+            if not 0 <= index < len(children):
+                raise BBQError(
+                    "index %d out of range (0..%d)"
+                    % (index, len(children) - 1))
+            chosen = children[index]
+        else:
+            for child in children:
+                if child.tag == target:
+                    chosen = child
+                    break
+            if chosen is None:
+                raise BBQError(
+                    "no child <%s> under <%s>" % (target, self.cwd.tag))
+        self._stack.append(chosen)
+        return chosen
+
+    def up(self) -> XMLElement:
+        if len(self._stack) <= 1:
+            raise BBQError("already at the answer root")
+        self._stack.pop()
+        return self.cwd
+
+    def pwd(self) -> str:
+        return "/" + "/".join(e.tag for e in self._stack)
+
+    def text(self) -> str:
+        return self.cwd.text()
+
+    def tree(self) -> str:
+        return self.cwd.to_tree().sexpr()
+
+    def stats(self) -> str:
+        total = self.mediator.total_source_navigations()
+        per_source = ", ".join(
+            "%s=%d" % (name, meter.total)
+            for name, meter in sorted(self.mediator.meters.items()))
+        return "source navigations: %d (%s)" % (total, per_source)
+
+    # -- the command-line surface ----------------------------------------
+    def execute(self, line: str) -> str:
+        """Execute one command line; returns printable output."""
+        line = line.strip()
+        if not line:
+            return ""
+        command, _, argument = line.partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        try:
+            if command == "query":
+                if not argument:
+                    raise BBQError("usage: query <xmas text>")
+                root = self.query(argument)
+                return "opened virtual answer <%s>" % root.tag
+            if command == "ls":
+                return "\n".join(self.ls()) or "(no children)"
+            if command == "cd":
+                if not argument:
+                    raise BBQError("usage: cd <index | tag>")
+                return "now at %s" % (self.cd(argument), self.pwd())[1]
+            if command == "up":
+                self.up()
+                return "now at %s" % self.pwd()
+            if command == "pwd":
+                return self.pwd()
+            if command == "text":
+                return self.text()
+            if command == "tree":
+                return self.tree()
+            if command == "stats":
+                return self.stats()
+            if command == "schema":
+                return self.schema()
+            raise BBQError("unknown command %r (try: query ls cd up "
+                           "pwd text tree stats schema)" % command)
+        except BBQError as err:
+            return "error: %s" % err
+
+
+def _preview(element: XMLElement, limit: int = 40) -> str:
+    """A cheap one-line preview: the first child's tag or leaf text."""
+    first = element.first_child()
+    if first is None:
+        return ""
+    if first.is_leaf:
+        text = first.tag
+        return text if len(text) <= limit else text[:limit - 3] + "..."
+    return "<%s>..." % first.tag

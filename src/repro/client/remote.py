@@ -1,0 +1,224 @@
+"""Remote clients: the mediator/client split of Section 5's outlook.
+
+"in our current implementation the mediator and the client application
+run in the same address space ... In the future we will allow the
+client and the mediator to communicate over the network, however this
+will require exchanging fragments of XML documents to avoid the
+communication overhead." -- paper, Section 5.
+
+This module realizes that plan with the machinery the paper already
+provides: the *virtual answer document itself* is exported through LXP
+(:class:`NavigableLXPServer` turns any NavigableDocument into an LXP
+wrapper), shipped over a cost-charging :class:`MessageChannel`, and
+reassembled client-side by the ordinary generic buffer component.  The
+client's XMLElement API is unchanged -- the stack composes:
+
+    XMLElement -> BufferComponent -> MessageChannel -> NavigableLXPServer
+        -> VirtualDocument -> lazy mediators -> ... -> sources
+
+The naive alternative -- every DOM-VXD command as its own round trip --
+is modeled by :class:`RPCDocument` so experiment E10 can quantify the
+fragment protocol's advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..buffer.component import BufferComponent
+from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
+from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..navigation.interface import NavigableDocument
+from .element import XMLElement
+
+__all__ = ["NavigableLXPServer", "MessageChannel", "ChannelStats",
+           "RPCDocument", "connect_remote"]
+
+
+class NavigableLXPServer(LXPServer):
+    """Export any NavigableDocument through LXP.
+
+    Hole identifiers embed the document's own (hashable) pointers, so
+    the server is stateless beyond the document it serves:
+
+    * ``("root",)`` -- the unexplored root element;
+    * ``("kids", p)`` -- the children of pointer ``p``;
+    * ``("at", p)`` -- the element at ``p`` and its right siblings.
+
+    ``chunk_size`` bounds siblings per fill, ``depth`` bounds how many
+    levels each shipped element carries -- the same granularity model
+    as the source-side wrappers, now applied mediator->client.
+    """
+
+    def __init__(self, document: NavigableDocument,
+                 chunk_size: int = 10, depth: int = 3):
+        if chunk_size <= 0 or depth <= 0:
+            raise ValueError("chunk_size and depth must be positive")
+        self.document = document
+        self.chunk_size = chunk_size
+        self.depth = depth
+        self.stats = LXPStats()
+
+    def get_root(self) -> FragHole:
+        return FragHole(("root",))
+
+    def _ship(self, pointer, depth_left: int) -> FragElem:
+        label = self.document.fetch(pointer)
+        if depth_left <= 1:
+            child = self.document.down(pointer)
+            if child is None:
+                return FragElem(label)
+            return FragElem(label, (FragHole(("at", child)),))
+        kids: List[Fragment] = []
+        child = self.document.down(pointer)
+        shipped = 0
+        while child is not None and shipped < self.chunk_size:
+            kids.append(self._ship(child, depth_left - 1))
+            shipped += 1
+            child = self.document.right(child)
+        if child is not None:
+            kids.append(FragHole(("at", child)))
+        return FragElem(label, tuple(kids))
+
+    def fill(self, hole_id) -> List[Fragment]:
+        kind = hole_id[0]
+        if kind == "root":
+            reply: List[Fragment] = [
+                self._ship(self.document.root(), self.depth)]
+        elif kind == "kids":
+            child = self.document.down(hole_id[1])
+            reply = self._ship_siblings(child)
+        elif kind == "at":
+            reply = self._ship_siblings(hole_id[1])
+        else:
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        _measure(self.stats, reply)
+        return reply
+
+    def _ship_siblings(self, pointer) -> List[Fragment]:
+        reply: List[Fragment] = []
+        shipped = 0
+        while pointer is not None and shipped < self.chunk_size:
+            reply.append(self._ship(pointer, self.depth))
+            shipped += 1
+            pointer = self.document.right(pointer)
+        if pointer is not None:
+            reply.append(FragHole(("at", pointer)))
+        return reply
+
+
+def fragment_wire_size(fragment: Fragment) -> int:
+    """Estimated serialized size of a fragment in bytes (tags + text +
+    hole markers), used for transfer-cost accounting."""
+    if isinstance(fragment, FragHole):
+        return len("<hole id=''/>") + len(repr(fragment.hole_id))
+    size = 2 * len(fragment.label) + len("<></>")
+    for child in fragment.children:
+        size += fragment_wire_size(child)
+    return size
+
+
+@dataclass
+class ChannelStats:
+    """Traffic accounting for one client connection."""
+
+    messages: int = 0          # request/reply round trips
+    bytes_transferred: int = 0
+    virtual_ms: float = 0.0
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_transferred = 0
+        self.virtual_ms = 0.0
+
+
+class MessageChannel(LXPServer):
+    """An LXP server proxied over a simulated network.
+
+    Each ``fill`` is one round trip: fixed ``latency_ms`` plus
+    ``ms_per_kb`` transfer cost on the serialized reply.
+    """
+
+    def __init__(self, server: LXPServer, latency_ms: float = 20.0,
+                 ms_per_kb: float = 2.0):
+        self.server = server
+        self.latency_ms = latency_ms
+        self.ms_per_kb = ms_per_kb
+        self.stats = ChannelStats()
+
+    def _charge(self, size: int) -> None:
+        self.stats.messages += 1
+        self.stats.bytes_transferred += size
+        self.stats.virtual_ms += self.latency_ms \
+            + self.ms_per_kb * (size / 1024.0)
+
+    def get_root(self) -> FragHole:
+        root = self.server.get_root()
+        self._charge(fragment_wire_size(root))
+        return root
+
+    def fill(self, hole_id) -> List[Fragment]:
+        reply = self.server.fill(hole_id)
+        self._charge(sum(fragment_wire_size(f) for f in reply)
+                     + len(repr(hole_id)))
+        return reply
+
+
+class RPCDocument(NavigableDocument):
+    """The naive remote design: every DOM-VXD command is a round trip.
+
+    This is the baseline the paper's fragment-exchange plan beats: a
+    fetch of one label costs a full network latency.
+    """
+
+    _COMMAND_BYTES = 48  # request + pointer + small reply
+
+    def __init__(self, document: NavigableDocument,
+                 latency_ms: float = 20.0, ms_per_kb: float = 2.0):
+        self.document = document
+        self.latency_ms = latency_ms
+        self.ms_per_kb = ms_per_kb
+        self.stats = ChannelStats()
+
+    def _charge(self, size: int) -> None:
+        self.stats.messages += 1
+        self.stats.bytes_transferred += size
+        self.stats.virtual_ms += self.latency_ms \
+            + self.ms_per_kb * (size / 1024.0)
+
+    def root(self):
+        # Handing out the root handle is free (it ships with the
+        # query's reply).
+        return self.document.root()
+
+    def down(self, pointer):
+        self._charge(self._COMMAND_BYTES)
+        return self.document.down(pointer)
+
+    def right(self, pointer):
+        self._charge(self._COMMAND_BYTES)
+        return self.document.right(pointer)
+
+    def fetch(self, pointer):
+        result = self.document.fetch(pointer)
+        self._charge(self._COMMAND_BYTES + len(result))
+        return result
+
+
+def connect_remote(document: NavigableDocument,
+                   chunk_size: int = 10, depth: int = 3,
+                   latency_ms: float = 20.0,
+                   ms_per_kb: float = 2.0
+                   ) -> Tuple[XMLElement, ChannelStats]:
+    """Open a remote client session onto ``document``.
+
+    Returns the client-side root XMLElement (backed by a client-local
+    buffer over the fragment channel) and the channel's stats object.
+    """
+    server = NavigableLXPServer(document, chunk_size=chunk_size,
+                                depth=depth)
+    channel = MessageChannel(server, latency_ms=latency_ms,
+                             ms_per_kb=ms_per_kb)
+    buffer = BufferComponent(channel)
+    return XMLElement(buffer, buffer.root()), channel.stats

@@ -1,0 +1,36 @@
+"""The paper's primary contribution under one roof.
+
+``repro.core`` re-exports the navigation-driven evaluation stack -- the
+MIX mediator, lazy mediators, the virtual answer document, navigational
+complexity, and the client API -- so downstream users can write::
+
+    from repro.core import MIXMediator, Browsability
+
+while the implementation lives in the focused subpackages
+(:mod:`repro.mediator`, :mod:`repro.lazy`, :mod:`repro.navigation`,
+:mod:`repro.client`).
+"""
+
+from ..client.element import XMLElement, open_virtual_document
+from ..lazy.base import BindingsDocument, LazyOperator
+from ..lazy.build import build_lazy_plan, build_virtual_document
+from ..lazy.document import VirtualDocument
+from ..mediator.mix import MediatorError, MIXMediator, QueryResult
+from ..navigation.complexity import Browsability, classify
+from ..navigation.counting import CountingDocument, NavCounters
+from ..navigation.interface import NavigableDocument, materialize
+from ..rewriter.analyzer import classify_plan
+from ..rewriter.optimizer import optimize
+from ..xmas.parser import parse_xmas
+from ..xmas.translate import translate
+
+__all__ = [
+    "MIXMediator", "MediatorError", "QueryResult",
+    "XMLElement", "open_virtual_document",
+    "LazyOperator", "BindingsDocument", "VirtualDocument",
+    "build_lazy_plan", "build_virtual_document",
+    "NavigableDocument", "materialize",
+    "CountingDocument", "NavCounters",
+    "Browsability", "classify", "classify_plan", "optimize",
+    "parse_xmas", "translate",
+]

@@ -1,0 +1,20 @@
+"""The common exception hierarchy.
+
+Every error this library raises for *expected* failure modes (bad
+queries, protocol violations, unknown names, malformed inputs) derives
+from :class:`ReproError`, so downstream code can write one handler::
+
+    try:
+        root = mediator.query(text)
+    except ReproError as err:
+        ...
+
+Programming errors (wrong types passed to constructors and the like)
+still surface as the builtin TypeError/ValueError.
+"""
+
+__all__ = ["ReproError"]
+
+
+class ReproError(Exception):
+    """Base class of all expected repro errors."""

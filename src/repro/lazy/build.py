@@ -1,0 +1,130 @@
+"""Build a tree of lazy mediators from an algebra plan.
+
+"By translating each m_qi into a plan E_qi, which itself is a tree
+consisting of 'little' lazy mediators (one for each algebra operation),
+we obtain a smoothly integrated, uniform evaluation scheme."
+-- paper, Section 3.
+
+``build_lazy_plan`` maps every algebra node to its lazy counterpart;
+sources are resolved to NavigableDocuments (wrapped sources, buffer
+components, or even *other lazy plans* -- which is exactly how mediator
+stacking in Figure 1 works).
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Callable, Mapping
+
+from ..algebra import operators as ops
+from ..navigation.interface import NavigableDocument
+from .base import LazyError, LazyOperator
+from .concat import LazyConcatenate
+from .createelem import LazyCreateElement
+from .document import VirtualDocument
+from .getdesc import LazyGetDescendants
+from .groupby import LazyGroupBy
+from .join import LazyJoin
+from .materialize_op import LazyMaterialize
+from .orderby import LazyOrderBy
+from .select import LazyConstant, LazyProject, LazyRename, LazySelect
+from .setops import LazyDifference, LazyDistinct, LazyUnion
+from .source import LazySource
+
+__all__ = ["build_lazy_plan", "build_virtual_document"]
+
+#: Resolves a source URL to a navigable document.
+DocumentResolver = typing.Union[
+    Mapping[str, NavigableDocument],
+    Callable[[str], NavigableDocument],
+]
+
+
+def _resolve(documents: DocumentResolver, url: str) -> NavigableDocument:
+    if callable(documents):
+        return documents(url)
+    try:
+        return documents[url]
+    except KeyError:
+        raise LazyError("no navigable source for url %r" % url) from None
+
+
+def build_lazy_plan(plan: ops.Operator, documents: DocumentResolver,
+                    cache_enabled: bool = True,
+                    use_sigma: bool = False) -> LazyOperator:
+    """Translate an algebra plan (without its TupleDestroy root) into a
+    tree of lazy mediators.
+
+    ``use_sigma`` lets getDescendants replace sibling scans by
+    ``select(sigma)`` commands (requires sources that serve the command
+    natively to actually pay off).
+    """
+    if isinstance(plan, ops.TupleDestroy):
+        raise LazyError(
+            "build_virtual_document() handles TupleDestroy roots")
+
+    def rec(node: ops.Operator) -> LazyOperator:
+        return build_lazy_plan(node, documents, cache_enabled,
+                               use_sigma)
+
+    if isinstance(plan, ops.Source):
+        return LazySource(_resolve(documents, plan.url), plan.out_var,
+                          cache_enabled)
+    if isinstance(plan, ops.Constant):
+        return LazyConstant(rec(plan.child), plan.value, plan.out_var,
+                            cache_enabled)
+    if isinstance(plan, ops.GetDescendants):
+        return LazyGetDescendants(rec(plan.child), plan.parent_var,
+                                  plan.path, plan.out_var, cache_enabled,
+                                  use_sigma)
+    if isinstance(plan, ops.Select):
+        return LazySelect(rec(plan.child), plan.predicate, cache_enabled)
+    if isinstance(plan, ops.Project):
+        return LazyProject(rec(plan.child), plan.variables, cache_enabled)
+    if isinstance(plan, ops.Rename):
+        return LazyRename(rec(plan.child), plan.mapping, cache_enabled)
+    if isinstance(plan, ops.Distinct):
+        return LazyDistinct(rec(plan.child), cache_enabled)
+    if isinstance(plan, ops.Join):
+        return LazyJoin(rec(plan.left), rec(plan.right), plan.predicate,
+                        cache_enabled)
+    if isinstance(plan, ops.Union):
+        return LazyUnion(rec(plan.left), rec(plan.right), cache_enabled)
+    if isinstance(plan, ops.Difference):
+        return LazyDifference(rec(plan.left), rec(plan.right),
+                              cache_enabled)
+    if isinstance(plan, ops.Materialize):
+        return LazyMaterialize(rec(plan.child), cache_enabled)
+    if isinstance(plan, ops.GroupBy):
+        return LazyGroupBy(rec(plan.child), plan.group_vars,
+                           plan.aggregations, cache_enabled)
+    if isinstance(plan, ops.OrderBy):
+        return LazyOrderBy(rec(plan.child), plan.variables,
+                           plan.descending, cache_enabled)
+    if isinstance(plan, ops.Concatenate):
+        return LazyConcatenate(rec(plan.child), plan.in_vars,
+                               plan.out_var, cache_enabled)
+    if isinstance(plan, ops.CreateElement):
+        label = (("var", plan.label_var) if plan.label_var
+                 else plan.label_const)
+        return LazyCreateElement(rec(plan.child), label,
+                                 plan.content_var, plan.out_var,
+                                 cache_enabled)
+    raise LazyError("no lazy implementation for %r" % plan)
+
+
+def build_virtual_document(plan: ops.Operator,
+                           documents: DocumentResolver,
+                           cache_enabled: bool = True,
+                           use_sigma: bool = False) -> VirtualDocument:
+    """Translate a full plan (TupleDestroy root) into the virtual
+    answer document handed to the client."""
+    if not isinstance(plan, ops.TupleDestroy):
+        raise LazyError(
+            "a full plan must be rooted in tupleDestroy, got %s"
+            % plan.signature()
+        )
+    plan.validate()
+    lazy = build_lazy_plan(plan.child, documents, cache_enabled,
+                           use_sigma)
+    return VirtualDocument(lazy, plan.var)

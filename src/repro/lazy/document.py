@@ -1,0 +1,73 @@
+"""The virtual answer document: ``tupleDestroy`` as a NavigableDocument.
+
+The plan root's single binding carries the constructed answer element;
+``VirtualDocument`` exposes that element's value tree through the plain
+DOM-VXD interface -- this is the handle the mediator returns to the
+client "without even accessing the sources": obtaining ``root()`` is
+free, and the first source navigation happens only when the client
+fetches or descends.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..navigation.interface import NavigableDocument
+from .base import LazyError, LazyOperator
+
+__all__ = ["VirtualDocument"]
+
+
+class VirtualDocument(NavigableDocument):
+    """DOM-VXD facade over the value of ``var`` in the plan's single
+    output binding."""
+
+    def __init__(self, op: LazyOperator, var: Optional[str] = None):
+        if var is None:
+            if len(op.variables) != 1:
+                raise LazyError(
+                    "tupleDestroy needs an explicit variable when the "
+                    "plan schema is %s" % op.variables
+                )
+            var = op.variables[0]
+        if var not in op.variables:
+            raise LazyError("no variable $%s in plan schema %s"
+                            % (var, op.variables))
+        self.op = op
+        self.var = var
+        self._root_vid = None
+        self._resolved = False
+
+    def _resolve_root(self):
+        """Locate the answer value (first touch of the plan)."""
+        if not self._resolved:
+            binding = self.op.first_binding()
+            if binding is None:
+                raise LazyError(
+                    "tupleDestroy over an empty binding list: the plan "
+                    "must produce exactly one binding"
+                )
+            self._root_vid = self.op.attribute(binding, self.var)
+            self._resolved = True
+        return self._root_vid
+
+    # -- NavigableDocument -----------------------------------------------
+    def root(self):
+        # A pure handle: no plan/source access until navigation starts.
+        return ("root",)
+
+    def _vid(self, pointer):
+        if pointer == ("root",):
+            return self._resolve_root()
+        return pointer[1]
+
+    def down(self, pointer):
+        child = self.op.v_down(self._vid(pointer))
+        return ("v", child) if child is not None else None
+
+    def right(self, pointer):
+        sibling = self.op.v_right(self._vid(pointer))
+        return ("v", sibling) if sibling is not None else None
+
+    def fetch(self, pointer):
+        return self.op.v_fetch(self._vid(pointer))

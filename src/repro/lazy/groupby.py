@@ -1,0 +1,202 @@
+"""The lazy ``groupBy`` operator (paper Figure 10, Example 8).
+
+One output binding per distinct group-by key, in first-occurrence
+order.  Navigating to the *next* output binding scans the input for a
+binding whose key is not in ``G_prev`` -- the set of previously
+encountered group-by lists (the ``next_gb`` function of Figure 10).
+Navigating to the next *member* of a grouped ``list[...]`` value scans
+the input for the next binding with the *same* key (Figure 10's
+``next(p_b, p_g)``).
+
+The paper stores ``G_prev`` and the discovered members in a buffer and
+references it from node-ids; we realize that as operator state: a
+global input scan (positions are stable, so node-ids embed scan
+positions), plus a key memo that ``cache_enabled`` toggles -- with the
+cache off, every membership test honestly recomputes the key by
+navigating the key value again.
+
+The empty-key group ``groupBy{}`` always yields exactly one output
+binding, even over empty input (this realizes XMAS's ``<answer>
+... </answer> {}``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .base import LazyError, LazyOperator, canonical_key_of
+
+__all__ = ["LazyGroupBy"]
+
+
+class LazyGroupBy(LazyOperator):
+    """Lazy groupBy per Figure 10; see the module docstring for the
+    G_prev/scan design."""
+
+    def __init__(self, child: LazyOperator,
+                 group_vars: Sequence[str],
+                 aggregations: Sequence[Tuple[str, str]],
+                 cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        self.child = child
+        self.group_vars = list(group_vars)
+        self.aggregations = [tuple(a) for a in aggregations]
+        self.variables = self.group_vars + [o for _, o in self.aggregations]
+        for var in self.group_vars + [v for v, _ in self.aggregations]:
+            if var not in child.variables:
+                raise LazyError("groupBy over unbound variable $%s" % var)
+
+        #: input bindings scanned so far, in input order
+        self._scanned: List[object] = []
+        self._exhausted = False
+        #: memoized keys by scan position (subject to cache_enabled)
+        self._keys: Dict[int, Hashable] = {}
+        #: G_prev: discovered keys in first-occurrence order
+        self._group_keys: List[Hashable] = []
+        self._key_to_group: Dict[Hashable, int] = {}
+        self._group_first_pos: List[int] = []
+
+    # -- input scanning ------------------------------------------------------
+    def _compute_key(self, ib) -> Hashable:
+        return tuple(
+            canonical_key_of(self.child, self.child.attribute(ib, var))
+            for var in self.group_vars
+        )
+
+    def _key_at(self, pos: int) -> Hashable:
+        if pos in self._keys:
+            return self._keys[pos]
+        key = self._compute_key(self._scanned[pos])
+        if self.cache_enabled:
+            self._keys[pos] = key
+        return key
+
+    def _scan_one(self) -> bool:
+        """Advance the global input scan by one binding; register any
+        newly discovered group.  Returns False at exhaustion."""
+        if self._exhausted:
+            return False
+        if self._scanned:
+            ib = self.child.next_binding(self._scanned[-1])
+        else:
+            ib = self.child.first_binding()
+        if ib is None:
+            self._exhausted = True
+            return False
+        self._scanned.append(ib)
+        pos = len(self._scanned) - 1
+        key = self._compute_key(self._scanned[pos])
+        if self.cache_enabled:
+            self._keys[pos] = key
+        if key not in self._key_to_group:
+            self._key_to_group[key] = len(self._group_keys)
+            self._group_keys.append(key)
+            self._group_first_pos.append(pos)
+        return True
+
+    def _ensure_group(self, index: int) -> bool:
+        """Scan until group ``index`` is known (or input exhausted)."""
+        while len(self._group_keys) <= index:
+            if not self._scan_one():
+                return False
+        return True
+
+    # -- bindings ------------------------------------------------------------
+    def first_binding(self):
+        if not self.group_vars:
+            # groupBy{}: the single empty group exists even when the
+            # input is empty -- and needs no input scan to assert, so
+            # the constant structure above it (e.g. the answer
+            # element's label) stays free of source access.
+            return ("b", 0)
+        if self._ensure_group(0):
+            return ("b", 0)
+        return None
+
+    def next_binding(self, binding):
+        if not self.group_vars:
+            return None  # the empty key admits exactly one group
+        index = binding[1] + 1
+        if self._ensure_group(index):
+            return ("b", index)
+        return None
+
+    # -- attributes ------------------------------------------------------------
+    def attribute(self, binding, var):
+        self._check_var(var)
+        index = binding[1]
+        if var in self.group_vars:
+            witness = self._scanned[self._group_first_pos[index]]
+            return ("sub", self.child.attribute(witness, var))
+        for agg_index, (_in_var, out_var) in enumerate(self.aggregations):
+            if var == out_var:
+                return ("list", index, agg_index)
+        raise LazyError("unreachable: variable $%s" % var)
+
+    # -- member scanning -------------------------------------------------------
+    def _next_member_pos(self, group_index: int,
+                         from_pos: int) -> Optional[int]:
+        """First scan position >= from_pos whose key equals the group's
+        key (scanning further input on demand)."""
+        if self.group_vars and group_index >= len(self._group_keys):
+            return None
+        key = (self._group_keys[group_index]
+               if group_index < len(self._group_keys) else None)
+        pos = from_pos
+        while True:
+            while pos >= len(self._scanned):
+                if not self._scan_one():
+                    return None
+            if not self.group_vars or self._key_at(pos) == key:
+                return pos
+            pos += 1
+
+    # -- values ------------------------------------------------------------------
+    def v_down(self, value):
+        tag = value[0]
+        if tag == "list":
+            _, group_index, agg_index = value
+            pos = self._next_member_pos(group_index, 0)
+            if pos is None:
+                return None
+            return ("iroot", group_index, agg_index, pos)
+        if tag == "iroot":
+            _, _g, agg_index, pos = value
+            in_var = self.aggregations[agg_index][0]
+            inner = self.child.attribute(self._scanned[pos], in_var)
+            child = self.child.v_down(inner)
+            return ("sub", child) if child is not None else None
+        child = self.child.v_down(value[1])
+        return ("sub", child) if child is not None else None
+
+    def v_right(self, value):
+        tag = value[0]
+        if tag == "list":
+            return None  # a grouped list is a value root
+        if tag == "iroot":
+            _, group_index, agg_index, pos = value
+            nxt = self._next_member_pos(group_index, pos + 1)
+            if nxt is None:
+                return None
+            return ("iroot", group_index, agg_index, nxt)
+        sibling = self.child.v_right(value[1])
+        return ("sub", sibling) if sibling is not None else None
+
+    def v_fetch(self, value):
+        tag = value[0]
+        if tag == "list":
+            return "list"
+        if tag == "iroot":
+            _, _g, agg_index, pos = value
+            in_var = self.aggregations[agg_index][0]
+            inner = self.child.attribute(self._scanned[pos], in_var)
+            return self.child.v_fetch(inner)
+        return self.child.v_fetch(value[1])
+
+    def v_select(self, value, predicate):
+        if value[0] in ("list", "iroot"):
+            # Grouped lists/members have operator-defined siblings;
+            # fall back to the scanning default.
+            return super().v_select(value, predicate)
+        found = self.child.v_select(value[1], predicate)
+        return ("sub", found) if found is not None else None

@@ -1,0 +1,146 @@
+"""The lazy nested-loop ``join`` (and product).
+
+Output order is left-major: for each left binding, all matching right
+bindings in order.  Each advance re-scans the inner (right) input; the
+*inner cache* -- "the nested-loops join operator stores the parts of
+the inner argument of the loop ... the 'binding' nodes along with the
+attributes that participate in the join condition" (paper Section 3,
+footnote 9) -- memoizes the right binding ids and their join-attribute
+texts, so re-scans stop costing source navigations once warmed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..algebra.predicates import Predicate
+from .base import LazyError, LazyOperator, value_text_of
+
+__all__ = ["LazyJoin"]
+
+
+class LazyJoin(LazyOperator):
+    """Lazy nested-loop join; see the module docstring for the inner
+    cache design."""
+
+    def __init__(self, left: LazyOperator, right: LazyOperator,
+                 predicate: Predicate, cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        overlap = set(left.variables) & set(right.variables)
+        if overlap:
+            raise LazyError("join inputs share variables %s"
+                            % sorted(overlap))
+        self.variables = left.variables + right.variables
+        self._left_vars = set(left.variables)
+        self._pred_vars = predicate.variables()
+        #: inner cache: position -> (right binding id, join-attr texts)
+        self._inner: List[Tuple[object, Dict[str, str]]] = []
+        self._inner_complete = False
+
+    # -- inner-side access (cached) ----------------------------------------
+    def _inner_entry(self, index: int):
+        """The inner entry at ``index`` (None past the end).
+
+        With caching on, right binding ids and (lazily) their
+        join-attribute texts are memoized; with caching off every
+        access honestly re-walks the inner side from its first binding,
+        re-paying the underlying source navigations -- the cost the
+        paper's inner cache exists to avoid.
+        """
+        if not self.cache_enabled:
+            rb = self.right.first_binding()
+            position = 0
+            while rb is not None and position < index:
+                rb = self.right.next_binding(rb)
+                position += 1
+            return (rb, {}) if rb is not None else None
+        while len(self._inner) <= index and not self._inner_complete:
+            if self._inner:
+                rb = self.right.next_binding(self._inner[-1][0])
+            else:
+                rb = self.right.first_binding()
+            if rb is None:
+                self._inner_complete = True
+                break
+            self._inner.append((rb, {}))
+        if index < len(self._inner):
+            return self._inner[index]
+        return None
+
+    def _right_text(self, index: int, var: str) -> str:
+        if not self.cache_enabled:
+            rb, _ = self._inner_entry(index)
+            return value_text_of(self.right,
+                                 self.right.attribute(rb, var))
+        rb, texts = self._inner[index]
+        if var in texts:
+            return texts[var]
+        text = value_text_of(self.right,
+                             self.right.attribute(rb, var))
+        texts[var] = text
+        return text
+
+    # -- the nested loop -----------------------------------------------------
+    def _matches(self, lb, right_index: int) -> bool:
+        left_texts: Dict[str, str] = {}
+
+        def lookup(var: str) -> str:
+            if var in self._left_vars:
+                if var not in left_texts:
+                    left_texts[var] = value_text_of(
+                        self.left, self.left.attribute(lb, var))
+                return left_texts[var]
+            return self._right_text(right_index, var)
+
+        return self.predicate.evaluate(lookup)
+
+    def _scan(self, lb, right_index: int):
+        """First output at/after (lb, right_index), left-major."""
+        while lb is not None:
+            while True:
+                entry = self._inner_entry(right_index)
+                if entry is None:
+                    break
+                if self._matches(lb, right_index):
+                    return ("b", lb, right_index)
+                right_index += 1
+            lb = self.left.next_binding(lb)
+            right_index = 0
+        return None
+
+    def first_binding(self):
+        return self._scan(self.left.first_binding(), 0)
+
+    def next_binding(self, binding):
+        _, lb, right_index = binding
+        return self._scan(lb, right_index + 1)
+
+    # -- attributes & values ---------------------------------------------------
+    def attribute(self, binding, var):
+        self._check_var(var)
+        _, lb, right_index = binding
+        if var in self._left_vars:
+            return ("L", self.left.attribute(lb, var))
+        rb = self._inner_entry(right_index)[0]
+        return ("R", self.right.attribute(rb, var))
+
+    def _side(self, value):
+        return self.left if value[0] == "L" else self.right
+
+    def v_down(self, value):
+        child = self._side(value).v_down(value[1])
+        return (value[0], child) if child is not None else None
+
+    def v_right(self, value):
+        sibling = self._side(value).v_right(value[1])
+        return (value[0], sibling) if sibling is not None else None
+
+    def v_fetch(self, value):
+        return self._side(value).v_fetch(value[1])
+
+    def v_select(self, value, predicate):
+        found = self._side(value).v_select(value[1], predicate)
+        return (value[0], found) if found is not None else None

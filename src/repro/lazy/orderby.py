@@ -1,0 +1,84 @@
+"""The lazy ``orderBy`` operator -- the canonically *unbrowsable* one.
+
+"the mediator cannot respond to the user until it has seen the
+complete list of age elements" (paper Example 1).  Accordingly, the
+first binding-level navigation forces a full scan of the input: every
+input binding is visited and its sort-key text materialized.  After
+that one eager step, navigation proceeds lazily over the sorted order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..algebra.eager import sort_key_for_value
+from .base import LazyError, LazyOperator, value_text_of
+
+__all__ = ["LazyOrderBy"]
+
+
+class LazyOrderBy(LazyOperator):
+    """Lazy orderBy: the canonically unbrowsable operator; see the
+    module docstring."""
+
+    def __init__(self, child: LazyOperator, variables: Sequence[str],
+                 descending: bool = False, cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        self.child = child
+        self.sort_vars = list(variables)
+        self.descending = descending
+        self.variables = list(child.variables)
+        for var in self.sort_vars:
+            if var not in child.variables:
+                raise LazyError("orderBy over unbound $%s" % var)
+        self._order: Optional[List[object]] = None
+
+    def _force(self) -> List[object]:
+        """Scan the whole input and sort -- the unavoidable eager step."""
+        if self._order is not None and self.cache_enabled:
+            return self._order
+        entries: List[Tuple[tuple, int, object]] = []
+        ib = self.child.first_binding()
+        position = 0
+        while ib is not None:
+            key = tuple(
+                sort_key_for_value(value_text_of(
+                    self.child, self.child.attribute(ib, var)))
+                for var in self.sort_vars
+            )
+            entries.append((key, position, ib))
+            ib = self.child.next_binding(ib)
+            position += 1
+        entries.sort(key=lambda e: e[0], reverse=self.descending)
+        order = [ib for _key, _pos, ib in entries]
+        if self.cache_enabled:
+            self._order = order
+        return order
+
+    # -- bindings -----------------------------------------------------------
+    def first_binding(self):
+        order = self._force()
+        return ("b", 0) if order else None
+
+    def next_binding(self, binding):
+        order = self._force()
+        index = binding[1] + 1
+        return ("b", index) if index < len(order) else None
+
+    # -- attributes & values ------------------------------------------------
+    def attribute(self, binding, var):
+        self._check_var(var)
+        ib = self._force()[binding[1]]
+        return self.child.attribute(ib, var)
+
+    def v_down(self, value):
+        return self.child.v_down(value)
+
+    def v_right(self, value):
+        return self.child.v_right(value)
+
+    def v_fetch(self, value):
+        return self.child.v_fetch(value)
+
+    def v_select(self, value, predicate):
+        return self.child.v_select(value, predicate)

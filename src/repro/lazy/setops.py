@@ -1,0 +1,186 @@
+"""Lazy set/list operators: union, difference, distinct.
+
+* ``union`` is fully lazy: left bindings first, then right.
+* ``difference`` must know the complete right side before emitting
+  anything (value-level anti-join) -- unbrowsable on its right input.
+* ``distinct`` is browsable: it streams the left input, skipping
+  bindings whose canonical value key was already seen (the seen-set is
+  the operator's cache, grown as the client navigates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .base import LazyError, LazyOperator, canonical_key_of
+
+__all__ = ["LazyUnion", "LazyDifference", "LazyDistinct"]
+
+
+class LazyUnion(LazyOperator):
+    """Left bindings followed by right bindings (same schema)."""
+
+    def __init__(self, left: LazyOperator, right: LazyOperator,
+                 cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        if left.variables != right.variables:
+            raise LazyError(
+                "union schemas differ: %s vs %s"
+                % (left.variables, right.variables)
+            )
+        self.left = left
+        self.right = right
+        self.variables = list(left.variables)
+
+    def first_binding(self):
+        lb = self.left.first_binding()
+        if lb is not None:
+            return ("L", lb)
+        rb = self.right.first_binding()
+        return ("R", rb) if rb is not None else None
+
+    def next_binding(self, binding):
+        side, ib = binding
+        if side == "L":
+            nxt = self.left.next_binding(ib)
+            if nxt is not None:
+                return ("L", nxt)
+            rb = self.right.first_binding()
+            return ("R", rb) if rb is not None else None
+        nxt = self.right.next_binding(ib)
+        return ("R", nxt) if nxt is not None else None
+
+    def attribute(self, binding, var):
+        self._check_var(var)
+        side, ib = binding
+        op = self.left if side == "L" else self.right
+        return (side, op.attribute(ib, var))
+
+    def _side(self, value):
+        return self.left if value[0] == "L" else self.right
+
+    def v_down(self, value):
+        child = self._side(value).v_down(value[1])
+        return (value[0], child) if child is not None else None
+
+    def v_right(self, value):
+        sibling = self._side(value).v_right(value[1])
+        return (value[0], sibling) if sibling is not None else None
+
+    def v_fetch(self, value):
+        return self._side(value).v_fetch(value[1])
+
+    def v_select(self, value, predicate):
+        found = self._side(value).v_select(value[1], predicate)
+        return (value[0], found) if found is not None else None
+
+
+class _LeftStreamOperator(LazyOperator):
+    """Shared shell for operators that stream their left/only input and
+    merely decide which bindings survive."""
+
+    def __init__(self, child: LazyOperator, cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        self.child = child
+        self.variables = list(child.variables)
+
+    def _keep(self, ib) -> bool:
+        raise NotImplementedError
+
+    def _scan(self, ib):
+        while ib is not None:
+            if self._keep(ib):
+                return ("b", ib)
+            ib = self.child.next_binding(ib)
+        return None
+
+    def first_binding(self):
+        return self._scan(self.child.first_binding())
+
+    def next_binding(self, binding):
+        return self._scan(self.child.next_binding(binding[1]))
+
+    def attribute(self, binding, var):
+        self._check_var(var)
+        return self.child.attribute(binding[1], var)
+
+    def v_down(self, value):
+        return self.child.v_down(value)
+
+    def v_right(self, value):
+        return self.child.v_right(value)
+
+    def v_fetch(self, value):
+        return self.child.v_fetch(value)
+
+    def v_select(self, value, predicate):
+        return self.child.v_select(value, predicate)
+
+    def _binding_key(self, op: LazyOperator, ib):
+        return tuple(
+            canonical_key_of(op, op.attribute(ib, var))
+            for var in self.variables
+        )
+
+
+class LazyDifference(_LeftStreamOperator):
+    """Left bindings whose values do not occur on the right."""
+
+    def __init__(self, left: LazyOperator, right: LazyOperator,
+                 cache_enabled: bool = True):
+        if left.variables != right.variables:
+            raise LazyError(
+                "difference schemas differ: %s vs %s"
+                % (left.variables, right.variables)
+            )
+        super().__init__(left, cache_enabled)
+        self.right = right
+        self._right_keys: Optional[Set] = None
+
+    def _force_right(self) -> Set:
+        if self._right_keys is not None and self.cache_enabled:
+            return self._right_keys
+        keys = set()
+        rb = self.right.first_binding()
+        while rb is not None:
+            keys.add(self._binding_key(self.right, rb))
+            rb = self.right.next_binding(rb)
+        if self.cache_enabled:
+            self._right_keys = keys
+        return keys
+
+    def _keep(self, ib) -> bool:
+        return self._binding_key(self.child, ib) not in self._force_right()
+
+
+class LazyDistinct(_LeftStreamOperator):
+    """First occurrence of each distinct value combination survives.
+
+    The seen-set grows monotonically with client progress; node-ids
+    embed only the input binding id, so the set can be reconstructed by
+    re-scanning when caching is disabled.
+    """
+
+    def __init__(self, child: LazyOperator, cache_enabled: bool = True):
+        super().__init__(child, cache_enabled)
+        self._seen_upto: List = []  # (ib, key) pairs in input order
+
+    def _keep(self, ib) -> bool:
+        key = self._binding_key(self.child, ib)
+        if self.cache_enabled:
+            for _ib, seen_key in self._seen_upto:
+                if _ib == ib:
+                    return True  # already classified as a keeper
+            for _ib, seen_key in self._seen_upto:
+                if seen_key == key:
+                    return False
+            self._seen_upto.append((ib, key))
+            return True
+        # Cache off: re-derive "seen before ib" by scanning the input
+        # from the start up to (excluding) ib.
+        scan = self.child.first_binding()
+        while scan is not None and scan != ib:
+            if self._binding_key(self.child, scan) == key:
+                return False
+            scan = self.child.next_binding(scan)
+        return True

@@ -1,0 +1,60 @@
+"""The lazy ``source`` operator: wrap a navigable source document as
+the singleton binding list ``bs[b[v[root]]]``."""
+
+from __future__ import annotations
+
+from ..navigation.interface import NavigableDocument
+from .base import LazyOperator
+
+__all__ = ["LazySource"]
+
+
+class LazySource(LazyOperator):
+    """``source_{url -> v}`` over a NavigableDocument.
+
+    Value ids are ``("v", pointer, is_root)``: the flag pins down that
+    a binding's value root has no right sibling even if the underlying
+    pointer does (it never does for a document root, but the invariant
+    is kept uniform with the other operators).
+    """
+
+    def __init__(self, document: NavigableDocument, out_var: str,
+                 cache_enabled: bool = True):
+        super().__init__(cache_enabled)
+        self.document = document
+        self.out_var = out_var
+        self.variables = [out_var]
+
+    # -- bindings ----------------------------------------------------------
+    def first_binding(self):
+        return ("b",)
+
+    def next_binding(self, binding):
+        return None
+
+    def attribute(self, binding, var):
+        self._check_var(var)
+        return ("v", self.document.root(), True)
+
+    # -- values --------------------------------------------------------------
+    def v_down(self, value):
+        _, pointer, _is_root = value
+        child = self.document.down(pointer)
+        return ("v", child, False) if child is not None else None
+
+    def v_right(self, value):
+        _, pointer, is_root = value
+        if is_root:
+            return None
+        sibling = self.document.right(pointer)
+        return ("v", sibling, False) if sibling is not None else None
+
+    def v_fetch(self, value):
+        return self.document.fetch(value[1])
+
+    def v_select(self, value, predicate):
+        _, pointer, is_root = value
+        if is_root:
+            return None
+        found = self.document.select(pointer, predicate)
+        return ("v", found, False) if found is not None else None

@@ -1,0 +1,6 @@
+"""The MIX mediator: catalog of wrapped sources and views, XMAS query
+processing, and the virtual-answer client handle."""
+
+from .mix import MediatorError, MIXMediator, QueryResult
+
+__all__ = ["MIXMediator", "MediatorError", "QueryResult"]

@@ -1,0 +1,248 @@
+"""The MIX mediator: catalog, views, query processing (paper Fig. 1).
+
+Query processing follows Section 3's three phases:
+
+1. **Preprocessing** -- parse the XMAS query, compose it with any view
+   definitions it references (algebraic inlining), translate to the
+   initial algebra plan.
+2. **Query rewriting** -- optimize the plan for navigational
+   complexity.
+3. **Query evaluation** -- build the tree of lazy mediators over the
+   registered sources and hand the client a root handle; nothing else
+   happens until the client navigates.
+
+Sources can be registered three ways, mirroring Figure 1:
+
+* a ready :class:`NavigableDocument` (``register_source``);
+* an LXP wrapper, automatically stacked under the generic buffer
+  component (``register_wrapper``);
+* another mediator's view (``register_view`` + queries that name it) --
+  views compose algebraically by default, or stack as navigable
+  sources via ``as_source=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..algebra.eager import evaluate
+from ..algebra.operators import Operator, Source, TupleDestroy, walk_plan
+from ..buffer.lxp import LXPServer
+from ..client.element import XMLElement, open_virtual_document
+from ..lazy.build import build_virtual_document
+from ..lazy.document import VirtualDocument
+from ..navigation.counting import CountingDocument
+from ..navigation.interface import NavigableDocument, materialize
+from ..rewriter.optimizer import OptimizationTrace, optimize
+from ..wrappers.base import buffered
+from ..xmas.ast import XMASQuery
+from ..xmas.compose import inline_views
+from ..xmas.parser import parse_xmas
+from ..xmas.translate import translate
+from ..xtree.tree import Tree
+
+__all__ = ["MIXMediator", "MediatorError", "QueryResult"]
+
+
+from ..errors import ReproError
+
+
+class MediatorError(ReproError):
+    """Raised for catalog problems (unknown sources, name clashes)."""
+
+
+class QueryResult:
+    """Everything the mediator knows about one processed query."""
+
+    def __init__(self, mediator: "MIXMediator", plan: TupleDestroy,
+                 initial_plan: TupleDestroy,
+                 trace: Optional[OptimizationTrace],
+                 document: VirtualDocument):
+        self.mediator = mediator
+        self.plan = plan
+        self.initial_plan = initial_plan
+        self.optimization_trace = trace
+        self.document = document
+        self._root: Optional[XMLElement] = None
+
+    @property
+    def root(self) -> XMLElement:
+        """The client handle to the virtual answer (free of source
+        access until navigated)."""
+        if self._root is None:
+            self._root = open_virtual_document(self.document)
+        return self._root
+
+    def materialize(self) -> Tree:
+        """Navigate the whole virtual answer into memory."""
+        return materialize(self.document)
+
+    def explain(self) -> str:
+        """A human-readable report: rewritten plan, rules fired, and
+        per-node browsability classification."""
+        from ..rewriter.analyzer import classify_plan, explain_plan
+        lines = ["plan:"]
+        lines.append(self.plan.pretty())
+        if self.optimization_trace is not None:
+            fired = self.optimization_trace.applied
+            lines.append("")
+            lines.append("rewrites: %s"
+                         % (", ".join(fired) if fired else "none"))
+        lines.append("")
+        lines.append("browsability: %s" % classify_plan(self.plan))
+        lines.append("")
+        lines.append(explain_plan(self.plan))
+        return "\n".join(lines)
+
+
+class MIXMediator:
+    """A MIX mediator instance over a catalog of sources and views."""
+
+    def __init__(self, optimize_plans: bool = True,
+                 cache_enabled: bool = True,
+                 use_sigma: bool = False,
+                 hybrid: bool = False):
+        self.optimize_plans = optimize_plans
+        self.cache_enabled = cache_enabled
+        #: insert intermediate eager steps above unbrowsable subplans
+        #: (Section 6's lazy/eager combination)
+        self.hybrid = hybrid
+        #: let getDescendants push sibling selection to the sources
+        #: (the select(sigma) command of Section 2)
+        self.use_sigma = use_sigma
+        self._documents: Dict[str, NavigableDocument] = {}
+        self._meters: Dict[str, CountingDocument] = {}
+        self._views: Dict[str, TupleDestroy] = {}
+
+    # -- catalog -----------------------------------------------------------
+    def register_source(self, name: str,
+                        document: NavigableDocument,
+                        meter: bool = True) -> None:
+        """Register a navigable source under ``name``.
+
+        With ``meter=True`` a counting proxy is interposed so per-source
+        navigation statistics are available from :attr:`meters`.
+        """
+        self._check_free(name)
+        if meter:
+            counted = CountingDocument(document, name=name)
+            self._meters[name] = counted
+            document = counted
+        self._documents[name] = document
+
+    def register_wrapper(self, name: str, server: LXPServer,
+                         prefetch: int = 0, meter: bool = True) -> None:
+        """Register an LXP wrapper, stacked under the generic buffer."""
+        self.register_source(name, buffered(server, prefetch), meter)
+
+    def register_view(self, name: str,
+                      query: Union[str, XMASQuery, TupleDestroy],
+                      as_source: bool = False) -> None:
+        """Register a named XMAS view.
+
+        ``as_source=False`` (default): queries naming the view compose
+        with it algebraically (one optimizable plan).
+        ``as_source=True``: the view is evaluated as its own lazy
+        mediator tower and exposed like a wrapped source (Figure 1
+        stacking).
+        """
+        self._check_free(name)
+        plan = self._plan_of(query)
+        if as_source:
+            document = build_virtual_document(
+                plan, self._resolver(), self.cache_enabled,
+                self.use_sigma)
+            self._documents[name] = document
+        else:
+            self._views[name] = plan
+
+    def _check_free(self, name: str) -> None:
+        if name in self._documents or name in self._views:
+            raise MediatorError("name %r is already registered" % name)
+
+    @property
+    def meters(self) -> Dict[str, CountingDocument]:
+        """Per-source navigation meters (when registered with
+        meter=True)."""
+        return self._meters
+
+    def total_source_navigations(self) -> int:
+        return sum(m.total for m in self._meters.values())
+
+    def reset_meters(self) -> None:
+        for meter in self._meters.values():
+            meter.reset()
+
+    # -- query processing ---------------------------------------------------
+    def _plan_of(self, query: Union[str, XMASQuery, TupleDestroy]
+                 ) -> TupleDestroy:
+        if isinstance(query, str):
+            query = parse_xmas(query)
+        if isinstance(query, XMASQuery):
+            return translate(query)
+        return query
+
+    def _resolver(self):
+        documents = self._documents
+
+        def resolve(url: str) -> NavigableDocument:
+            try:
+                return documents[url]
+            except KeyError:
+                raise MediatorError(
+                    "no source registered for %r (have: %s)"
+                    % (url, ", ".join(sorted(documents)) or "none")
+                ) from None
+
+        return resolve
+
+    def prepare(self, query: Union[str, XMASQuery, TupleDestroy]
+                ) -> QueryResult:
+        """Run preprocessing + rewriting and build the lazy plan.
+
+        Returns a QueryResult whose ``root`` is the virtual answer
+        handle; no source is touched yet.
+        """
+        initial = self._plan_of(query)
+        if self._views:
+            initial = inline_views(initial, self._views)
+        self._validate_sources(initial)
+        plan = initial
+        trace = None
+        if self.optimize_plans:
+            plan, trace = optimize(initial, hybrid=self.hybrid)
+            if not isinstance(plan, TupleDestroy):
+                plan = initial  # safety net; optimize preserves roots
+        document = build_virtual_document(
+            plan, self._resolver(), self.cache_enabled,
+            self.use_sigma)
+        return QueryResult(self, plan, initial, trace, document)
+
+    def query(self, query: Union[str, XMASQuery, TupleDestroy]
+              ) -> XMLElement:
+        """The client entry point: an XMLElement root handle over the
+        virtual answer document."""
+        return self.prepare(query).root
+
+    def query_eager(self, query: Union[str, XMASQuery, TupleDestroy]
+                    ) -> Tree:
+        """The materializing baseline: evaluate the full answer at
+        once (what "current mediator systems" do, per the paper)."""
+        initial = self._plan_of(query)
+        if self._views:
+            initial = inline_views(initial, self._views)
+        self._validate_sources(initial)
+
+        def tree_of(url: str) -> Tree:
+            return materialize(self._resolver()(url))
+
+        return evaluate(initial, tree_of)
+
+    def _validate_sources(self, plan: Operator) -> None:
+        for node in walk_plan(plan):
+            if isinstance(node, Source) \
+                    and node.url not in self._documents:
+                raise MediatorError(
+                    "query references unregistered source %r (have: %s)"
+                    % (node.url,
+                       ", ".join(sorted(self._documents)) or "none"))

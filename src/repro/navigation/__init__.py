@@ -1,0 +1,49 @@
+"""DOM-VXD navigation model (paper Section 2): commands, navigable
+documents, explored parts, instrumentation, and the empirical
+browsability classifier."""
+
+from .commands import (
+    DOWN,
+    FETCH,
+    RIGHT,
+    Down,
+    Fetch,
+    LabelPredicate,
+    NavCommand,
+    NavResult,
+    NavStep,
+    Navigation,
+    Right,
+    Select,
+    label_is,
+)
+from .complexity import (
+    Browsability,
+    ComplexityReport,
+    CostCurve,
+    classify,
+    measure_cost,
+)
+from .counting import CountingDocument, NavCounters
+from .explored import UNFETCHED_LABEL, ExploredPart, explored_part
+from .interface import (
+    NavigableDocument,
+    child_labels,
+    iter_children,
+    materialize,
+    run_navigation,
+)
+from .materialized import MaterializedDocument, TreePointer
+
+__all__ = [
+    "Down", "Right", "Fetch", "Select", "DOWN", "RIGHT", "FETCH",
+    "NavCommand", "NavStep", "Navigation", "NavResult", "LabelPredicate",
+    "label_is",
+    "NavigableDocument", "run_navigation", "materialize", "iter_children",
+    "child_labels",
+    "MaterializedDocument", "TreePointer",
+    "CountingDocument", "NavCounters",
+    "ExploredPart", "explored_part", "UNFETCHED_LABEL",
+    "Browsability", "CostCurve", "ComplexityReport", "classify",
+    "measure_cost",
+]

@@ -1,0 +1,193 @@
+"""DOM-VXD navigation commands and navigation sequences (paper Sec. 2).
+
+The minimal command set ``NC`` is::
+
+    d (down)   p' := d(p)   -- first child of p, or None for a leaf
+    r (right)  p' := r(p)   -- right sibling of p, or None
+    f (fetch)  l  := f(p)   -- the label of p
+
+plus the optional sibling-selection command ``select(sigma)`` in the
+style of XPointer: the first sibling to the *right* of ``p`` whose label
+satisfies a predicate.
+
+A :class:`Navigation` (Definition 1) is a sequence of steps, each
+applying a command to a previously obtained pointer: step ``i`` names
+the index ``j < i`` of the pointer it starts from (index ``0`` is the
+root handle).  Unlike a relational cursor, navigation may resume from
+*any* previously visited node -- the key difference the paper draws
+against pipelined relational execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Union
+
+__all__ = [
+    "Down", "Right", "Fetch", "Select", "NavCommand",
+    "NavStep", "Navigation", "LabelPredicate", "label_is",
+]
+
+
+#: A predicate over labels: either an exact label string or a callable.
+LabelPredicate = Union[str, Callable[[str], bool]]
+
+
+def label_is(predicate: LabelPredicate, label: str) -> bool:
+    """Apply a label predicate (string equality or callable)."""
+    if callable(predicate):
+        return bool(predicate(label))
+    return label == predicate
+
+
+@dataclass(frozen=True)
+class Down:
+    """``d``: move to the first child."""
+
+    def __str__(self) -> str:
+        return "d"
+
+
+@dataclass(frozen=True)
+class Right:
+    """``r``: move to the right sibling."""
+
+    def __str__(self) -> str:
+        return "r"
+
+
+@dataclass(frozen=True)
+class Fetch:
+    """``f``: fetch the label (returns data, not a pointer)."""
+
+    def __str__(self) -> str:
+        return "f"
+
+
+@dataclass(frozen=True)
+class Select:
+    """``select(sigma)``: first right sibling whose label satisfies
+    ``predicate``.  With this command in NC, the label-filter view of
+    Example 1 becomes bounded browsable."""
+
+    predicate: LabelPredicate
+
+    def __str__(self) -> str:
+        name = (self.predicate if isinstance(self.predicate, str)
+                else getattr(self.predicate, "__name__", "sigma"))
+        return "select(%s)" % name
+
+
+NavCommand = Union[Down, Right, Fetch, Select]
+
+#: Shared singletons for the three basic commands.
+DOWN = Down()
+RIGHT = Right()
+FETCH = Fetch()
+
+
+@dataclass(frozen=True)
+class NavStep:
+    """One step of a navigation: apply ``command`` to pointer ``source``.
+
+    ``source`` indexes the pointer sequence: 0 is the root handle, i>0
+    is the pointer produced by step i (fetch steps produce no pointer
+    and may not be used as sources).
+    """
+
+    command: NavCommand
+    source: int = -1  # -1 means "previous pointer-producing step"
+
+    def __str__(self) -> str:
+        if self.source == -1:
+            return str(self.command)
+        return "%s@%d" % (self.command, self.source)
+
+
+class Navigation:
+    """A Definition-1 navigation: an ordered list of steps.
+
+    Convenience constructors accept compact string syntax::
+
+        Navigation.parse("d;f;r;f")        # linear navigation
+        Navigation.parse("d;r;d@1;f")      # resume from pointer #1
+    """
+
+    def __init__(self, steps: Sequence[NavStep] = ()):
+        self.steps: List[NavStep] = list(steps)
+
+    # -- construction ---------------------------------------------------
+    def then(self, command: NavCommand, source: int = -1) -> "Navigation":
+        """Return a new navigation extended by one step."""
+        return Navigation(self.steps + [NavStep(command, source)])
+
+    @classmethod
+    def linear(cls, commands: Sequence[NavCommand]) -> "Navigation":
+        """A navigation where every step continues from the previous
+        pointer (the common straight-line case)."""
+        return cls([NavStep(c) for c in commands])
+
+    @classmethod
+    def parse(cls, text: str) -> "Navigation":
+        """Parse ``"d;f;r@2;select(x)"`` into a Navigation."""
+        steps: List[NavStep] = []
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            source = -1
+            if "@" in raw:
+                raw, _, src = raw.partition("@")
+                source = int(src)
+            if raw == "d":
+                command: NavCommand = DOWN
+            elif raw == "r":
+                command = RIGHT
+            elif raw == "f":
+                command = FETCH
+            elif raw.startswith("select(") and raw.endswith(")"):
+                command = Select(raw[len("select("):-1])
+            else:
+                raise ValueError("unknown navigation command %r" % raw)
+            steps.append(NavStep(command, source))
+        return cls(steps)
+
+    # -- inspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        return ";".join(str(s) for s in self.steps)
+
+    def __repr__(self) -> str:
+        return "Navigation(%s)" % self
+
+
+@dataclass
+class NavResult:
+    """Outcome of running a Navigation against a document.
+
+    Attributes
+    ----------
+    pointers:
+        pointer produced by each step (None for fetch steps or misses).
+        Index 0 holds the root handle, so ``pointers[i]`` is the result
+        of step ``i``.
+    labels:
+        labels returned by fetch steps, in step order.
+    """
+
+    pointers: List[object] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    @property
+    def final(self):
+        """The last non-None pointer produced (Definition 1's c(t) as a
+        point), or None."""
+        for pointer in reversed(self.pointers):
+            if pointer is not None:
+                return pointer
+        return None

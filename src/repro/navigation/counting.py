@@ -1,0 +1,113 @@
+"""Instrumentation: count and log navigation commands.
+
+The central quantity of the paper is *how many source navigations a
+client navigation costs* (navigational complexity, Definition 2).
+:class:`CountingDocument` is a transparent proxy that meters every
+command crossing it; stacking one between a mediator and each source
+yields exactly the measurements the browsability experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .commands import LabelPredicate
+from .interface import NavigableDocument
+
+__all__ = ["NavCounters", "CountingDocument"]
+
+
+@dataclass
+class NavCounters:
+    """Per-command navigation counts."""
+
+    down: int = 0
+    right: int = 0
+    fetch: int = 0
+    select: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.down + self.right + self.fetch + self.select
+
+    def reset(self) -> None:
+        self.down = self.right = self.fetch = self.select = 0
+
+    def snapshot(self) -> "NavCounters":
+        return NavCounters(self.down, self.right, self.fetch, self.select)
+
+    def __sub__(self, other: "NavCounters") -> "NavCounters":
+        return NavCounters(
+            self.down - other.down,
+            self.right - other.right,
+            self.fetch - other.fetch,
+            self.select - other.select,
+        )
+
+    def __str__(self) -> str:
+        return ("d=%d r=%d f=%d sel=%d total=%d"
+                % (self.down, self.right, self.fetch, self.select,
+                   self.total))
+
+
+class CountingDocument(NavigableDocument):
+    """Metering proxy around any NavigableDocument.
+
+    Parameters
+    ----------
+    inner:
+        The document to instrument.
+    name:
+        Optional name shown in logs (e.g. the source URL).
+    log:
+        When True, every command is appended to :attr:`trace` as
+        ``(command_name, pointer)`` pairs.
+    """
+
+    def __init__(self, inner: NavigableDocument, name: str = "",
+                 log: bool = False):
+        self.inner = inner
+        self.name = name
+        self.counters = NavCounters()
+        self.log = log
+        self.trace: List[Tuple[str, object]] = []
+
+    def _note(self, command: str, pointer) -> None:
+        if self.log:
+            self.trace.append((command, pointer))
+
+    # -- NavigableDocument ----------------------------------------------
+    def root(self):
+        # Obtaining the root handle is free: the paper's preprocessing
+        # returns it without source access.
+        return self.inner.root()
+
+    def down(self, pointer):
+        self.counters.down += 1
+        self._note("d", pointer)
+        return self.inner.down(pointer)
+
+    def right(self, pointer):
+        self.counters.right += 1
+        self._note("r", pointer)
+        return self.inner.right(pointer)
+
+    def fetch(self, pointer) -> str:
+        self.counters.fetch += 1
+        self._note("f", pointer)
+        return self.inner.fetch(pointer)
+
+    def select(self, pointer, predicate: LabelPredicate):
+        self.counters.select += 1
+        self._note("select", pointer)
+        return self.inner.select(pointer, predicate)
+
+    # -- measurement helpers ----------------------------------------------
+    def reset(self) -> None:
+        self.counters.reset()
+        self.trace.clear()
+
+    @property
+    def total(self) -> int:
+        return self.counters.total

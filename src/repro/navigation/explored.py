@@ -1,0 +1,107 @@
+"""Explored parts of navigations (Definition 1).
+
+``explored_part(tree, navigation)`` computes ``c(t)``: the unique
+subtree comprising only those node-ids and labels of ``t`` that the
+navigation accessed.  Nodes whose pointer was obtained but whose label
+was never fetched appear with the placeholder label ``"?"``; holes left
+for unexplored siblings/children simply do not appear.
+
+This gives the test-suite a precise oracle for *laziness*: running a
+client navigation against the virtual view must touch no more of the
+source than the corresponding explored part requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..xtree.tree import Tree
+from .commands import Fetch, Navigation
+from .interface import run_navigation
+from .materialized import MaterializedDocument, TreePointer
+
+__all__ = ["ExploredPart", "explored_part", "UNFETCHED_LABEL"]
+
+#: Placeholder for nodes whose pointer was visited but label not fetched.
+UNFETCHED_LABEL = "?"
+
+
+@dataclass
+class ExploredPart:
+    """The result of exploring a tree with a navigation.
+
+    Attributes
+    ----------
+    visited:
+        pointers (child-index paths) whose node-ids were accessed.
+    fetched:
+        subset of ``visited`` whose labels were fetched.
+    """
+
+    visited: Set[TreePointer] = field(default_factory=set)
+    fetched: Set[TreePointer] = field(default_factory=set)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.visited)
+
+    def to_tree(self, source: Tree) -> Optional[Tree]:
+        """Render the explored part as a tree with ``?`` placeholders.
+
+        Returns None when nothing (not even the root) was visited.
+        """
+        if () not in self.visited:
+            return None
+
+        def build(pointer: TreePointer, node: Tree) -> Tree:
+            label = (node.label if pointer in self.fetched
+                     else UNFETCHED_LABEL)
+            children: List[Tree] = []
+            for index, child in enumerate(node.children):
+                child_pointer = pointer + (index,)
+                if child_pointer in self.visited:
+                    children.append(build(child_pointer, child))
+            return Tree(label, children)
+
+        return build((), source)
+
+
+def explored_part(tree: Tree, navigation: Navigation) -> ExploredPart:
+    """Run ``navigation`` over ``tree`` and record what it accessed.
+
+    The root handle counts as visited (it is returned for free), but its
+    label counts as fetched only if an ``f`` command asked for it.
+    """
+    doc = _RecordingDocument(tree)
+    result = run_navigation(doc, navigation)
+    # Fetches are attributed inside the recording document; pointer
+    # visits likewise.  The run result is returned to callers who need
+    # the final point or fetched labels too.
+    doc.explored.result = result  # type: ignore[attr-defined]
+    return doc.explored
+
+
+class _RecordingDocument(MaterializedDocument):
+    """MaterializedDocument that records visits for explored_part."""
+
+    def __init__(self, tree: Tree):
+        super().__init__(tree)
+        self.explored = ExploredPart()
+        self.explored.visited.add(())
+
+    def down(self, pointer: TreePointer) -> Optional[TreePointer]:
+        child = super().down(pointer)
+        if child is not None:
+            self.explored.visited.add(child)
+        return child
+
+    def right(self, pointer: TreePointer) -> Optional[TreePointer]:
+        sibling = super().right(pointer)
+        if sibling is not None:
+            self.explored.visited.add(sibling)
+        return sibling
+
+    def fetch(self, pointer: TreePointer) -> str:
+        self.explored.fetched.add(pointer)
+        return super().fetch(pointer)

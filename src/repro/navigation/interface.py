@@ -1,0 +1,157 @@
+"""The NavigableDocument protocol: what every VXD layer speaks.
+
+Everything in the architecture of Figure 1 -- wrapped sources, buffer
+components, individual lazy-mediator operators, whole plans, and the
+virtual answer document handed to the client -- exposes this same small
+interface.  That uniformity is what lets algebraic plans be assembled
+as trees of lazy mediators.
+
+Pointers are opaque, hashable values minted by the document they belong
+to.  ``None`` plays the paper's bottom (⊥).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..xtree.tree import Tree
+from .commands import (
+    Down,
+    Fetch,
+    LabelPredicate,
+    NavCommand,
+    Navigation,
+    NavResult,
+    Right,
+    Select,
+    label_is,
+)
+
+__all__ = ["NavigableDocument", "run_navigation", "materialize",
+           "iter_children", "child_labels"]
+
+
+class NavigableDocument:
+    """Abstract base for documents navigable with DOM-VXD commands."""
+
+    def root(self):
+        """Return a handle (pointer) to the root element.
+
+        Obtaining the handle must not touch any source -- the paper's
+        preprocessing phase ends by returning the root handle "without
+        even accessing the sources".
+        """
+        raise NotImplementedError
+
+    def down(self, pointer):
+        """First child of ``pointer`` or None for leaves."""
+        raise NotImplementedError
+
+    def right(self, pointer):
+        """Right sibling of ``pointer`` or None."""
+        raise NotImplementedError
+
+    def fetch(self, pointer) -> str:
+        """The label of ``pointer``."""
+        raise NotImplementedError
+
+    def select(self, pointer, predicate: LabelPredicate):
+        """First sibling to the right of ``pointer`` whose label
+        satisfies ``predicate``; None when exhausted.
+
+        The default implementation scans with ``right``/``fetch``; a
+        document backed by a capable source may override it with a
+        single source operation (which is exactly what upgrades the
+        sigma-filter view of Example 1 to bounded browsable).
+        """
+        current = self.right(pointer)
+        while current is not None:
+            if label_is(predicate, self.fetch(current)):
+                return current
+            current = self.right(current)
+        return None
+
+    def apply(self, command: NavCommand, pointer):
+        """Dynamic dispatch of a single navigation command."""
+        if isinstance(command, Down):
+            return self.down(pointer)
+        if isinstance(command, Right):
+            return self.right(pointer)
+        if isinstance(command, Fetch):
+            return self.fetch(pointer)
+        if isinstance(command, Select):
+            return self.select(pointer, command.predicate)
+        raise TypeError("unknown navigation command %r" % (command,))
+
+
+def run_navigation(document: NavigableDocument,
+                   navigation: Navigation) -> NavResult:
+    """Execute a Definition-1 navigation and collect its results.
+
+    Pointer-producing steps that start from an already-None pointer
+    produce None (navigating past bottom is a no-op, matching the
+    client library's behaviour).
+    """
+    result = NavResult(pointers=[document.root()])
+    for step in navigation:
+        source = step.source if step.source != -1 else _last_pointer_index(
+            result.pointers)
+        base = result.pointers[source]
+        if base is None:
+            result.pointers.append(None)
+            continue
+        outcome = document.apply(step.command, base)
+        if isinstance(step.command, Fetch):
+            result.labels.append(outcome)
+            result.pointers.append(None)
+        else:
+            result.pointers.append(outcome)
+    return result
+
+
+def _last_pointer_index(pointers: List[object]) -> int:
+    for index in range(len(pointers) - 1, -1, -1):
+        if pointers[index] is not None:
+            return index
+    return 0
+
+
+def iter_children(document: NavigableDocument, pointer) -> Iterator[object]:
+    """Iterate the child pointers of ``pointer`` via d/r commands."""
+    child = document.down(pointer)
+    while child is not None:
+        yield child
+        child = document.right(child)
+
+
+def child_labels(document: NavigableDocument, pointer) -> List[str]:
+    """Fetch the labels of all children of ``pointer``."""
+    return [document.fetch(c) for c in iter_children(document, pointer)]
+
+
+def materialize(document: NavigableDocument,
+                pointer=None,
+                max_nodes: Optional[int] = None) -> Tree:
+    """Exhaustively navigate ``document`` into an in-memory Tree.
+
+    This is the "navigate everything" client; comparing
+    ``materialize(virtual_view)`` against the eager evaluator's output
+    is the core correctness oracle of the test-suite.
+
+    ``max_nodes`` guards tests against accidentally infinite virtual
+    documents.
+    """
+    if pointer is None:
+        pointer = document.root()
+    budget = [max_nodes if max_nodes is not None else -1]
+
+    def build(p) -> Tree:
+        if budget[0] == 0:
+            raise RuntimeError(
+                "materialize() exceeded max_nodes=%d" % max_nodes)
+        budget[0] -= 1
+        label = document.fetch(p)
+        children = [build(c) for c in iter_children(document, p)]
+        return Tree(label, children)
+
+    return build(pointer)

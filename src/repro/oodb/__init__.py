@@ -1,0 +1,14 @@
+"""Object-database substrate: classes, extents, oids, references and
+path traversal (the source behind the OODB-XML wrapper of Figure 1)."""
+
+from .store import (
+    OClass,
+    OObject,
+    ObjectStore,
+    OODBError,
+    open_store,
+    register_store,
+)
+
+__all__ = ["OClass", "OObject", "ObjectStore", "OODBError",
+           "register_store", "open_store"]

@@ -1,0 +1,28 @@
+"""In-memory relational engine: the substrate behind the MIX relational
+wrapper (paper Section 4, Example 5).
+
+Provides schemas, insertion-ordered tables, a small SQL SELECT dialect,
+tuple-at-a-time cursors with advance accounting, and a JDBC-flavoured
+connection facade resolved from ``rdb://`` URIs.
+"""
+
+from .cursor import Cursor
+from .database import Connection, Database, connect, register_database
+from .schema import Column, ColumnType, SchemaError, TableSchema
+from .sql import (
+    Condition,
+    OrderKey,
+    SelectStatement,
+    SQLError,
+    execute_select,
+    parse_select,
+)
+from .table import Table
+
+__all__ = [
+    "Column", "ColumnType", "TableSchema", "SchemaError",
+    "Table", "Cursor",
+    "Database", "Connection", "connect", "register_database",
+    "SQLError", "SelectStatement", "Condition", "OrderKey",
+    "parse_select", "execute_select",
+]

@@ -1,0 +1,11 @@
+"""Query rewriting for navigational complexity: static browsability
+analysis and the rule-based plan optimizer."""
+
+from .analyzer import classify_path, classify_plan, explain_plan
+from .optimizer import OptimizationTrace, optimize
+from .rules import ALL_RULES, FUSE_RULE
+
+__all__ = [
+    "classify_plan", "classify_path", "explain_plan",
+    "optimize", "OptimizationTrace", "ALL_RULES", "FUSE_RULE",
+]

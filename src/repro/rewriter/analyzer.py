@@ -1,0 +1,123 @@
+"""Static navigational-complexity analysis of algebra plans.
+
+Assigns each plan the coarsest browsability class (Definition 2) any
+client navigation can exhibit, bottom-up over the operator tree:
+
+* ``source`` is *bounded browsable*: navigations map 1:1.
+* ``getDescendants`` with an all-wildcard, star-free path stays
+  bounded (each output step mirrors a constant number of input steps);
+  a labeled or starred path makes it *(unbounded) browsable* -- the
+  next match position depends on the data.  With the sibling-selection
+  command ``select(sigma)`` available at the sources, a single-label
+  last step is served in one source command and the class improves
+  (the paper's Example 1 remark).
+* ``select``, ``join``, ``groupBy``, ``distinct`` are browsable: they
+  scan, but never need a whole list regardless of input.
+* ``orderBy`` and ``difference`` are unbrowsable: nothing can be
+  emitted before an entire input has been consumed.
+* structural operators (``concatenate``, ``createElement``,
+  ``project``, ``rename``, ``constant``, ``union``) preserve their
+  inputs' class.
+
+The benchmark suite checks this analysis against the *empirical*
+classifier on the paper's Example 1 views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..algebra import operators as ops
+from ..navigation.complexity import Browsability
+from ..xtree.path import Alt, Label, Opt, PathExpr, Plus, Seq, Star, Wildcard
+
+__all__ = ["classify_plan", "classify_path", "explain_plan"]
+
+_ORDER = {
+    Browsability.BOUNDED: 0,
+    Browsability.BROWSABLE: 1,
+    Browsability.UNBROWSABLE: 2,
+}
+
+
+def _max(a: Browsability, b: Browsability) -> Browsability:
+    return a if _ORDER[a] >= _ORDER[b] else b
+
+
+def classify_path(path: PathExpr,
+                  sigma_available: bool = False) -> Browsability:
+    """Browsability contributed by one getDescendants path.
+
+    * all-wildcard star-free sequences (``_``, ``_._``): every match
+      position is determined by counting, so navigation is bounded;
+    * otherwise browsable; a trailing single label with
+      ``sigma_available`` is also bounded (one select command finds the
+      next match).
+    """
+
+    def all_wildcards(expr: PathExpr) -> bool:
+        if isinstance(expr, Wildcard):
+            return True
+        if isinstance(expr, Seq):
+            return all(all_wildcards(p) for p in expr.parts)
+        return False
+
+    if all_wildcards(path):
+        return Browsability.BOUNDED
+    if sigma_available:
+        # A single label (or wildcards followed by one label) can be
+        # served by select(sigma) per level.
+        def sigma_servable(expr: PathExpr) -> bool:
+            if isinstance(expr, (Label, Wildcard)):
+                return True
+            if isinstance(expr, Seq):
+                return all(isinstance(p, (Label, Wildcard))
+                           for p in expr.parts)
+            return False
+
+        if sigma_servable(path):
+            return Browsability.BOUNDED
+    return Browsability.BROWSABLE
+
+
+def classify_plan(plan: ops.Operator,
+                  sigma_available: bool = False) -> Browsability:
+    """The static browsability class of a plan."""
+    child_class = Browsability.BOUNDED
+    for child in plan.inputs:
+        child_class = _max(child_class,
+                           classify_plan(child, sigma_available))
+
+    if isinstance(plan, ops.Source):
+        own = Browsability.BOUNDED
+    elif isinstance(plan, ops.GetDescendants):
+        own = classify_path(plan.path, sigma_available)
+    elif isinstance(plan, (ops.Select, ops.Join, ops.GroupBy,
+                           ops.Distinct)):
+        own = Browsability.BROWSABLE
+    elif isinstance(plan, (ops.OrderBy, ops.Difference)):
+        own = Browsability.UNBROWSABLE
+    elif isinstance(plan, (ops.Concatenate, ops.CreateElement,
+                           ops.Project, ops.Rename, ops.Constant,
+                           ops.Union, ops.TupleDestroy,
+                           ops.Materialize)):
+        own = Browsability.BOUNDED
+    else:
+        own = Browsability.BROWSABLE  # conservative default
+    return _max(own, child_class)
+
+
+def explain_plan(plan: ops.Operator,
+                 sigma_available: bool = False) -> str:
+    """A per-node classification report (root first)."""
+    lines = []
+
+    def walk(node: ops.Operator, indent: int) -> None:
+        cls = classify_plan(node, sigma_available)
+        lines.append("%s%-18s %s"
+                     % ("  " * indent, str(cls), node.signature()))
+        for child in node.inputs:
+            walk(child, indent + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)

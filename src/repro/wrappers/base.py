@@ -1,0 +1,29 @@
+"""Shared wrapper helpers: wiring a wrapper + buffer into a navigable
+source in one call."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..buffer.component import BufferComponent
+from ..buffer.lxp import LXPServer
+from ..buffer.prefetch import PrefetchingBuffer
+from ..navigation.counting import CountingDocument
+from ..navigation.interface import NavigableDocument
+
+__all__ = ["buffered", "buffered_counting"]
+
+
+def buffered(server: LXPServer, prefetch: int = 0) -> BufferComponent:
+    """Stack the generic buffer component on top of an LXP wrapper
+    (the refined VXD architecture of Figure 7)."""
+    if prefetch > 0:
+        return PrefetchingBuffer(server, lookahead=prefetch)
+    return BufferComponent(server)
+
+
+def buffered_counting(server: LXPServer, name: str = "",
+                      prefetch: int = 0) -> CountingDocument:
+    """A buffered wrapper with a navigation meter on top -- the
+    standard experiment rig: mediator -> meter -> buffer -> wrapper."""
+    return CountingDocument(buffered(server, prefetch), name=name)

@@ -1,0 +1,89 @@
+"""The OODB LXP wrapper over the object-store substrate.
+
+Exported view::
+
+    storename[ ClassName[ object[oid[...], attr[...], ...], ..., hole ],
+               ... ]
+
+Atoms become text leaves, references become ``ref[oid]`` leaves (the
+client can dereference by querying the class extents), list attributes
+fan out into repeated children.  Extents ship ``chunk_size`` objects
+per fill with a trailing hole -- the OODB's natural granularity is the
+object, mirroring the relational wrapper's tuple.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
+from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..oodb.store import ObjectStore, OObject
+
+__all__ = ["OODBLXPWrapper"]
+
+
+class OODBLXPWrapper(LXPServer):
+    """LXP server over an object store (see module docstring for the
+    exported view shape).  ``chunk_size`` objects ship per extent
+    fill."""
+
+    def __init__(self, store: ObjectStore, chunk_size: int = 10):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.store = store
+        self.chunk_size = chunk_size
+        self.stats = LXPStats()
+
+    def get_root(self) -> FragHole:
+        return FragHole(("store",))
+
+    def _ship_value(self, value) -> List[FragElem]:
+        if isinstance(value, OObject):
+            return [FragElem("ref", (FragElem(value.oid),))]
+        if isinstance(value, list):
+            shipped: List[FragElem] = []
+            for item in value:
+                shipped.extend(self._ship_value(item))
+            return shipped
+        return [FragElem(_atom(value))]
+
+    def _ship_object(self, obj: OObject) -> FragElem:
+        children = [FragElem("oid", (FragElem(obj.oid),))]
+        for attribute in obj.oclass.attributes:
+            value = obj.get(attribute)
+            if value is None:
+                children.append(FragElem(attribute))
+            else:
+                children.append(
+                    FragElem(attribute, tuple(self._ship_value(value))))
+        return FragElem("object", tuple(children))
+
+    def fill(self, hole_id) -> List[Fragment]:
+        if hole_id == ("store",):
+            classes = tuple(
+                FragElem(name, (FragHole(("extent", name, 0)),))
+                for name in self.store.class_names
+            )
+            reply: List[Fragment] = [FragElem(self.store.name, classes)]
+            _measure(self.stats, reply)
+            return reply
+        try:
+            kind, class_name, start = hole_id
+        except (TypeError, ValueError):
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        if kind != "extent":
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        extent = self.store.extent(class_name)
+        end = min(start + self.chunk_size, len(extent))
+        reply = [self._ship_object(obj) for obj in extent[start:end]]
+        if end < len(extent):
+            reply.append(FragHole(("extent", class_name, end)))
+        _measure(self.stats, reply)
+        return reply
+
+
+def _atom(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,88 @@
+"""The HTML/Web LXP wrapper over the synthetic web substrate.
+
+The exported view of a paginated catalog site is one element holding
+*all* items of the listing, with the pagination dissolved::
+
+    sitename[ item, item, ..., hole ]
+
+The wrapper fetches pages on demand through the cost-charging
+:class:`~repro.webstore.site.HttpSimulator`; each fill ships one whole
+page of items ("a wrapper for Web (HTML) sources may ship data at a
+page-at-a-time granularity") and leaves a hole carrying the next-page
+URL.  Following the chain of ``next`` links lazily is what lets a
+client browse the first results of a huge bookseller listing without
+downloading the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
+from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..webstore.site import HttpSimulator
+from ..xtree.tree import Tree
+
+__all__ = ["WebLXPWrapper"]
+
+
+def _closed(tree: Tree) -> FragElem:
+    return FragElem(tree.label,
+                    tuple(_closed(c) for c in tree.children))
+
+
+class WebLXPWrapper(LXPServer):
+    """LXP server over a paginated web site.
+
+    Parameters
+    ----------
+    http:
+        The HttpSimulator wired to the site (carries the traffic
+        stats the experiments read).
+    first_page:
+        URL of the first listing page.
+    root_label:
+        Label of the exported root element (defaults to the site name).
+    """
+
+    NEXT_LABEL = "next"
+
+    def __init__(self, http: HttpSimulator, first_page: str = "/page/0",
+                 root_label: Optional[str] = None):
+        self.http = http
+        self.first_page = first_page
+        self.root_label = root_label or http.site.name
+        self.stats = LXPStats()
+
+    def get_root(self) -> FragHole:
+        return FragHole(("page", self.first_page, True))
+
+    def _page_items(self, url: str):
+        page = self.http.fetch(url)
+        items = []
+        next_url = None
+        for child in page.children:
+            if child.label == self.NEXT_LABEL:
+                next_url = child.text()
+            else:
+                items.append(_closed(child))
+        return items, next_url
+
+    def fill(self, hole_id) -> List[Fragment]:
+        try:
+            kind, url, is_root = hole_id
+        except (TypeError, ValueError):
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        if kind != "page":
+            raise LXPProtocolError("unknown hole id %r" % (hole_id,))
+        items, next_url = self._page_items(url)
+        tail: List[Fragment] = []
+        if next_url is not None:
+            tail = [FragHole(("page", next_url, False))]
+        if is_root:
+            reply: List[Fragment] = [
+                FragElem(self.root_label, tuple(items) + tuple(tail))]
+        else:
+            reply = list(items) + tail
+        _measure(self.stats, reply)
+        return reply

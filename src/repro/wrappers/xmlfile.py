@@ -1,0 +1,46 @@
+"""The XML-file wrapper: native XML sources through LXP.
+
+A thin veneer over :class:`~repro.buffer.lxp.TreeLXPServer` that also
+parses raw XML text and wraps the document in the exported document
+node (labeled with the source name) whose children the mediator's path
+expressions start from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..buffer.lxp import TreeLXPServer
+from ..xtree.parse import parse_xml
+from ..xtree.tree import Tree
+
+__all__ = ["XMLFileWrapper", "document_node"]
+
+
+def document_node(source_name: str, root: Tree) -> Tree:
+    """Wrap a root element into the exported document node.
+
+    The convention throughout the system: a source exports a root node
+    whose children are the document's top-level elements, so paths like
+    ``homes.home`` include the element name of the document root.
+    """
+    return Tree(source_name, [root])
+
+
+class XMLFileWrapper(TreeLXPServer):
+    """LXP server over an XML document (string or parsed tree).
+
+    ``chunk_size``/``depth`` control the export granularity exactly as
+    in TreeLXPServer.
+    """
+
+    def __init__(self, source_name: str,
+                 document: Union[str, Tree],
+                 chunk_size: int = 10, depth: int = 1000000,
+                 keep_attributes: bool = True):
+        if isinstance(document, str):
+            document = parse_xml(document,
+                                 keep_attributes=keep_attributes)
+        super().__init__(document_node(source_name, document),
+                         chunk_size=chunk_size, depth=depth)
+        self.source_name = source_name

@@ -1,0 +1,25 @@
+"""The XMAS query language front-end: AST, parser, translation to the
+algebra, and query/view composition."""
+
+from .ast import (
+    ComparisonCondition,
+    Condition,
+    ElementTemplate,
+    LiteralContent,
+    PathCondition,
+    VarUse,
+    XMASQuery,
+)
+from .compose import compose_plans, inline_views
+from .dtd import ContentParticle, ElementDecl, InferredDTD, infer_dtd
+from .parser import XMASSyntaxError, parse_xmas
+from .translate import XMASTranslationError, translate
+
+__all__ = [
+    "XMASQuery", "ElementTemplate", "VarUse", "LiteralContent",
+    "PathCondition", "ComparisonCondition", "Condition",
+    "parse_xmas", "XMASSyntaxError",
+    "translate", "XMASTranslationError",
+    "compose_plans", "inline_views",
+    "infer_dtd", "InferredDTD", "ElementDecl", "ContentParticle",
+]

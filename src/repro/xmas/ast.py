@@ -1,0 +1,150 @@
+"""AST of the XMAS query language (paper Figure 3, [LPVV99]).
+
+A query has a CONSTRUCT head -- an element template with variables and
+group-by markers ``{...}`` -- and a WHERE body -- a conjunction of
+path conditions and comparison predicates::
+
+    CONSTRUCT <answer>
+                <med_home> $H $S {$S} </med_home> {$H}
+              </answer> {}
+    WHERE homesSrc homes.home $H AND $H zip._ $V1
+      AND schoolsSrc schools.school $S AND $S zip._ $V2
+      AND $V1 = $V2
+
+Group-by markers attach to head items: ``{$H}`` after an element means
+"one such element per binding of $H"; ``{$S}`` after a variable means
+"the list of all $S within the enclosing group"; ``{}`` means "exactly
+one".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..xtree.path import PathExpr
+
+__all__ = [
+    "XMASQuery", "ElementTemplate", "VarUse", "LiteralContent",
+    "PathCondition", "ComparisonCondition", "Condition", "HeadItem",
+]
+
+
+@dataclass
+class VarUse:
+    """A ``$X`` occurrence in the head, optionally with a group marker
+    ``{$X}`` (collect all values within the enclosing group)."""
+
+    name: str
+    group: Optional[List[str]] = None  # None = no marker
+
+    def __str__(self) -> str:
+        text = "$%s" % self.name
+        if self.group is not None:
+            text += " {%s}" % ", ".join("$" + g for g in self.group)
+        return text
+
+
+@dataclass
+class LiteralContent:
+    """Literal character content inside a constructed element."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return '"%s"' % self.text
+
+
+@dataclass
+class ElementTemplate:
+    """``<tag> ... </tag> {vars}``: a constructed element.
+
+    ``group`` lists the variables the element is created *per binding
+    of* (the marker after the closing tag); None means the element
+    inherits multiplicity from its context (it appears once per
+    enclosing group member -- only legal for the outermost element when
+    it carries an explicit marker, so the parser requires markers on
+    elements).
+    """
+
+    tag: str
+    children: List["HeadItem"] = field(default_factory=list)
+    group: Optional[List[str]] = None
+
+    def __str__(self) -> str:
+        inner = " ".join(str(c) for c in self.children)
+        text = "<%s> %s </%s>" % (self.tag, inner, self.tag)
+        if self.group is not None:
+            text += " {%s}" % ", ".join("$" + g for g in self.group)
+        return text
+
+
+HeadItem = Union[ElementTemplate, VarUse, LiteralContent]
+
+
+@dataclass
+class PathCondition:
+    """``base path $var``: bind ``$var`` to each descendant of ``base``
+    reachable via ``path``.  ``base`` is a source name (str) or a
+    variable (prefixed form ``("var", name)``)."""
+
+    base: Union[str, Tuple[str, str]]
+    path: PathExpr
+    var: str
+
+    @property
+    def base_is_source(self) -> bool:
+        return isinstance(self.base, str)
+
+    def __str__(self) -> str:
+        base = (self.base if self.base_is_source
+                else "$%s" % self.base[1])
+        return "%s %s $%s" % (base, self.path, self.var)
+
+
+@dataclass
+class ComparisonCondition:
+    """``$X op $Y`` or ``$X op literal``."""
+
+    left: str  # variable name
+    op: str
+    right: Union[str, Tuple[str, str]]  # ("var", name) or literal str
+
+    def __str__(self) -> str:
+        right = ("$%s" % self.right[1]
+                 if isinstance(self.right, tuple) else repr(self.right))
+        return "$%s %s %s" % (self.left, self.op, right)
+
+
+Condition = Union[PathCondition, ComparisonCondition]
+
+
+@dataclass
+class XMASQuery:
+    """A complete XMAS query: head template + body conditions, plus an
+    optional ORDER BY over body variables (a convenience extension:
+    the paper expresses ordering through the orderBy operator)."""
+
+    head: ElementTemplate
+    conditions: List[Condition]
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    #: each entry is (variable, descending)
+
+    def source_names(self) -> List[str]:
+        """Source names referenced by the body, in first-use order."""
+        names: List[str] = []
+        for cond in self.conditions:
+            if isinstance(cond, PathCondition) and cond.base_is_source:
+                if cond.base not in names:
+                    names.append(cond.base)
+        return names
+
+    def __str__(self) -> str:
+        body = " AND ".join(str(c) for c in self.conditions)
+        text = "CONSTRUCT %s WHERE %s" % (self.head, body)
+        if self.order_by:
+            keys = ", ".join(
+                "$%s%s" % (v, " DESC" if desc else "")
+                for v, desc in self.order_by)
+            text += " ORDER BY %s" % keys
+        return text

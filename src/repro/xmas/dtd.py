@@ -1,0 +1,195 @@
+"""DTD inference for XMAS views ([LPVV99], cited as the paper's
+companion work; Section 6's BBQ interface is "DTD-oriented").
+
+Given an XMAS query, the shape of its answer document is largely
+determined statically:
+
+* the head template fixes the constructed elements, their child order,
+  and their multiplicities (from the group markers);
+* the body's path conditions fix the *names* of the elements a
+  variable can bind -- the labels a matching path can end with
+  (``$H`` bound via ``homes.home`` holds ``home`` elements);
+* structure *below* a bound variable comes from the sources and stays
+  open (declared ``ANY``).
+
+:func:`infer_dtd` produces an :class:`InferredDTD` that renders as DTD
+text and can check an answer document against the inferred content
+models -- the test-suite validates every example query's answers
+against their own inferred DTDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..xtree.path import PathNFA
+from ..xtree.tree import Tree
+from .ast import (
+    ElementTemplate,
+    LiteralContent,
+    PathCondition,
+    VarUse,
+    XMASQuery,
+)
+
+__all__ = ["infer_dtd", "InferredDTD", "ContentParticle", "ElementDecl"]
+
+#: Placeholder name when a variable's element names are unknown
+#: (wildcard-final path or unbound provenance).
+ANY_NAME = "#ANY"
+PCDATA = "#PCDATA"
+
+
+@dataclass(frozen=True)
+class ContentParticle:
+    """One slot of a content model.
+
+    ``names`` is the set of element names allowed here (or
+    ``{ANY_NAME}`` / ``{PCDATA}``); ``occurs`` is '' (exactly one),
+    '?' or '*'.
+    """
+
+    names: Tuple[str, ...]
+    occurs: str = ""
+
+    def render(self) -> str:
+        inner = ("(%s)" % " | ".join(self.names)
+                 if len(self.names) > 1 else self.names[0])
+        return inner + self.occurs
+
+    def admits(self, label: str, is_leaf: bool) -> bool:
+        if ANY_NAME in self.names:
+            return True
+        if PCDATA in self.names:
+            return is_leaf
+        return label in self.names
+
+
+@dataclass
+class ElementDecl:
+    """A constructed element's declaration."""
+
+    name: str
+    particles: List[ContentParticle] = field(default_factory=list)
+
+    def render(self) -> str:
+        if not self.particles:
+            return "<!ELEMENT %s EMPTY>" % self.name
+        body = ", ".join(p.render() for p in self.particles)
+        return "<!ELEMENT %s (%s)>" % (self.name, body)
+
+
+class InferredDTD:
+    """The inferred schema of a view's answer documents."""
+
+    def __init__(self, root: str, declarations: List[ElementDecl],
+                 open_names: Set[str]):
+        self.root = root
+        self.declarations = declarations
+        self._by_name: Dict[str, ElementDecl] = {
+            d.name: d for d in declarations}
+        #: element names whose content comes from the sources (ANY)
+        self.open_names = open_names
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.declarations]
+        for name in sorted(self.open_names):
+            if name not in self._by_name and name not in (ANY_NAME,
+                                                          PCDATA):
+                lines.append("<!ELEMENT %s ANY>" % name)
+        return "\n".join(lines)
+
+    # -- validation ---------------------------------------------------------
+    def validate(self, answer: Tree) -> List[str]:
+        """Check an answer document; returns a list of violations
+        (empty = conforms)."""
+        problems: List[str] = []
+        if answer.label != self.root:
+            problems.append(
+                "root is <%s>, expected <%s>" % (answer.label,
+                                                 self.root))
+            return problems
+        self._check(answer, problems)
+        return problems
+
+    def _check(self, element: Tree, problems: List[str]) -> None:
+        decl = self._by_name.get(element.label)
+        if decl is None:
+            return  # source-provided content: unconstrained
+        children = list(element.children)
+        index = 0
+        for particle in decl.particles:
+            if particle.occurs == "*":
+                while index < len(children) and particle.admits(
+                        children[index].label,
+                        children[index].is_leaf):
+                    index += 1
+            elif particle.occurs == "?":
+                if index < len(children) and particle.admits(
+                        children[index].label,
+                        children[index].is_leaf):
+                    index += 1
+            else:
+                if index >= len(children) or not particle.admits(
+                        children[index].label,
+                        children[index].is_leaf):
+                    problems.append(
+                        "<%s>: expected %s at child %d"
+                        % (element.label, particle.render(), index))
+                    return
+                index += 1
+        if index != len(children):
+            problems.append(
+                "<%s>: %d unexpected trailing child(ren) from <%s>"
+                % (element.label, len(children) - index,
+                   children[index].label))
+            return
+        for child in element.children:
+            self._check(child, problems)
+
+
+def _variable_names(query: XMASQuery) -> Dict[str, Tuple[str, ...]]:
+    """Possible element names per body variable, from the final labels
+    of the binding paths."""
+    names: Dict[str, Tuple[str, ...]] = {}
+    for cond in query.conditions:
+        if isinstance(cond, PathCondition):
+            finals = PathNFA(cond.path).final_labels()
+            if finals is None or not finals:
+                names[cond.var] = (ANY_NAME,)
+            else:
+                names[cond.var] = tuple(sorted(finals))
+    return names
+
+
+def infer_dtd(query: XMASQuery) -> InferredDTD:
+    """Infer the answer-document DTD of an XMAS query."""
+    var_names = _variable_names(query)
+    declarations: List[ElementDecl] = []
+    open_names: Set[str] = set()
+
+    def particle_for_var(name: str, occurs: str) -> ContentParticle:
+        names = var_names.get(name, (ANY_NAME,))
+        open_names.update(names)
+        return ContentParticle(names, occurs)
+
+    def build(template: ElementTemplate) -> None:
+        particles: List[ContentParticle] = []
+        for child in template.children:
+            if isinstance(child, LiteralContent):
+                particles.append(ContentParticle((PCDATA,)))
+            elif isinstance(child, VarUse):
+                occurs = "*" if child.group is not None else ""
+                particles.append(particle_for_var(child.name, occurs))
+            else:
+                # A nested element appears once per binding of its
+                # marker within the enclosing group: {} -> exactly
+                # one, {vars} -> zero or more.
+                occurs = "" if not child.group else "*"
+                particles.append(ContentParticle((child.tag,), occurs))
+                build(child)
+        declarations.append(ElementDecl(template.tag, particles))
+
+    build(query.head)
+    return InferredDTD(query.head.tag, declarations, open_names)

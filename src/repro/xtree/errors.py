@@ -1,0 +1,31 @@
+"""Exceptions raised by the :mod:`repro.xtree` package."""
+
+
+from ..errors import ReproError
+
+
+class XTreeError(ReproError):
+    """Base class for all xtree errors."""
+
+
+class XMLParseError(XTreeError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the character ``position`` (0-based offset into the input)
+    and a human-readable message.
+    """
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = "%s (at offset %d)" % (message, position)
+        super().__init__(message)
+
+
+class PathSyntaxError(XTreeError):
+    """Raised when a regular path expression cannot be parsed."""
+
+
+class TreeConstructionError(XTreeError):
+    """Raised when an invalid tree would be constructed (e.g. a non-string
+    label or a leaf given children)."""

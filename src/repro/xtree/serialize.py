@@ -1,0 +1,113 @@
+"""Serialization of :class:`~repro.xtree.tree.Tree` values back to XML.
+
+The serializer is the inverse of :func:`repro.xtree.parse.parse_xml`
+under the default whitespace policy: ``parse_xml(to_xml(t)) == t`` for
+any tree whose leaf labels survive whitespace stripping (the
+property-based round-trip test pins this down precisely).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .parse import ATTRIBUTE_PREFIX
+from .tree import Tree
+
+__all__ = ["to_xml", "escape_text", "escape_attribute"]
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+
+
+def escape_text(text: str) -> str:
+    """Escape character content for inclusion in element bodies."""
+    for raw, cooked in _TEXT_ESCAPES:
+        text = text.replace(raw, cooked)
+    return text
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character content for inclusion in attribute values."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def _is_name(label: str) -> bool:
+    """Crude check that a label can serve as an XML tag name."""
+    if not label:
+        return False
+    head = label[0]
+    if not (head.isalpha() or head in "_:"):
+        return False
+    return all(ch.isalnum() or ch in "-._:" for ch in label)
+
+
+def to_xml(tree: Tree, pretty: bool = False, indent: str = "  ",
+           attributes_inline: bool = True) -> str:
+    """Serialize ``tree`` to an XML string.
+
+    Parameters
+    ----------
+    pretty:
+        When True, element-only content is indented one level per depth.
+        Mixed/leaf content is never reformatted.
+    attributes_inline:
+        When True, leading ``@name`` children are rendered as XML
+        attributes (the inverse of the parser's convention); otherwise
+        they are rendered as ordinary ``<@name>`` elements (which will
+        not re-parse -- useful only for debugging output).
+    """
+    parts: List[str] = []
+    _render(tree, parts, pretty, indent, 0, attributes_inline)
+    return "".join(parts)
+
+
+def _split_attributes(tree: Tree, attributes_inline: bool):
+    attrs = []
+    rest = list(tree.children)
+    if attributes_inline:
+        while rest and rest[0].label.startswith(ATTRIBUTE_PREFIX):
+            attr = rest.pop(0)
+            value = attr.children[0].label if attr.children else ""
+            attrs.append((attr.label[len(ATTRIBUTE_PREFIX):], value))
+    return attrs, rest
+
+
+def _render(tree: Tree, parts: List[str], pretty: bool, indent: str,
+            depth: int, attributes_inline: bool) -> None:
+    pad = indent * depth if pretty else ""
+    if tree.is_leaf and not _is_name(tree.label):
+        # Atomic character data.
+        parts.append(pad + escape_text(tree.label))
+        return
+
+    attrs, children = _split_attributes(tree, attributes_inline)
+    open_tag = tree.label
+    if not _is_name(open_tag):
+        # Data labels that cannot be tag names are emitted as text leaves
+        # even if they unexpectedly carry children.
+        parts.append(pad + escape_text(tree.label))
+        return
+
+    attr_text = "".join(
+        ' %s="%s"' % (name, escape_attribute(value)) for name, value in attrs
+    )
+    if not children:
+        parts.append("%s<%s%s/>" % (pad, open_tag, attr_text))
+        return
+
+    only_leaf_data = all(
+        child.is_leaf and not _is_name(child.label) for child in children
+    )
+    if only_leaf_data or not pretty:
+        parts.append("%s<%s%s>" % (pad, open_tag, attr_text))
+        for child in children:
+            _render(child, parts, False, indent, 0, attributes_inline)
+        parts.append("</%s>" % open_tag)
+        if pretty:
+            pass
+        return
+
+    parts.append("%s<%s%s>\n" % (pad, open_tag, attr_text))
+    for child in children:
+        _render(child, parts, True, indent, depth + 1, attributes_inline)
+        parts.append("\n")
+    parts.append("%s</%s>" % (pad, open_tag))

@@ -1,0 +1,357 @@
+"""Unit tests for the eager reference evaluator (paper Section 3
+operator semantics, including the worked examples)."""
+
+import pytest
+
+from repro.algebra import (
+    Binding,
+    BindingList,
+    Comparison,
+    Concatenate,
+    Constant,
+    CreateElement,
+    Difference,
+    Distinct,
+    GetDescendants,
+    GroupBy,
+    Join,
+    OrderBy,
+    PlanError,
+    Project,
+    Select,
+    Source,
+    TupleDestroy,
+    Union,
+    Var,
+    evaluate,
+    evaluate_bindings,
+    product,
+)
+from repro.xtree import Tree, elem, leaf
+
+from .fixtures import (
+    expected_fig4_answer,
+    fig4_plan,
+    fig4_sources,
+    homes_source,
+    schools_source,
+)
+
+
+def _values(binding_list, var):
+    return [b.value(var) for b in binding_list]
+
+
+class TestSourceAndGetDescendants:
+    def test_source_singleton(self):
+        out = evaluate_bindings(Source("homesSrc", "root"),
+                                {"homesSrc": homes_source()})
+        assert len(out) == 1
+        assert out[0].value("root").label == "homesSrc"
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(PlanError):
+            evaluate_bindings(Source("nope", "root"), {})
+
+    def test_get_descendants_paper_example(self):
+        # getDescendants_{H, zip._ -> V1} on the Section 3 input.
+        plan = GetDescendants(
+            GetDescendants(Source("homesSrc", "root"),
+                           "root", "homes.home", "H"),
+            "H", "zip._", "V1")
+        out = evaluate_bindings(plan, {"homesSrc": homes_source()})
+        assert [v.label for v in _values(out, "V1")] == ["91220", "91223"]
+        # The home value is shared, not copied.
+        homes_doc = evaluate_bindings(
+            Source("homesSrc", "root"),
+            {"homesSrc": homes_source()})  # fresh tree; use plan's own
+        assert out[0].value("H").label == "home"
+
+    def test_matches_in_document_order(self):
+        doc = Tree("src", [elem("r",
+                                elem("a", elem("b", "1")),
+                                elem("b", "2"),
+                                elem("a", elem("b", "3")))])
+        plan = GetDescendants(Source("src", "root"), "root", "r._*.b", "X")
+        out = evaluate_bindings(plan, {"src": doc})
+        assert [v.text() for v in _values(out, "X")] == ["1", "2", "3"]
+
+    def test_recursive_path(self):
+        doc = Tree("src", [elem("a", elem("a", elem("a", "leaf")))])
+        plan = GetDescendants(Source("src", "root"), "root", "a+", "X")
+        out = evaluate_bindings(plan, {"src": doc})
+        assert len(out) == 3
+
+    def test_no_matches_yields_empty(self):
+        plan = GetDescendants(Source("src", "root"), "root", "zzz", "X")
+        out = evaluate_bindings(plan, {"src": Tree("src", [elem("a")])})
+        assert len(out) == 0
+        assert out.variables == ["root", "X"]
+
+
+class TestSelectJoinProject:
+    def _homes_with_zips(self):
+        return GetDescendants(
+            GetDescendants(Source("homesSrc", "root"),
+                           "root", "homes.home", "H"),
+            "H", "zip._", "V")
+
+    def test_select_filters(self):
+        plan = Select(self._homes_with_zips(),
+                      Comparison(Var("V"), "=", Var("V")))
+        out = evaluate_bindings(plan, {"homesSrc": homes_source()})
+        assert len(out) == 2
+        plan2 = Select(self._homes_with_zips(),
+                       Comparison(Var("V"), ">", Var("V")))
+        assert len(evaluate_bindings(
+            plan2, {"homesSrc": homes_source()})) == 0
+
+    def test_join_on_zip(self):
+        sources = fig4_sources()
+        left = self._homes_with_zips()
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "root2"),
+                           "root2", "schools.school", "S"),
+            "S", "zip._", "W")
+        join = Join(left, right, Comparison(Var("V"), "=", Var("W")))
+        out = evaluate_bindings(join, sources)
+        # 2 schools match zip 91220, 1 matches 91223.
+        assert len(out) == 3
+        assert out.variables == ["root", "H", "V", "root2", "S", "W"]
+
+    def test_join_left_major_order(self):
+        sources = fig4_sources()
+        left = self._homes_with_zips()
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "root2"),
+                           "root2", "schools.school", "S"),
+            "S", "zip._", "W")
+        join = Join(left, right, Comparison(Var("V"), "=", Var("W")))
+        out = evaluate_bindings(join, sources)
+        dirs = [b.value("S").find_child("dir").text() for b in out]
+        assert dirs == ["Smith", "Bar", "Hart"]
+
+    def test_product(self):
+        sources = fig4_sources()
+        left = self._homes_with_zips()
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "root2"),
+                           "root2", "schools.school", "S"),
+            "S", "zip._", "W")
+        out = evaluate_bindings(product(left, right), sources)
+        assert len(out) == 6  # 2 homes x 3 schools
+
+    def test_join_shared_variables_rejected(self):
+        left = self._homes_with_zips()
+        with pytest.raises(PlanError):
+            Join(left, self._homes_with_zips(),
+                 Comparison(Var("V"), "=", Var("V"))).validate()
+
+    def test_project(self):
+        plan = Project(self._homes_with_zips(), ["V"])
+        out = evaluate_bindings(plan, {"homesSrc": homes_source()})
+        assert out.variables == ["V"]
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(PlanError):
+            Project(self._homes_with_zips(), ["Q"]).validate()
+
+
+class TestGroupBy:
+    def _joined(self):
+        left = GetDescendants(
+            GetDescendants(Source("homesSrc", "r1"),
+                           "r1", "homes.home", "H"),
+            "H", "zip._", "V1")
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "r2"),
+                           "r2", "schools.school", "S"),
+            "S", "zip._", "V2")
+        return Join(left, right, Comparison(Var("V1"), "=", Var("V2")))
+
+    def test_paper_example_groups(self):
+        plan = GroupBy(self._joined(), ["H"], [("S", "LSs")])
+        out = evaluate_bindings(plan, fig4_sources())
+        assert len(out) == 2
+        assert out.variables == ["H", "LSs"]
+        first, second = out
+        assert [s.find_child("dir").text()
+                for s in first.value("LSs").children] == ["Smith", "Bar"]
+        assert [s.find_child("dir").text()
+                for s in second.value("LSs").children] == ["Hart"]
+
+    def test_group_key_order_is_first_occurrence(self):
+        plan = GroupBy(self._joined(), ["H"], [("S", "LSs")])
+        out = evaluate_bindings(plan, fig4_sources())
+        assert [b.value("H").find_child("addr").text() for b in out] \
+            == ["La Jolla", "El Cajon"]
+
+    def test_empty_key_groups_everything(self):
+        plan = GroupBy(self._joined(), [], [("S", "All")])
+        out = evaluate_bindings(plan, fig4_sources())
+        assert len(out) == 1
+        assert len(out[0].value("All").children) == 3
+
+    def test_empty_key_over_empty_input_yields_one_group(self):
+        base = GetDescendants(Source("src", "root"), "root", "nope", "X")
+        plan = GroupBy(base, [], [("X", "Xs")])
+        out = evaluate_bindings(plan, {"src": Tree("src", [elem("a")])})
+        assert len(out) == 1
+        assert out[0].value("Xs").children == ()
+
+    def test_multi_aggregation(self):
+        plan = GroupBy(self._joined(), ["H"],
+                       [("S", "LSs"), ("V2", "Zips")])
+        out = evaluate_bindings(plan, fig4_sources())
+        assert out.variables == ["H", "LSs", "Zips"]
+        assert len(out[0].value("Zips").children) == 2
+
+
+class TestConstructionOperators:
+    def test_concatenate_list_and_value(self):
+        # Mirrors concatenate_{H, LSs -> HLSs}.
+        left = GetDescendants(
+            GetDescendants(Source("homesSrc", "r1"),
+                           "r1", "homes.home", "H"),
+            "H", "zip._", "V1")
+        grouped = GroupBy(left, ["H"], [("V1", "Vs")])
+        plan = Concatenate(grouped, ["H", "Vs"], "Out")
+        out = evaluate_bindings(plan, {"homesSrc": homes_source()})
+        value = out[0].value("Out")
+        assert value.label == "list"
+        assert [c.label for c in value.children] == ["home", "91220"]
+
+    def test_concatenate_two_values(self):
+        base = Constant(Constant(Source("s", "r"), leaf("x"), "X"),
+                        leaf("y"), "Y")
+        plan = Concatenate(base, ["X", "Y"], "Z")
+        out = evaluate_bindings(plan, {"s": Tree("s", [elem("a")])})
+        assert [c.label for c in out[0].value("Z").children] == ["x", "y"]
+
+    def test_concatenate_two_lists(self):
+        base = Source("s", "r")
+        ga = GroupBy(GetDescendants(base, "r", "a._", "A"), [],
+                     [("A", "As")])
+        plan = Concatenate(ga, ["As", "As"], "Twice")
+        doc = Tree("s", [elem("a", "1", "2")])
+        out = evaluate_bindings(plan, {"s": doc})
+        assert [c.label for c in out[0].value("Twice").children] \
+            == ["1", "2", "1", "2"]
+
+    def test_create_element_constant_label(self):
+        base = Constant(Source("s", "r"),
+                        elem("list", elem("a", "1"), elem("b", "2")), "L")
+        plan = CreateElement(base, "wrapper", "L", "E")
+        out = evaluate_bindings(plan, {"s": Tree("s", [elem("x")])})
+        element = out[0].value("E")
+        assert element.label == "wrapper"
+        assert [c.label for c in element.children] == ["a", "b"]
+
+    def test_create_element_variable_label(self):
+        base = Constant(Constant(Source("s", "r"), leaf("mytag"), "T"),
+                        elem("list", elem("c", "3")), "L")
+        plan = CreateElement(base, ("var", "T"), "L", "E")
+        out = evaluate_bindings(plan, {"s": Tree("s", [elem("x")])})
+        assert out[0].value("E").label == "mytag"
+
+    def test_create_element_children_are_subtrees_of_content(self):
+        # A non-list content value contributes its *children*.
+        base = Constant(Source("s", "r"),
+                        elem("home", elem("zip", "1")), "H")
+        plan = CreateElement(base, "copy", "H", "E")
+        out = evaluate_bindings(plan, {"s": Tree("s", [elem("x")])})
+        assert [c.label for c in out[0].value("E").children] == ["zip"]
+
+
+class TestOrderBySetOps:
+    def _letters(self, *labels):
+        doc = Tree("src", [Tree("r", [elem("x", l) for l in labels])])
+        return (GetDescendants(
+            GetDescendants(Source("src", "root"), "root", "r.x", "X"),
+            "X", "_", "V"), {"src": doc})
+
+    def test_order_by_string(self):
+        plan, sources = self._letters("b", "a", "c")
+        out = evaluate_bindings(OrderBy(plan, ["V"]), sources)
+        assert [b.value("V").label for b in out] == ["a", "b", "c"]
+
+    def test_order_by_numeric(self):
+        plan, sources = self._letters("10", "9", "100")
+        out = evaluate_bindings(OrderBy(plan, ["V"]), sources)
+        assert [b.value("V").label for b in out] == ["9", "10", "100"]
+
+    def test_order_by_descending(self):
+        plan, sources = self._letters("1", "3", "2")
+        out = evaluate_bindings(OrderBy(plan, ["V"], descending=True),
+                                sources)
+        assert [b.value("V").label for b in out] == ["3", "2", "1"]
+
+    def test_order_by_stable(self):
+        doc = Tree("src", [Tree("r", [
+            elem("x", "k"), elem("y", "k"), elem("z", "k")])])
+        plan = GetDescendants(
+            GetDescendants(Source("src", "root"), "root", "r._", "X"),
+            "X", "_", "V")
+        out = evaluate_bindings(OrderBy(plan, ["V"]), {"src": doc})
+        assert [b.value("X").label for b in out] == ["x", "y", "z"]
+
+    def test_union(self):
+        plan, sources = self._letters("a", "b")
+        union = Union(plan, plan)
+        out = evaluate_bindings(union, sources)
+        assert len(out) == 4
+
+    def test_union_schema_mismatch_rejected(self):
+        plan, _ = self._letters("a")
+        other = Project(plan, ["V"])
+        with pytest.raises(PlanError):
+            Union(plan, other).validate()
+
+    def test_difference(self):
+        plan, sources = self._letters("a", "b", "c")
+        only_a = Select(plan, Comparison(Var("V"), "=", Const_("a")))
+        out = evaluate_bindings(Difference(plan, only_a), sources)
+        assert [b.value("V").label for b in out] == ["b", "c"]
+
+    def test_distinct(self):
+        plan, sources = self._letters("a", "b", "a")
+        out = evaluate_bindings(Distinct(Project(plan, ["V"])), sources)
+        assert [b.value("V").label for b in out] == ["a", "b"]
+
+
+def Const_(value):
+    from repro.algebra import Const
+    return Const(value)
+
+
+class TestFullPlan:
+    def test_fig4_plan_produces_expected_answer(self):
+        answer = evaluate(fig4_plan(), fig4_sources())
+        assert answer == expected_fig4_answer()
+
+    def test_plan_pretty_contains_all_operators(self):
+        text = fig4_plan().pretty()
+        for fragment in ["tupleDestroy", "createElement", "groupBy",
+                         "concatenate", "join", "getDescendants",
+                         "source"]:
+            assert fragment in text
+
+    def test_tuple_destroy_needs_singleton(self):
+        plan = TupleDestroy(
+            Project(GetDescendants(
+                GetDescendants(Source("homesSrc", "root"),
+                               "root", "homes.home", "H"),
+                "H", "zip._", "V"), ["V"]), "V")
+        with pytest.raises(PlanError):
+            evaluate(plan, {"homesSrc": homes_source()})
+
+    def test_empty_answer_still_constructs_element(self):
+        # No homes match an impossible filter; the {} group still
+        # produces <answer/>.
+        base = GetDescendants(Source("homesSrc", "root"),
+                              "root", "nohomes.home", "H")
+        grouped = GroupBy(base, [], [("H", "Hs")])
+        answer = CreateElement(grouped, "answer", "Hs", "A")
+        out = evaluate(TupleDestroy(answer, "A"),
+                       {"homesSrc": homes_source()})
+        assert out == elem("answer")

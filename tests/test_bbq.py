@@ -1,0 +1,133 @@
+"""Tests for the BBQ browse-and-query session."""
+
+import pytest
+
+from repro.client.bbq import BBQError, BBQSession
+from repro.mediator import MIXMediator
+from repro.wrappers import XMLFileWrapper
+
+HOMES_XML = ("<homes>"
+             "<home><addr>La Jolla</addr><zip>91220</zip></home>"
+             "<home><addr>El Cajon</addr><zip>91223</zip></home>"
+             "</homes>")
+SCHOOLS_XML = ("<schools>"
+               "<school><dir>Smith</dir><zip>91220</zip></school>"
+               "<school><dir>Hart</dir><zip>91223</zip></school>"
+               "</schools>")
+QUERY = ("CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}"
+         "</answer> {} "
+         "WHERE homesSrc homes.home $H AND $H zip._ $V1 "
+         "AND schoolsSrc schools.school $S AND $S zip._ $V2 "
+         "AND $V1 = $V2")
+
+
+@pytest.fixture
+def session():
+    med = MIXMediator()
+    med.register_wrapper("homesSrc",
+                         XMLFileWrapper("homesSrc", HOMES_XML))
+    med.register_wrapper("schoolsSrc",
+                         XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+    return BBQSession(med)
+
+
+class TestSessionAPI:
+    def test_no_document_initially(self, session):
+        assert not session.has_document
+        with pytest.raises(BBQError):
+            session.cwd
+
+    def test_query_opens_answer(self, session):
+        root = session.query(QUERY)
+        assert root.tag == "answer"
+        assert session.pwd() == "/answer"
+
+    def test_ls_lists_children(self, session):
+        session.query(QUERY)
+        lines = session.ls()
+        assert len(lines) == 2
+        assert all("<med_home>" in line for line in lines)
+
+    def test_cd_by_index_and_tag(self, session):
+        session.query(QUERY)
+        session.cd("1")
+        assert session.pwd() == "/answer/med_home"
+        session.cd("home")
+        assert session.pwd() == "/answer/med_home/home"
+
+    def test_cd_errors(self, session):
+        session.query(QUERY)
+        with pytest.raises(BBQError):
+            session.cd("7")
+        with pytest.raises(BBQError):
+            session.cd("nothere")
+
+    def test_cd_on_leaf_fails(self, session):
+        session.query(QUERY)
+        session.cd("0")
+        session.cd("home")
+        session.cd("addr")
+        session.cd("0")  # the text leaf
+        with pytest.raises(BBQError):
+            session.cd("0")
+
+    def test_up_and_root_guard(self, session):
+        session.query(QUERY)
+        session.cd("0")
+        session.up()
+        assert session.pwd() == "/answer"
+        with pytest.raises(BBQError):
+            session.up()
+
+    def test_text_and_tree(self, session):
+        session.query(QUERY)
+        session.cd("0")
+        session.cd("home")
+        assert session.text() == "La Jolla91220"
+        assert session.tree() == "home[addr[La Jolla], zip[91220]]"
+
+    def test_stats_reports_navigations(self, session):
+        session.query(QUERY)
+        before = session.stats()
+        assert "source navigations: 0" in before
+        session.ls()
+        assert "source navigations: 0" not in session.stats()
+
+    def test_new_query_resets_cwd(self, session):
+        session.query(QUERY)
+        session.cd("0")
+        session.query(QUERY)
+        assert session.pwd() == "/answer"
+
+
+class TestCommandSurface:
+    def test_full_scripted_session(self, session):
+        outputs = [session.execute(line) for line in [
+            "query " + QUERY,
+            "ls",
+            "cd 0",
+            "cd home",
+            "text",
+            "pwd",
+            "up",
+            "stats",
+        ]]
+        assert outputs[0] == "opened virtual answer <answer>"
+        assert "<med_home>" in outputs[1]
+        assert outputs[4] == "La Jolla91220"
+        assert outputs[5] == "/answer/med_home/home"
+        assert "source navigations" in outputs[7]
+
+    def test_errors_are_messages_not_exceptions(self, session):
+        assert session.execute("cd 0").startswith("error:")
+        session.execute("query " + QUERY)
+        assert session.execute("cd 99").startswith("error:")
+        assert session.execute("frobnicate").startswith("error:")
+
+    def test_empty_line_is_noop(self, session):
+        assert session.execute("   ") == ""
+
+    def test_usage_errors(self, session):
+        assert "usage" in session.execute("query")
+        session.execute("query " + QUERY)
+        assert "usage" in session.execute("cd")

@@ -1,0 +1,338 @@
+"""Tests for open trees, LXP, and the generic buffer component
+(paper Section 4, Definitions 3-4, Example 7, Figure 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import (
+    BufferComponent,
+    FragElem,
+    FragHole,
+    LXPProtocolError,
+    PrefetchingBuffer,
+    RandomizedLXPServer,
+    TreeLXPServer,
+    count_holes,
+    fragment_of_tree,
+    open_tree_to_tree,
+    validate_fill_reply,
+)
+from repro.navigation import materialize
+from repro.xtree import Tree, elem, leaf
+
+
+class TestFillReplyValidation:
+    def test_empty_reply_is_legal(self):
+        validate_fill_reply([])
+
+    def test_elements_only(self):
+        validate_fill_reply([FragElem("a"), FragElem("b")])
+
+    def test_trailing_hole(self):
+        validate_fill_reply([FragElem("a"), FragHole(1)])
+
+    def test_leading_hole(self):
+        validate_fill_reply([FragHole(1), FragElem("a")])
+
+    def test_only_holes_rejected(self):
+        with pytest.raises(LXPProtocolError):
+            validate_fill_reply([FragHole(1)])
+
+    def test_adjacent_holes_rejected(self):
+        with pytest.raises(LXPProtocolError):
+            validate_fill_reply([FragElem("a"), FragHole(1),
+                                 FragHole(2)])
+
+    def test_nested_adjacent_holes_rejected(self):
+        bad = FragElem("a", (FragElem("b"), FragHole(1), FragHole(2)))
+        with pytest.raises(LXPProtocolError):
+            validate_fill_reply([bad])
+
+    def test_single_child_hole_is_legal(self):
+        validate_fill_reply([FragElem("a", (FragHole(1),))])
+
+    def test_fragment_of_tree_is_closed(self):
+        frag = fragment_of_tree(elem("a", elem("b", "c")))
+        assert frag == FragElem("a", (FragElem("b", (FragElem("c"),)),))
+
+
+EXAMPLE7_TREE = elem("a", elem("b", "d", "e"), elem("c"))
+
+
+class TestTreeLXPServer:
+    def test_root_hole(self):
+        server = TreeLXPServer(EXAMPLE7_TREE)
+        assert server.get_root() == FragHole(("root",))
+
+    def test_full_depth_ships_everything(self):
+        server = TreeLXPServer(EXAMPLE7_TREE, chunk_size=100)
+        reply = server.fill(("root",))
+        assert reply == [fragment_of_tree(EXAMPLE7_TREE)]
+        assert server.stats.fills == 1
+
+    def test_depth_one_leaves_child_holes(self):
+        server = TreeLXPServer(EXAMPLE7_TREE, depth=1)
+        (root,) = server.fill(("root",))
+        assert root.label == "a"
+        assert isinstance(root.children[0], FragHole)
+
+    def test_chunking_leaves_trailing_hole(self):
+        tree = Tree("r", [leaf(str(i)) for i in range(7)])
+        server = TreeLXPServer(tree, chunk_size=3, depth=2)
+        (root,) = server.fill(("root",))
+        labels = [c.label for c in root.children[:-1]]
+        assert labels == ["0", "1", "2"]
+        hole = root.children[-1]
+        reply2 = server.fill(hole.hole_id)
+        assert [c.label for c in reply2[:-1]] == ["3", "4", "5"]
+
+    def test_replies_always_validate(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(20)])
+        server = TreeLXPServer(tree, chunk_size=4, depth=1)
+        stack = [server.get_root().hole_id]
+        while stack:
+            reply = server.fill(stack.pop())
+            validate_fill_reply(reply)
+            for frag in reply:
+                queue = [frag]
+                while queue:
+                    f = queue.pop()
+                    if isinstance(f, FragHole):
+                        stack.append(f.hole_id)
+                    else:
+                        queue.extend(f.children)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TreeLXPServer(EXAMPLE7_TREE, chunk_size=0)
+        with pytest.raises(ValueError):
+            TreeLXPServer(EXAMPLE7_TREE, depth=0)
+
+    def test_unknown_hole(self):
+        server = TreeLXPServer(EXAMPLE7_TREE)
+        with pytest.raises(LXPProtocolError):
+            server.fill("garbage")
+
+
+class TestBufferComponent:
+    def test_exposes_the_source_tree(self):
+        buffer = BufferComponent(TreeLXPServer(EXAMPLE7_TREE, depth=1))
+        assert materialize(buffer) == EXAMPLE7_TREE
+
+    def test_fetch_never_fills(self):
+        buffer = BufferComponent(TreeLXPServer(EXAMPLE7_TREE, depth=1))
+        root = buffer.root()
+        fills = buffer.stats.fills
+        buffer.fetch(root)
+        assert buffer.stats.fills == fills
+
+    def test_down_on_leaf(self):
+        buffer = BufferComponent(TreeLXPServer(EXAMPLE7_TREE, depth=1))
+        b = buffer.down(buffer.root())
+        d = buffer.down(b)
+        assert buffer.fetch(d) == "d"
+        assert buffer.down(d) is None
+
+    def test_root_has_no_sibling(self):
+        buffer = BufferComponent(TreeLXPServer(EXAMPLE7_TREE))
+        assert buffer.right(buffer.root()) is None
+
+    def test_hit_rate_improves_with_chunking(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(50)])
+
+        def rate(chunk):
+            buffer = BufferComponent(
+                TreeLXPServer(tree, chunk_size=chunk, depth=3))
+            materialize(buffer)
+            return buffer.stats.hit_rate
+
+        assert rate(25) > rate(1)
+
+    def test_pointers_stay_valid_across_splices(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(10)])
+        buffer = BufferComponent(TreeLXPServer(tree, chunk_size=2,
+                                               depth=2))
+        first = buffer.down(buffer.root())
+        # Walk to the end, splicing several times.
+        node = first
+        while buffer.right(node) is not None:
+            node = buffer.right(node)
+        # The old pointer still navigates correctly.
+        assert buffer.fetch(first) == "x"
+        assert buffer.fetch(buffer.down(first)) == "0"
+
+    def test_holes_outstanding_decreases(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(10)])
+        buffer = BufferComponent(TreeLXPServer(tree, chunk_size=2,
+                                               depth=3))
+        materialize(buffer)
+        assert buffer.holes_outstanding() == 0
+
+    def test_empty_root_reply_raises(self):
+        class EmptyServer(TreeLXPServer):
+            def fill(self, hole_id):
+                return []
+
+        buffer = BufferComponent(EmptyServer(EXAMPLE7_TREE))
+        with pytest.raises(LXPProtocolError):
+            buffer.root()
+
+
+class TestExample7Trace:
+    """The liberal trace of Example 7, replayed literally."""
+
+    def test_liberal_fill_sequence(self):
+        # A scripted server answering exactly as in the paper.
+        script = {
+            ("root",): [FragElem("a", (FragHole(1),))],
+            1: [FragElem("b", (FragHole(2),)), FragHole(3)],
+            3: [FragElem("c")],
+            2: [FragHole(4), FragElem("d", (FragHole(5),)), FragHole(6)],
+            4: [],
+            5: [],
+            6: [FragElem("e")],
+        }
+
+        class ScriptedServer(TreeLXPServer):
+            def __init__(self):
+                self.stats = type("S", (), {"fills": 0})()
+
+            def get_root(self):
+                return FragHole(("root",))
+
+            def fill(self, hole_id):
+                return script[hole_id]
+
+        buffer = BufferComponent(ScriptedServer())
+        assert materialize(buffer) == elem("a", elem("b", "d", "e"),
+                                           elem("c"))
+
+
+class TestPrefetching:
+    def test_prefetch_reduces_demand_fills(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(60)])
+
+        def demand_fills(lookahead):
+            buffer = PrefetchingBuffer(
+                TreeLXPServer(tree, chunk_size=5, depth=3),
+                lookahead=lookahead)
+            materialize(buffer)
+            return buffer.prefetch_stats.demand_fills
+
+        assert demand_fills(4) < demand_fills(0)
+
+    def test_zero_lookahead_is_plain_buffer(self):
+        tree = Tree("r", [elem("x", str(i)) for i in range(10)])
+        buffer = PrefetchingBuffer(
+            TreeLXPServer(tree, chunk_size=5, depth=3), lookahead=0)
+        materialize(buffer)
+        assert buffer.prefetch_stats.prefetch_fills == 0
+
+
+# ----------------------------------------------------------------------
+# Property: the buffer over ANY liberal server is indistinguishable
+# from direct navigation of the complete tree.
+# ----------------------------------------------------------------------
+
+_trees = st.recursive(
+    st.sampled_from(list("pqxyz12")).map(leaf),
+    lambda kids: st.builds(
+        Tree, st.sampled_from(["r", "s", "t"]),
+        st.lists(kids, max_size=4)),
+    max_leaves=14,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(tree=_trees, seed=st.integers(0, 10000))
+def test_buffer_over_randomized_liberal_server(tree, seed):
+    buffer = BufferComponent(RandomizedLXPServer(tree, seed=seed))
+    assert materialize(buffer) == tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=_trees, chunk=st.integers(1, 5), depth=st.integers(1, 4))
+def test_buffer_over_chunked_server(tree, chunk, depth):
+    buffer = BufferComponent(
+        TreeLXPServer(tree, chunk_size=chunk, depth=depth))
+    assert materialize(buffer) == tree
+    assert buffer.holes_outstanding() == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=_trees, seed=st.integers(0, 5000), data=st.data())
+def test_partial_navigation_matches_materialized(tree, seed, data):
+    """Any partial navigation over the buffer equals the same
+    navigation over the in-memory tree -- not just full exploration."""
+    from repro.navigation import MaterializedDocument, Navigation, \
+        run_navigation
+    commands = data.draw(st.lists(
+        st.sampled_from(["d", "r", "f"]), max_size=15))
+    nav = Navigation.parse(";".join(commands))
+
+    reference = run_navigation(MaterializedDocument(tree), nav)
+    buffered_doc = BufferComponent(RandomizedLXPServer(tree, seed=seed))
+    actual = run_navigation(buffered_doc, nav)
+
+    assert actual.labels == reference.labels
+    assert [p is None for p in actual.pointers] == \
+        [p is None for p in reference.pointers]
+
+
+class TestAdaptiveGranularity:
+    def _tree(self, n=200):
+        return Tree("r", [elem("x", str(i)) for i in range(n)])
+
+    def test_exposes_the_tree(self):
+        from repro.buffer import AdaptiveTreeLXPServer
+        tree = self._tree(50)
+        buffer = BufferComponent(
+            AdaptiveTreeLXPServer(tree, initial_chunk=2, max_chunk=16))
+        assert materialize(buffer) == tree
+
+    def test_chunk_grows_along_a_scan(self):
+        from repro.buffer import AdaptiveTreeLXPServer
+        server = AdaptiveTreeLXPServer(self._tree(), initial_chunk=2,
+                                       max_chunk=64, depth=2)
+        (root,) = server.fill(("root",))
+        hole = root.children[-1]
+        assert isinstance(hole, FragHole)
+        sizes = []
+        while isinstance(hole, FragHole):
+            reply = server.fill(hole.hole_id)
+            elems = [f for f in reply if isinstance(f, FragElem)]
+            sizes.append(len(elems))
+            hole = reply[-1]
+        # Doubling run capped at max_chunk.
+        assert sizes[0] == 2 and sizes[1] == 4 and sizes[2] == 8
+        assert max(sizes) <= 64
+        assert sizes[-2] == 64  # reached the cap
+
+    def test_fewer_fills_than_fixed_small_chunks(self):
+        from repro.buffer import AdaptiveTreeLXPServer
+        tree = self._tree(200)
+        adaptive = BufferComponent(
+            AdaptiveTreeLXPServer(tree, initial_chunk=2, max_chunk=64,
+                                  depth=2))
+        materialize(adaptive)
+        fixed = BufferComponent(TreeLXPServer(tree, chunk_size=2,
+                                              depth=2))
+        materialize(fixed)
+        assert adaptive.stats.fills < fixed.stats.fills / 3
+
+    def test_peek_stays_cheap(self):
+        from repro.buffer import AdaptiveTreeLXPServer
+        server = AdaptiveTreeLXPServer(self._tree(200),
+                                       initial_chunk=2, max_chunk=64,
+                                       depth=2)
+        buffer = BufferComponent(server)
+        buffer.fetch(buffer.down(buffer.root()))  # peek at one child
+        # Only the root fill (2 elements) happened: no overshipping.
+        assert server.stats.elements_shipped <= 6
+
+    def test_bad_parameters(self):
+        from repro.buffer import AdaptiveTreeLXPServer
+        with pytest.raises(ValueError):
+            AdaptiveTreeLXPServer(self._tree(5), initial_chunk=8,
+                                  max_chunk=4)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xtree import parse_xml
+
+QUERY = ("CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}"
+         "</answer> {} "
+         "WHERE homesSrc homes.home $H AND $H zip._ $V1 "
+         "AND schoolsSrc schools.school $S AND $S zip._ $V2 "
+         "AND $V1 = $V2")
+
+
+@pytest.fixture
+def source_files(tmp_path):
+    homes = tmp_path / "homes.xml"
+    homes.write_text(
+        "<homes><home><addr>La Jolla</addr><zip>91220</zip></home>"
+        "<home><addr>El Cajon</addr><zip>91223</zip></home></homes>")
+    schools = tmp_path / "schools.xml"
+    schools.write_text(
+        "<schools><school><dir>Smith</dir><zip>91220</zip></school>"
+        "<school><dir>Hart</dir><zip>91223</zip></school></schools>")
+    return {"homesSrc": str(homes), "schoolsSrc": str(schools)}
+
+
+def _query_argv(source_files, *extra):
+    argv = ["query"]
+    for name, path in source_files.items():
+        argv += ["-s", "%s=%s" % (name, path)]
+    argv += ["-q", QUERY]
+    argv += list(extra)
+    return argv
+
+
+class TestQueryCommand:
+    def test_prints_answer_document(self, source_files, capsys):
+        assert main(_query_argv(source_files)) == 0
+        out = capsys.readouterr().out.strip()
+        answer = parse_xml(out)
+        assert answer.label == "answer"
+        assert len(answer.children) == 2
+
+    def test_eager_matches_lazy(self, source_files, capsys):
+        main(_query_argv(source_files))
+        lazy_out = parse_xml(capsys.readouterr().out)
+        main(_query_argv(source_files, "--eager"))
+        eager_out = parse_xml(capsys.readouterr().out)
+        assert lazy_out == eager_out
+
+    def test_stats_go_to_stderr(self, source_files, capsys):
+        main(_query_argv(source_files, "--stats"))
+        captured = capsys.readouterr()
+        assert "source navigations" in captured.err
+        assert "homesSrc" in captured.err
+
+    def test_query_from_file(self, source_files, tmp_path, capsys):
+        query_file = tmp_path / "q.xmas"
+        query_file.write_text(QUERY)
+        argv = ["query"]
+        for name, path in source_files.items():
+            argv += ["-s", "%s=%s" % (name, path)]
+        argv += ["-f", str(query_file)]
+        assert main(argv) == 0
+        assert parse_xml(capsys.readouterr().out).label == "answer"
+
+    def test_bad_source_spec(self, source_files):
+        with pytest.raises(SystemExit):
+            main(["query", "-s", "nonsense", "-q", QUERY])
+
+    def test_pretty_output(self, source_files, capsys):
+        main(_query_argv(source_files, "--pretty"))
+        out = capsys.readouterr().out
+        assert "\n  <med_home>" in out
+
+
+class TestPlanCommand:
+    def test_shows_plan_and_class(self, capsys):
+        assert main(["plan", "-q", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "tupleDestroy" in out
+        assert "join[$V1 = $V2]" in out
+        assert "browsability:" in out
+
+    def test_shows_rewrites_when_applicable(self, capsys):
+        selective = QUERY + " AND $V1 = 91220"
+        main(["plan", "-q", selective])
+        out = capsys.readouterr().out
+        assert "rewritten plan" in out
+
+
+class TestClassifyCommand:
+    def test_per_node_report(self, capsys):
+        assert main(["classify", "-q",
+                     "CONSTRUCT <a> $X {$X} </a> {} "
+                     "WHERE src r.hit $X ORDER BY $X"]) == 0
+        out = capsys.readouterr().out
+        assert "unbrowsable" in out
+        assert "orderBy" in out
+
+    def test_sigma_flag_changes_class(self, capsys):
+        query = ("CONSTRUCT <a> $X {$X} </a> {} WHERE src hit $X")
+        main(["classify", "-q", query])
+        without = capsys.readouterr().out
+        main(["classify", "-q", query, "--sigma"])
+        with_sigma = capsys.readouterr().out
+
+        def line_of(text, fragment):
+            return next(l for l in text.splitlines() if fragment in l)
+
+        # groupBy keeps the plan root browsable either way, but sigma
+        # upgrades the label extraction itself.
+        assert "bounded" not in line_of(without, "getDescendants")
+        assert "bounded" in line_of(with_sigma, "getDescendants")

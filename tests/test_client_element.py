@@ -1,0 +1,136 @@
+"""Unit tests for the XMLElement client API (over materialized
+documents, where behaviour is easiest to pin down exactly)."""
+
+import pytest
+
+from repro.client import XMLElement, open_virtual_document
+from repro.navigation import CountingDocument, MaterializedDocument
+from repro.xtree import Tree, elem, leaf
+
+
+def _root(tree):
+    return open_virtual_document(MaterializedDocument(tree))
+
+
+@pytest.fixture
+def home_root():
+    return _root(elem(
+        "home",
+        elem("addr", "La Jolla"),
+        elem("zip", "91220"),
+        elem("zip", "91221"),
+        elem("note"),
+    ))
+
+
+class TestBasicAccess:
+    def test_tag(self, home_root):
+        assert home_root.tag == "home"
+
+    def test_first_child_and_right(self, home_root):
+        first = home_root.first_child()
+        assert first.tag == "addr"
+        assert first.right().tag == "zip"
+
+    def test_children_in_order(self, home_root):
+        assert [c.tag for c in home_root.children()] == [
+            "addr", "zip", "zip", "note"]
+
+    def test_child_list(self, home_root):
+        assert len(home_root.child_list()) == 4
+
+    def test_leaf_detection(self, home_root):
+        assert not home_root.is_leaf
+        assert home_root.find("note").is_leaf
+        assert home_root.find("addr").first_child().is_leaf
+
+    def test_find_first_match(self, home_root):
+        assert home_root.find("zip").text() == "91220"
+
+    def test_find_missing(self, home_root):
+        assert home_root.find("bath") is None
+
+    def test_find_all(self, home_root):
+        assert [z.text() for z in home_root.find_all("zip")] == [
+            "91220", "91221"]
+
+    def test_text_concatenates(self, home_root):
+        # The T = D | D[T*] model identifies empty elements with text
+        # leaves, so <note/> contributes its label to text() -- pinned
+        # here as the (paper-inherited) model semantics.
+        assert home_root.text() == "La Jolla9122091221note"
+
+    def test_to_tree_round_trip(self, home_root):
+        rebuilt = home_root.to_tree()
+        assert rebuilt == elem(
+            "home", elem("addr", "La Jolla"), elem("zip", "91220"),
+            elem("zip", "91221"), elem("note"))
+
+    def test_repr(self, home_root):
+        assert "home" in repr(home_root)
+
+
+class TestLazinessAndMemoization:
+    def _counted_root(self, tree):
+        counter = CountingDocument(MaterializedDocument(tree))
+        return open_virtual_document(counter), counter
+
+    def test_tag_fetched_once(self):
+        root, counter = self._counted_root(elem("a", "x"))
+        root.tag
+        fetches = counter.counters.fetch
+        root.tag
+        assert counter.counters.fetch == fetches
+
+    def test_first_child_resolved_once(self):
+        root, counter = self._counted_root(elem("a", "x", "y"))
+        first = root.first_child()
+        downs = counter.counters.down
+        assert root.first_child() is first
+        assert counter.counters.down == downs
+
+    def test_right_resolved_once(self):
+        root, counter = self._counted_root(elem("a", "x", "y"))
+        first = root.first_child()
+        sib = first.right()
+        rights = counter.counters.right
+        assert first.right() is sib
+        assert counter.counters.right == rights
+
+    def test_children_iterator_is_lazy(self):
+        root, counter = self._counted_root(
+            Tree("a", [leaf(str(i)) for i in range(100)]))
+        iterator = root.children()
+        next(iterator)
+        next(iterator)
+        # Two children consumed: far fewer than 100 navigations.
+        assert counter.total < 10
+
+    def test_none_results_memoized_too(self):
+        root, counter = self._counted_root(elem("a"))
+        assert root.first_child() is None
+        downs = counter.counters.down
+        assert root.first_child() is None
+        assert counter.counters.down == downs
+
+
+class TestEdgeShapes:
+    def test_single_leaf_document(self):
+        root = _root(leaf("just-text"))
+        assert root.is_leaf
+        assert root.text() == "just-text"
+        assert root.to_tree() == leaf("just-text")
+
+    def test_deep_chain(self):
+        tree = leaf("bottom")
+        for _ in range(50):
+            tree = Tree("n", [tree])
+        root = _root(tree)
+        node = root
+        while not node.is_leaf:
+            node = node.first_child()
+        assert node.tag == "bottom"
+
+    def test_mixed_content_text(self):
+        root = _root(elem("p", "hello ", elem("b", "world"), "!"))
+        assert root.text() == "hello world!"

@@ -1,0 +1,134 @@
+"""Tests for DTD inference ([LPVV99] companion feature: BBQ is
+DTD-oriented) and PathNFA.final_labels."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.xmas import infer_dtd, parse_xmas, translate
+from repro.xmas.dtd import ANY_NAME, PCDATA
+from repro.xtree import compile_path, elem
+
+from .fixtures import fig4_sources
+
+FIG3_QUERY = """
+CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2
+"""
+
+
+class TestFinalLabels:
+    @pytest.mark.parametrize("path,expected", [
+        ("homes.home", {"home"}),
+        ("a|b", {"a", "b"}),
+        ("a.b|c.d", {"b", "d"}),
+        ("a.b*", {"a", "b"}),      # the star can be empty
+        ("a.b+", {"b"}),
+        ("(a|b).c?", {"a", "b", "c"}),
+    ])
+    def test_concrete_finals(self, path, expected):
+        assert compile_path(path).final_labels() == frozenset(expected)
+
+    @pytest.mark.parametrize("path", ["_", "zip._", "a._*"])
+    def test_wildcard_final_is_none(self, path):
+        assert compile_path(path).final_labels() is None
+
+
+class TestInference:
+    def test_fig3_dtd(self):
+        dtd = infer_dtd(parse_xmas(FIG3_QUERY))
+        text = dtd.render()
+        assert "<!ELEMENT answer (med_home*)>" in text
+        assert "<!ELEMENT med_home (home, school*)>" in text
+        assert "<!ELEMENT home ANY>" in text
+        assert "<!ELEMENT school ANY>" in text
+
+    def test_answer_validates_against_inferred_dtd(self):
+        query = parse_xmas(FIG3_QUERY)
+        dtd = infer_dtd(query)
+        answer = evaluate(translate(query), fig4_sources())
+        assert dtd.validate(answer) == []
+
+    def test_violations_detected(self):
+        dtd = infer_dtd(parse_xmas(FIG3_QUERY))
+        assert dtd.validate(elem("wrong_root"))
+        assert dtd.validate(elem("answer", elem("oops")))
+        # A med_home without its home child:
+        bad = elem("answer", elem("med_home", elem("school")))
+        assert dtd.validate(bad)
+
+    def test_literal_becomes_pcdata(self):
+        query = parse_xmas(
+            'CONSTRUCT <a> "hi" $X {$X} </a> {} WHERE s p.q $X')
+        dtd = infer_dtd(query)
+        decl = next(d for d in dtd.declarations if d.name == "a")
+        assert decl.particles[0].names == (PCDATA,)
+        assert decl.particles[1].names == ("q",)
+        assert decl.particles[1].occurs == "*"
+
+    def test_wildcard_variable_is_any(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE s p._ $X")
+        dtd = infer_dtd(query)
+        decl = next(d for d in dtd.declarations if d.name == "a")
+        assert decl.particles[0].names == (ANY_NAME,)
+        # ANY admits anything:
+        assert dtd.validate(elem("a", elem("whatever"), "text")) == []
+
+    def test_alternation_variable_names(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE s p.(b|c) $X")
+        dtd = infer_dtd(query)
+        decl = next(d for d in dtd.declarations if d.name == "a")
+        assert decl.particles[0].names == ("b", "c")
+        assert "(b | c)*" in decl.render()
+
+    def test_nested_markerless_element_occurs_once(self):
+        query = parse_xmas(
+            "CONSTRUCT <out> <wrap> $H </wrap> {$H} </out> {} "
+            "WHERE s p.home $H")
+        dtd = infer_dtd(query)
+        out = next(d for d in dtd.declarations if d.name == "out")
+        assert out.particles[0].render() == "wrap*"
+        wrap = next(d for d in dtd.declarations if d.name == "wrap")
+        assert wrap.particles[0].render() == "home"
+
+    def test_empty_head_element(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> </a> {} WHERE s p $X")
+        dtd = infer_dtd(query)
+        assert "<!ELEMENT a EMPTY>" in dtd.render()
+        assert dtd.validate(elem("a")) == []
+
+    def test_sibling_templates(self):
+        query = parse_xmas("""
+            CONSTRUCT <report>
+                        <homes> $H {$H} </homes>
+                        <schools> $S {$S} </schools>
+                      </report> {}
+            WHERE homesSrc homes.home $H AND $H zip._ $V1
+              AND schoolsSrc schools.school $S AND $S zip._ $V2
+              AND $V1 = $V2
+        """)
+        dtd = infer_dtd(query)
+        report = next(d for d in dtd.declarations
+                      if d.name == "report")
+        assert report.render() == \
+            "<!ELEMENT report (homes, schools)>"
+        answer = evaluate(translate(query), fig4_sources())
+        assert dtd.validate(answer) == []
+
+
+class TestBBQSchema:
+    def test_schema_command(self):
+        from repro.client.bbq import BBQSession
+        from repro.mediator import MIXMediator
+        from repro.navigation import MaterializedDocument
+        med = MIXMediator()
+        for url, tree in fig4_sources().items():
+            med.register_source(url, MaterializedDocument(tree))
+        session = BBQSession(med)
+        assert session.execute("schema").startswith("error:")
+        session.execute("query " + FIG3_QUERY.replace("\n", " "))
+        schema = session.execute("schema")
+        assert "<!ELEMENT med_home (home, school*)>" in schema

@@ -1,0 +1,179 @@
+"""Failure injection and robustness: protocol violations, malformed
+inputs, unicode, and deep documents."""
+
+import pytest
+
+from repro.buffer import (
+    BufferComponent,
+    FragElem,
+    FragHole,
+    LXPProtocolError,
+    TreeLXPServer,
+)
+from repro.mediator import MediatorError, MIXMediator
+from repro.navigation import MaterializedDocument, materialize
+from repro.wrappers import XMLFileWrapper
+from repro.xmas import XMASSyntaxError, XMASTranslationError
+from repro.xtree import Tree, XMLParseError, elem, leaf, parse_xml, to_xml
+
+
+class _ScriptedServer:
+    """An LXP server answering from a fixed script (for misbehaviour)."""
+
+    def __init__(self, script):
+        self.script = script
+
+    def get_root(self):
+        return FragHole(("root",))
+
+    def fill(self, hole_id):
+        return self.script[hole_id]
+
+
+class TestMaliciousWrappers:
+    def test_adjacent_holes_rejected(self):
+        server = _ScriptedServer({
+            ("root",): [FragElem("a", (FragHole(1),))],
+            1: [FragHole(2), FragHole(3)],
+        })
+        buffer = BufferComponent(server)
+        root = buffer.root()
+        with pytest.raises(LXPProtocolError):
+            buffer.down(root)
+
+    def test_only_holes_rejected(self):
+        server = _ScriptedServer({
+            ("root",): [FragHole(7)],
+        })
+        buffer = BufferComponent(server)
+        with pytest.raises(LXPProtocolError):
+            buffer.root()
+
+    def test_no_root_element_rejected(self):
+        server = _ScriptedServer({("root",): []})
+        buffer = BufferComponent(server)
+        with pytest.raises(LXPProtocolError):
+            buffer.root()
+
+    def test_nested_violation_rejected(self):
+        bad_child = FragElem("a", (FragElem("b"), FragHole(1),
+                                   FragHole(2)))
+        server = _ScriptedServer({("root",): [bad_child]})
+        buffer = BufferComponent(server)
+        with pytest.raises(LXPProtocolError):
+            buffer.root()
+
+    def test_dead_end_holes_are_fine(self):
+        # Empty replies are legal: the hole represented zero elements.
+        server = _ScriptedServer({
+            ("root",): [FragElem("a", (FragHole(1),))],
+            1: [],
+        })
+        buffer = BufferComponent(server)
+        assert materialize(buffer) == leaf("a")
+
+    def test_unbounded_virtual_document_guard(self):
+        """A wrapper can keep promising more siblings forever; the
+        materialize() guard catches runaway exploration."""
+
+        class Endless:
+            def get_root(self):
+                return FragHole(0)
+
+            def fill(self, hole_id):
+                if hole_id == 0:
+                    return [FragElem("r", (FragHole(1),))]
+                return [FragElem("x"), FragHole(hole_id + 1)]
+
+        buffer = BufferComponent(Endless())
+        with pytest.raises(RuntimeError):
+            materialize(buffer, max_nodes=50)
+
+
+class TestMediatorErrors:
+    def test_unknown_source_at_prepare_time(self):
+        med = MIXMediator()
+        with pytest.raises(MediatorError):
+            med.prepare("CONSTRUCT <a> $X {$X} </a> {} WHERE ghost p $X")
+
+    def test_syntax_error_propagates(self):
+        med = MIXMediator()
+        with pytest.raises(XMASSyntaxError):
+            med.prepare("CONSTRUCT <a> oops")
+
+    def test_translation_error_propagates(self):
+        med = MIXMediator()
+        med.register_wrapper("s", XMLFileWrapper("s", "<r><a>1</a></r>"))
+        with pytest.raises(XMASTranslationError):
+            med.prepare("CONSTRUCT <a> $Q {$Q} </a> {} WHERE s r $X")
+
+    def test_view_name_clash(self):
+        med = MIXMediator()
+        med.register_wrapper("s", XMLFileWrapper("s", "<r/>"))
+        med.register_view("v", "CONSTRUCT <a> $X {$X} </a> {} "
+                               "WHERE s _ $X")
+        with pytest.raises(MediatorError):
+            med.register_view("v", "CONSTRUCT <b> $X {$X} </b> {} "
+                                   "WHERE s _ $X")
+
+
+class TestUnicodeAndOddContent:
+    def test_unicode_round_trip(self):
+        xml = "<r><name>København 中文</name></r>"
+        tree = parse_xml(xml)
+        assert parse_xml(to_xml(tree)) == tree
+
+    def test_unicode_through_the_stack(self):
+        med = MIXMediator()
+        med.register_wrapper("s", XMLFileWrapper(
+            "s", "<r><x><n>été</n></x></r>"))
+        answer = med.prepare(
+            "CONSTRUCT <out> $N {$N} </out> {} WHERE s r.x.n._ $N"
+        ).materialize()
+        assert answer.child(0).label == "été"
+
+    def test_whitespace_heavy_text(self):
+        tree = parse_xml("<r>  spaced   out  </r>")
+        assert tree.child(0).label == "spaced   out"
+
+    def test_label_with_xml_metachars_escapes(self):
+        tree = elem("r", "a < b & c > d")
+        assert parse_xml(to_xml(tree)) == tree
+
+
+class TestDeepDocuments:
+    def _deep(self, depth):
+        node = leaf("bottom")
+        for _ in range(depth):
+            node = Tree("n", [node])
+        return Tree("src", [node])
+
+    def test_deep_parse_and_serialize(self):
+        deep = self._deep(300)
+        assert parse_xml(to_xml(deep)) == deep
+
+    def test_deep_navigation(self):
+        doc = MaterializedDocument(self._deep(300))
+        pointer = doc.root()
+        depth = 0
+        while (nxt := doc.down(pointer)) is not None:
+            pointer = nxt
+            depth += 1
+        assert depth == 301
+        assert doc.fetch(pointer) == "bottom"
+
+    def test_deep_recursive_path_query(self):
+        med = MIXMediator()
+        med.register_source("s", MaterializedDocument(self._deep(150)))
+        answer = med.prepare(
+            "CONSTRUCT <out> $X {$X} </out> {} WHERE s n+._ $X"
+        ).materialize()
+        # one binding per depth where the leaf is reachable: only the
+        # innermost '_' match is the 'bottom' leaf under each n-chain.
+        assert any(c.label == "bottom" for c in answer.children)
+
+    def test_deep_buffered_wrapper(self):
+        deep = self._deep(200)
+        buffer = BufferComponent(TreeLXPServer(deep, chunk_size=1,
+                                               depth=1))
+        assert materialize(buffer) == deep

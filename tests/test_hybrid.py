@@ -1,0 +1,159 @@
+"""Tests for hybrid lazy/eager evaluation (the Materialize operator
+and the materialize-unbrowsable optimizer rule -- paper Section 6's
+future work)."""
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    GetDescendants,
+    Materialize,
+    OrderBy,
+    Project,
+    Source,
+    evaluate_bindings,
+    walk_plan,
+)
+from repro.bench import homes_and_schools
+from repro.lazy import BindingsDocument, LazyMaterialize, build_lazy_plan
+from repro.mediator import MIXMediator
+from repro.navigation import (
+    CountingDocument,
+    MaterializedDocument,
+    materialize,
+)
+from repro.rewriter import optimize
+from repro.xtree import Tree, elem
+
+ORDERED_QUERY = ("CONSTRUCT <out> $H {$H} </out> {} "
+                 "WHERE homesSrc homes.home $H AND $H zip._ $V "
+                 "ORDER BY $V DESC")
+
+
+def _chain():
+    return Project(
+        GetDescendants(
+            GetDescendants(Source("src", "R"), "R", "r.x", "X"),
+            "X", "_", "V"),
+        ["X", "V"])
+
+
+def _tree(n=6):
+    return {"src": Tree("src", [Tree("r", [
+        elem("x", str(n - i)) for i in range(n)])])}
+
+
+class TestMaterializeOperator:
+    def test_identity_semantics(self):
+        plan = Materialize(OrderBy(_chain(), ["V"]))
+        trees = _tree()
+        assert evaluate_bindings(plan, trees) == \
+            evaluate_bindings(plan.child, trees)
+
+    def test_lazy_matches_eager(self):
+        plan = Materialize(OrderBy(_chain(), ["V"]))
+        trees = _tree()
+        docs = {u: MaterializedDocument(t) for u, t in trees.items()}
+        lazy = build_lazy_plan(plan, docs)
+        assert materialize(BindingsDocument(lazy)) == \
+            evaluate_bindings(plan, trees).to_tree()
+
+    def test_rewalk_is_free(self):
+        plan = Materialize(OrderBy(_chain(), ["V"]))
+        trees = _tree()
+        docs = {u: CountingDocument(MaterializedDocument(t))
+                for u, t in trees.items()}
+        lazy = build_lazy_plan(plan, docs)
+        materialize(BindingsDocument(lazy))
+        first_walk = sum(d.total for d in docs.values())
+        materialize(BindingsDocument(lazy))
+        assert sum(d.total for d in docs.values()) == first_walk
+
+    def test_untouched_variables_cost_nothing(self):
+        # The source-root variable R is never navigated if unused.
+        plan = Materialize(OrderBy(
+            GetDescendants(
+                GetDescendants(Source("src", "R"), "R", "r.x", "X"),
+                "X", "_", "V"),
+            ["V"]))
+        trees = _tree()
+        docs = {u: CountingDocument(MaterializedDocument(t))
+                for u, t in trees.items()}
+        lazy = build_lazy_plan(plan, docs)
+        binding = lazy.first_binding()
+        forced = sum(d.total for d in docs.values())
+        # Touch only $V values: far cheaper than draining $R (the
+        # whole document per binding).
+        while binding is not None:
+            lazy.v_fetch(lazy.attribute(binding, "V"))
+            binding = lazy.next_binding(binding)
+        total = sum(d.total for d in docs.values())
+        assert total - forced < 40
+
+    def test_empty_input(self):
+        plan = Materialize(GetDescendants(Source("src", "R"), "R",
+                                          "none", "X"))
+        docs = {"src": MaterializedDocument(Tree("src", [elem("a")]))}
+        lazy = build_lazy_plan(plan, docs)
+        assert lazy.first_binding() is None
+
+
+class TestHybridOptimizer:
+    def test_rule_wraps_orderby(self):
+        plan = OrderBy(_chain(), ["V"])
+        optimized, trace = optimize(plan, hybrid=True)
+        assert "materialize-unbrowsable" in trace.applied
+        assert isinstance(optimized, Materialize)
+
+    def test_rule_wraps_difference(self):
+        left = Project(_chain(), ["V"])
+        plan = Difference(left, left)
+        optimized, trace = optimize(plan, hybrid=True)
+        assert isinstance(optimized, Materialize)
+
+    def test_no_double_wrapping(self):
+        plan = Materialize(OrderBy(_chain(), ["V"]))
+        optimized, _ = optimize(plan, hybrid=True)
+        count = sum(1 for n in walk_plan(optimized)
+                    if isinstance(n, Materialize))
+        assert count == 1
+
+    def test_disabled_by_default(self):
+        plan = OrderBy(_chain(), ["V"])
+        optimized, trace = optimize(plan)
+        assert "materialize-unbrowsable" not in trace.applied
+
+    def test_browsable_plans_untouched(self):
+        plan = _chain()
+        optimized, trace = optimize(plan, hybrid=True)
+        assert not any(isinstance(n, Materialize)
+                       for n in walk_plan(optimized))
+
+
+class TestHybridMediator:
+    def _mediator(self, hybrid):
+        med = MIXMediator(hybrid=hybrid)
+        for url, tree in homes_and_schools(10).items():
+            med.register_source(url, MaterializedDocument(tree))
+        return med
+
+    def test_same_answers(self):
+        plain = self._mediator(False).prepare(ORDERED_QUERY)
+        hybrid = self._mediator(True).prepare(ORDERED_QUERY)
+        assert plain.materialize() == hybrid.materialize()
+
+    def test_first_browse_not_worse(self):
+        plain = self._mediator(False)
+        plain.prepare(ORDERED_QUERY).materialize()
+        hybrid = self._mediator(True)
+        hybrid.prepare(ORDERED_QUERY).materialize()
+        assert hybrid.total_source_navigations() <= \
+            plain.total_source_navigations()
+
+    def test_rebrowse_is_free(self):
+        med = self._mediator(True)
+        result = med.prepare(ORDERED_QUERY)
+        result.materialize()
+        after_first = med.total_source_navigations()
+        result.materialize()
+        assert med.total_source_navigations() == after_first

@@ -1,0 +1,290 @@
+"""Integration tests: the MIX mediator and the thin client library."""
+
+import pytest
+
+from repro.bench import allbooks_plan, two_bookstores
+from repro.mediator import MediatorError, MIXMediator
+from repro.navigation import MaterializedDocument
+from repro.client import open_virtual_document
+from repro.oodb import ObjectStore
+from repro.relational import Connection, Database
+from repro.wrappers import (
+    OODBLXPWrapper,
+    RelationalLXPWrapper,
+    XMLFileWrapper,
+)
+from repro.xtree import Tree, elem
+
+from .fixtures import expected_fig4_answer
+
+HOMES_XML = ("<homes>"
+             "<home><addr>La Jolla</addr><zip>91220</zip></home>"
+             "<home><addr>El Cajon</addr><zip>91223</zip></home>"
+             "</homes>")
+SCHOOLS_XML = ("<schools>"
+               "<school><dir>Smith</dir><zip>91220</zip></school>"
+               "<school><dir>Bar</dir><zip>91220</zip></school>"
+               "<school><dir>Hart</dir><zip>91223</zip></school>"
+               "</schools>")
+QUERY = """
+CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2 AND $V1 = $V2
+"""
+
+
+@pytest.fixture
+def mediator():
+    med = MIXMediator()
+    med.register_wrapper(
+        "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML,
+                                   chunk_size=2, depth=2))
+    med.register_wrapper(
+        "schoolsSrc", XMLFileWrapper("schoolsSrc", SCHOOLS_XML,
+                                     chunk_size=2, depth=2))
+    return med
+
+
+class TestMediator:
+    def test_virtual_answer_matches_paper(self, mediator):
+        assert mediator.prepare(QUERY).materialize() == \
+            expected_fig4_answer()
+
+    def test_root_handle_is_free(self, mediator):
+        result = mediator.prepare(QUERY)
+        assert mediator.total_source_navigations() == 0
+        assert result.root.tag == "answer"
+        # A constant label costs nothing (Figure 9).
+        assert mediator.total_source_navigations() == 0
+
+    def test_partial_browse_touches_partial_source(self, mediator):
+        result = mediator.prepare(QUERY)
+        first = result.root.first_child()
+        partial = mediator.total_source_navigations()
+        result.materialize()
+        full = mediator.total_source_navigations()
+        assert 0 < partial < full
+
+    def test_eager_equals_lazy(self, mediator):
+        assert mediator.query_eager(QUERY) == \
+            mediator.prepare(QUERY).materialize()
+
+    def test_unregistered_source_rejected(self, mediator):
+        with pytest.raises(MediatorError):
+            mediator.prepare(
+                "CONSTRUCT <a> $X {$X} </a> {} WHERE nowhere p $X")
+
+    def test_duplicate_name_rejected(self, mediator):
+        with pytest.raises(MediatorError):
+            mediator.register_source(
+                "homesSrc",
+                MaterializedDocument(elem("x")))
+
+    def test_optimizer_can_be_disabled(self):
+        med = MIXMediator(optimize_plans=False)
+        med.register_wrapper(
+            "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper(
+            "schoolsSrc", XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        result = med.prepare(QUERY)
+        assert result.optimization_trace is None
+        assert result.materialize() == expected_fig4_answer()
+
+    def test_meters_are_per_source(self, mediator):
+        result = mediator.prepare(QUERY)
+        result.materialize()
+        assert mediator.meters["homesSrc"].total > 0
+        assert mediator.meters["schoolsSrc"].total > 0
+        mediator.reset_meters()
+        assert mediator.total_source_navigations() == 0
+
+
+class TestViews:
+    def test_algebraic_view_composition(self, mediator):
+        mediator.register_view(
+            "zipview",
+            "CONSTRUCT <zips> $V {$V} </zips> {} "
+            "WHERE homesSrc homes.home $H AND $H zip._ $V")
+        answer = mediator.prepare(
+            "CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview _ $Z"
+        ).materialize()
+        assert [c.label for c in answer.children] == ["91220", "91223"]
+
+    def test_view_as_stacked_source(self, mediator):
+        mediator.register_view(
+            "zipview",
+            "CONSTRUCT <zips> $V {$V} </zips> {} "
+            "WHERE homesSrc homes.home $H AND $H zip._ $V",
+            as_source=True)
+        answer = mediator.prepare(
+            "CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview _ $Z"
+        ).materialize()
+        assert [c.label for c in answer.children] == ["91220", "91223"]
+
+    def test_allbooks_view_over_two_stores(self):
+        amazon, bn = two_bookstores(10, overlap=0.5)
+        med = MIXMediator()
+        med.register_wrapper(
+            "amazonSrc",
+            XMLFileWrapper("amazonSrc", Tree("catalog", amazon)))
+        med.register_wrapper(
+            "bnSrc", XMLFileWrapper("bnSrc", Tree("catalog", bn)))
+        med.register_view("allbooks", allbooks_plan())
+        answer = med.prepare(
+            "CONSTRUCT <all> $B {$B} </all> {} WHERE allbooks book $B"
+        ).materialize()
+        assert len(answer.children) == 20
+
+
+class TestHeterogeneousSources:
+    def test_relational_and_xml_join(self):
+        db = Database("schooldb")
+        table = db.create_table("schools",
+                                [("dir", "str"), ("zip", "str")])
+        table.insert_many([("Smith", "91220"), ("Bar", "91220"),
+                           ("Hart", "91223")])
+        med = MIXMediator()
+        med.register_wrapper(
+            "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper(
+            "schooldb", RelationalLXPWrapper(Connection(db),
+                                             chunk_size=2))
+        answer = med.prepare("""
+            CONSTRUCT <answer>
+              <med_home> $H $S {$S} </med_home> {$H}
+            </answer> {}
+            WHERE homesSrc homes.home $H AND $H zip._ $V1
+              AND schooldb schools._ $S AND $S zip._ $V2
+              AND $V1 = $V2
+        """).materialize()
+        assert len(answer.children) == 2
+        first = answer.child(0)
+        # home + its two relational schools
+        assert [c.label for c in first.children][:1] == ["home"]
+        assert len(first.children) == 3
+
+    def test_oodb_source(self):
+        store = ObjectStore("unistore")
+        store.define_class("Emp", ["name", "zip"])
+        store.create("Emp", name="Ann", zip="91220")
+        store.create("Emp", name="Bob", zip="91221")
+        med = MIXMediator()
+        med.register_wrapper("unistore", OODBLXPWrapper(store))
+        answer = med.prepare(
+            "CONSTRUCT <names> $N {$N} </names> {} "
+            "WHERE unistore Emp.object.name._ $N"
+        ).materialize()
+        assert [c.label for c in answer.children] == ["Ann", "Bob"]
+
+
+class TestClientLibrary:
+    def test_dom_like_traversal(self, mediator):
+        root = mediator.query(QUERY)
+        med_homes = root.child_list()
+        assert [m.tag for m in med_homes] == ["med_home", "med_home"]
+        first = med_homes[0]
+        assert first.find("home").find("addr").text() == "La Jolla"
+        assert len(first.find_all("school")) == 2
+
+    def test_memoized_navigation(self, mediator):
+        result = mediator.prepare(QUERY)
+        root = result.root
+        first = root.first_child()
+        navs = mediator.total_source_navigations()
+        again = root.first_child()
+        assert again is first
+        assert mediator.total_source_navigations() == navs
+
+    def test_to_tree_matches_materialize(self, mediator):
+        result = mediator.prepare(QUERY)
+        assert result.root.to_tree() == expected_fig4_answer()
+
+    def test_virtual_indistinguishable_from_materialized(self, mediator):
+        """Section 5's transparency claim: the same client code over
+        the virtual document and over a materialized copy behaves
+        identically."""
+        virtual_root = mediator.prepare(QUERY).root
+        materialized_root = open_virtual_document(
+            MaterializedDocument(expected_fig4_answer()))
+
+        def render(element):
+            if element.is_leaf:
+                return element.tag
+            return "%s(%s)" % (element.tag, ",".join(
+                render(c) for c in element.children()))
+
+        assert render(virtual_root) == render(materialized_root)
+
+    def test_leaf_api(self, mediator):
+        root = mediator.query(QUERY)
+        leaf = root.first_child().find("home").find("zip").first_child()
+        assert leaf.is_leaf
+        assert leaf.tag == "91220"
+        assert leaf.text() == "91220"
+
+
+class TestCompositionEquivalence:
+    """Algebraic inlining and mediator stacking (Figure 1) must be
+    observationally equivalent ways to compose query o view."""
+
+    VIEW = ("CONSTRUCT <zips> <z> $V </z> {$V} </zips> {} "
+            "WHERE homesSrc homes.home $H AND $H zip._ $V")
+    QUERIES = [
+        "CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview z $Z",
+        "CONSTRUCT <out> $T {$T} </out> {} WHERE zipview z._ $T",
+        ("CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview z $Z "
+         "AND $Z _ $T AND $T = 91220"),
+    ]
+
+    def _mediator(self, as_source):
+        med = MIXMediator()
+        med.register_wrapper(
+            "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper(
+            "schoolsSrc", XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        med.register_view("zipview", self.VIEW, as_source=as_source)
+        return med
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_stacked_equals_inlined(self, query):
+        inlined = self._mediator(False).prepare(query).materialize()
+        stacked = self._mediator(True).prepare(query).materialize()
+        assert inlined == stacked
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_both_equal_eager(self, query):
+        med = self._mediator(False)
+        assert med.query_eager(query) == \
+            med.prepare(query).materialize()
+
+
+class TestSigmaMediator:
+    def test_sigma_mediator_same_answers(self):
+        plain = MIXMediator(use_sigma=False)
+        sigma = MIXMediator(use_sigma=True)
+        for med in (plain, sigma):
+            med.register_wrapper(
+                "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+            med.register_wrapper(
+                "schoolsSrc", XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        assert plain.prepare(QUERY).materialize() == \
+            sigma.prepare(QUERY).materialize()
+
+
+class TestExplain:
+    def test_explain_report(self, mediator):
+        report = mediator.prepare(QUERY).explain()
+        assert "plan:" in report
+        assert "tupleDestroy" in report
+        assert "browsability:" in report
+        assert "rewrites:" in report
+
+    def test_explain_without_optimizer(self):
+        med = MIXMediator(optimize_plans=False)
+        med.register_wrapper("homesSrc",
+                             XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper("schoolsSrc",
+                             XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        report = med.prepare(QUERY).explain()
+        assert "rewrites:" not in report
+        assert "browsability:" in report

@@ -1,0 +1,85 @@
+"""Tests for plan serialization: JSON round-trips for every operator,
+plus a property over the random-plan strategy."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import (
+    Comparison,
+    Const,
+    Materialize,
+    OrderBy,
+    SerializationError,
+    Var,
+    evaluate,
+    evaluate_bindings,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+from repro.algebra.predicates import And, Not, Or, TruePredicate
+from repro.algebra.serialize import predicate_from_dict, \
+    predicate_to_dict
+
+from .fixtures import expected_fig4_answer, fig4_plan, fig4_sources
+from .test_lazy_equivalence import _plans, _source_tree
+
+
+class TestRoundTrips:
+    def test_fig4_plan_round_trips(self):
+        plan = fig4_plan()
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.pretty() == plan.pretty()
+        assert evaluate(clone, fig4_sources()) == expected_fig4_answer()
+
+    def test_json_form_is_valid_json(self):
+        text = plan_to_json(fig4_plan(), indent=2)
+        data = json.loads(text)
+        assert data["op"] == "tupleDestroy"
+        assert evaluate(plan_from_json(text), fig4_sources()) == \
+            expected_fig4_answer()
+
+    def test_materialize_and_orderby_round_trip(self):
+        from repro.algebra import GetDescendants, Project, Source
+        plan = Materialize(OrderBy(
+            Project(GetDescendants(Source("s", "R"), "R", "a.b", "X"),
+                    ["X"]),
+            ["X"], descending=True))
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.pretty() == plan.pretty()
+        assert clone.child.descending is True
+
+    def test_predicates_round_trip(self):
+        cases = [
+            Comparison(Var("A"), "<=", Const(10)),
+            Comparison(Var("A"), "=", Var("B")),
+            And((Comparison(Var("A"), "=", Const("x")),
+                 TruePredicate())),
+            Or((Comparison(Var("A"), "!=", Const(1.5)),
+                Not(TruePredicate()))),
+        ]
+        for predicate in cases:
+            clone = predicate_from_dict(predicate_to_dict(predicate))
+            assert str(clone) == str(predicate)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"op": "quantum-join"})
+        with pytest.raises(SerializationError):
+            predicate_from_dict({"kind": "maybe"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError):
+            plan_from_json("{not json")
+
+
+@settings(max_examples=120, deadline=None)
+@given(tree=_source_tree, plan=_plans())
+def test_round_trip_preserves_semantics(tree, plan):
+    clone = plan_from_json(plan_to_json(plan))
+    sources = {"src": tree}
+    assert evaluate_bindings(clone, sources).to_tree() == \
+        evaluate_bindings(plan, sources).to_tree()

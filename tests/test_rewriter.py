@@ -1,0 +1,270 @@
+"""Tests for the static browsability analyzer and the plan optimizer."""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    Concatenate,
+    Const,
+    CreateElement,
+    Difference,
+    GetDescendants,
+    GroupBy,
+    Join,
+    OrderBy,
+    Project,
+    Select,
+    Source,
+    TupleDestroy,
+    Var,
+    evaluate,
+    evaluate_bindings,
+    walk_plan,
+)
+from repro.navigation import Browsability, CountingDocument, \
+    MaterializedDocument, materialize
+from repro.lazy import BindingsDocument, build_lazy_plan
+from repro.rewriter import classify_path, classify_plan, explain_plan, \
+    optimize
+from repro.xtree import parse_path
+
+from .fixtures import fig4_plan, fig4_sources
+
+
+class TestAnalyzer:
+    def test_source_is_bounded(self):
+        assert classify_plan(Source("s", "R")) is Browsability.BOUNDED
+
+    def test_wildcard_paths_are_bounded(self):
+        assert classify_path(parse_path("_")) is Browsability.BOUNDED
+        assert classify_path(parse_path("_._")) is Browsability.BOUNDED
+
+    def test_labeled_paths_are_browsable(self):
+        assert classify_path(parse_path("home")) is Browsability.BROWSABLE
+        assert classify_path(parse_path("a*")) is Browsability.BROWSABLE
+
+    def test_sigma_improves_single_labels(self):
+        assert classify_path(parse_path("homes.home"),
+                             sigma_available=True) is Browsability.BOUNDED
+        # Starred paths stay browsable even with sigma.
+        assert classify_path(parse_path("_*.b"),
+                             sigma_available=True) is Browsability.BROWSABLE
+
+    def test_decapitation_view_is_bounded(self):
+        # q_conc of Example 1: first-level children of the source.
+        plan = GetDescendants(Source("s", "R"), "R", "_", "X")
+        assert classify_plan(plan) is Browsability.BOUNDED
+
+    def test_order_by_is_unbrowsable(self):
+        plan = OrderBy(
+            GetDescendants(Source("s", "R"), "R", "_", "X"), ["X"])
+        assert classify_plan(plan) is Browsability.UNBROWSABLE
+
+    def test_difference_is_unbrowsable(self):
+        base = Project(GetDescendants(Source("s", "R"), "R", "_", "X"),
+                       ["X"])
+        base2 = Project(
+            GetDescendants(Source("s2", "R2"), "R2", "_", "X"), ["X"])
+        assert classify_plan(Difference(base, base2)) \
+            is Browsability.UNBROWSABLE
+
+    def test_fig4_plan_is_browsable(self):
+        assert classify_plan(fig4_plan()) is Browsability.BROWSABLE
+
+    def test_class_propagates_upward(self):
+        inner = OrderBy(
+            GetDescendants(Source("s", "R"), "R", "_", "X"), ["X"])
+        outer = CreateElement(
+            Concatenate(GroupBy(inner, [], [("X", "Xs")]),
+                        ["Xs"], "C"), "a", "C", "E")
+        assert classify_plan(outer) is Browsability.UNBROWSABLE
+
+    def test_explain_covers_all_nodes(self):
+        text = explain_plan(fig4_plan())
+        assert text.count("\n") + 1 == \
+            sum(1 for _ in walk_plan(fig4_plan()))
+
+
+def _homes_chain():
+    return GetDescendants(
+        GetDescendants(Source("homesSrc", "R"), "R", "homes.home", "H"),
+        "H", "zip._", "V")
+
+
+class TestRules:
+    def test_merge_selects(self):
+        plan = Select(Select(_homes_chain(),
+                             Comparison(Var("V"), "=", Const("91220"))),
+                      Comparison(Var("H"), "!=", Const("x")))
+        optimized, trace = optimize(plan)
+        assert "merge-selects" in trace.applied
+        selects = [n for n in walk_plan(optimized)
+                   if isinstance(n, Select)]
+        assert len(selects) == 1
+
+    def test_select_pushed_below_getdescendants(self):
+        plan = Select(_homes_chain(),
+                      Comparison(Var("H"), "!=", Const("x")))
+        optimized, trace = optimize(plan)
+        assert "push-select-below-extension" in trace.applied
+        # The select now sits below the zip._ extraction.
+        top = optimized
+        assert isinstance(top, GetDescendants)
+        assert isinstance(top.child, Select)
+
+    def test_select_pushed_into_join_side(self):
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "R2"),
+                           "R2", "schools.school", "S"),
+            "S", "zip._", "W")
+        plan = Select(Join(_homes_chain(), right,
+                           Comparison(Var("V"), "=", Var("W"))),
+                      Comparison(Var("S"), "!=", Const("x")))
+        optimized, trace = optimize(plan)
+        assert "push-select-into-join" in trace.applied
+
+    def test_cross_side_select_merges_into_join_predicate(self):
+        right = GetDescendants(
+            GetDescendants(Source("schoolsSrc", "R2"),
+                           "R2", "schools.school", "S"),
+            "S", "zip._", "W")
+        plan = Select(Join(_homes_chain(), right,
+                           Comparison(Var("V"), "=", Var("W"))),
+                      Comparison(Var("H"), "!=", Var("S")))
+        optimized, trace = optimize(plan)
+        assert "push-select-into-join" in trace.applied
+        joins = [n for n in walk_plan(optimized) if isinstance(n, Join)]
+        assert "AND" in str(joins[0].predicate)
+
+    def test_select_pushed_below_groupby_on_keys(self):
+        plan = Select(GroupBy(_homes_chain(), ["H"], [("V", "Vs")]),
+                      Comparison(Var("H"), "!=", Const("x")))
+        optimized, trace = optimize(plan)
+        assert "push-select-below-groupby" in trace.applied
+
+    def test_select_on_aggregate_not_pushed(self):
+        plan = Select(GroupBy(_homes_chain(), ["H"], [("V", "Vs")]),
+                      Comparison(Var("Vs"), "!=", Const("x")))
+        optimized, trace = optimize(plan)
+        assert "push-select-below-groupby" not in trace.applied
+
+    def test_getdescendants_fusion(self):
+        plan = Project(_homes_chain(), ["V"])
+        optimized, trace = optimize(plan)
+        assert "fuse-get-descendants" in trace.applied
+        descendants = [n for n in walk_plan(optimized)
+                       if isinstance(n, GetDescendants)]
+        assert len(descendants) == 1
+        assert str(descendants[0].path) == "homes.home.zip._"
+
+    def test_fusion_blocked_when_intermediate_used(self):
+        # $H is also projected: the chain must stay.
+        plan = Project(_homes_chain(), ["H", "V"])
+        optimized, trace = optimize(plan)
+        assert "fuse-get-descendants" not in trace.applied
+
+    def test_fusion_blocked_for_variable_length_inner_path(self):
+        inner = GetDescendants(Source("s", "R"), "R", "a*", "X")
+        plan = Project(GetDescendants(inner, "X", "b", "Y"), ["Y"])
+        optimized, trace = optimize(plan)
+        assert "fuse-get-descendants" not in trace.applied
+
+
+class TestOptimizerEquivalence:
+    def test_fig4_optimization_preserves_answer(self):
+        plan = fig4_plan()
+        optimized, _ = optimize(plan)
+        sources = fig4_sources()
+        assert evaluate(optimized, sources) == evaluate(plan, sources)
+
+    def test_optimized_plans_equal_unoptimized_on_bindings(self):
+        cases = [
+            Select(Select(_homes_chain(),
+                          Comparison(Var("V"), "=", Const("91220"))),
+                   Comparison(Var("H"), "!=", Const("x"))),
+            Project(_homes_chain(), ["V"]),
+            Select(GroupBy(_homes_chain(), ["H"], [("V", "Vs")]),
+                   Comparison(Var("H"), "!=", Const("x"))),
+        ]
+        sources = fig4_sources()
+        for plan in cases:
+            optimized, _ = optimize(plan)
+            assert evaluate_bindings(optimized, sources).to_tree() == \
+                evaluate_bindings(plan, sources).to_tree()
+
+    def test_optimization_reduces_source_navigations(self):
+        # Filtering on the home must prune before the zip extraction.
+        plan = TupleDestroy(
+            CreateElement(
+                Concatenate(
+                    GroupBy(
+                        Select(_homes_chain(),
+                               Comparison(Var("H"), "!=",
+                                          Const("La Jolla91220"))),
+                        [], [("V", "Vs")]),
+                    ["Vs"], "C"),
+                "a", "C", "E"),
+            "E")
+
+        def navigations(p):
+            sources = fig4_sources()
+            docs = {u: CountingDocument(MaterializedDocument(t))
+                    for u, t in sources.items()}
+            from repro.lazy import build_virtual_document
+            doc = build_virtual_document(p, docs)
+            materialize(doc)
+            return sum(d.total for d in docs.values())
+
+        optimized, trace = optimize(plan)
+        assert trace.applied  # something fired
+        assert navigations(optimized) <= navigations(plan)
+
+
+# ----------------------------------------------------------------------
+# Property: optimization preserves semantics over random plans.
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+
+from .test_lazy_equivalence import _plans, _source_tree
+
+
+@settings(max_examples=120, deadline=None)
+@given(tree=_source_tree, plan=_plans())
+def test_optimizer_preserves_semantics(tree, plan):
+    optimized, _trace = optimize(plan)
+    sources = {"src": tree}
+    original = evaluate_bindings(plan, sources)
+    rewritten = evaluate_bindings(optimized, sources)
+    # Fusion may drop unused intermediate variables: the rewritten
+    # schema is a subset, and the bindings must agree on it.
+    kept = rewritten.variables
+    assert set(kept) <= set(original.variables)
+    projected = [b.project(kept) for b in original]
+    assert list(rewritten) == projected
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=_source_tree, plan=_plans())
+def test_hybrid_optimizer_preserves_semantics(tree, plan):
+    optimized, _trace = optimize(plan, hybrid=True)
+    sources = {"src": tree}
+    original = evaluate_bindings(plan, sources)
+    rewritten = evaluate_bindings(optimized, sources)
+    kept = rewritten.variables
+    projected = [b.project(kept) for b in original]
+    assert list(rewritten) == projected
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=_source_tree, plan=_plans())
+def test_optimized_lazy_matches_optimized_eager(tree, plan):
+    """The rewritten plan must also evaluate correctly lazily."""
+    from repro.lazy import BindingsDocument, build_lazy_plan
+    from repro.navigation import MaterializedDocument, materialize
+    optimized, _ = optimize(plan)
+    sources = {"src": tree}
+    expected = evaluate_bindings(optimized, sources).to_tree()
+    lazy = build_lazy_plan(optimized,
+                           {"src": MaterializedDocument(tree)})
+    assert materialize(BindingsDocument(lazy)) == expected

@@ -1,0 +1,262 @@
+"""Tests for the XMAS front-end: parser, translation, composition."""
+
+import pytest
+
+from repro.algebra import (
+    Concatenate,
+    CreateElement,
+    GetDescendants,
+    GroupBy,
+    Join,
+    Select,
+    Source,
+    TupleDestroy,
+    evaluate,
+    evaluate_bindings,
+    walk_plan,
+)
+from repro.xmas import (
+    ComparisonCondition,
+    ElementTemplate,
+    LiteralContent,
+    PathCondition,
+    VarUse,
+    XMASSyntaxError,
+    XMASTranslationError,
+    inline_views,
+    parse_xmas,
+    translate,
+)
+from repro.xtree import Tree, elem
+
+from .fixtures import expected_fig4_answer, fig4_sources
+
+FIG3_QUERY = """
+CONSTRUCT <answer>
+  <med_home> $H $S {$S} </med_home> {$H}   % one med_home per $H
+</answer> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schoolsSrc schools.school $S AND $S zip._ $V2
+  AND $V1 = $V2
+"""
+
+
+class TestParser:
+    def test_fig3_structure(self):
+        query = parse_xmas(FIG3_QUERY)
+        assert query.head.tag == "answer"
+        assert query.head.group == []
+        (med_home,) = query.head.children
+        assert isinstance(med_home, ElementTemplate)
+        assert med_home.group == ["H"]
+        h_use, s_use = med_home.children
+        assert h_use == VarUse("H", None)
+        assert s_use == VarUse("S", ["S"])
+        assert len(query.conditions) == 5
+        assert query.source_names() == ["homesSrc", "schoolsSrc"]
+
+    def test_comments_stripped(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} % comment\n"
+            "WHERE src x $X  % another\n")
+        assert query.head.tag == "a"
+
+    def test_path_condition_forms(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $Y {$Y} </a> {} "
+            "WHERE src homes.home $X AND $X zip._ $Y")
+        first, second = query.conditions
+        assert isinstance(first, PathCondition) and first.base == "src"
+        assert second.base == ("var", "X")
+        assert str(second.path) == "zip._"
+
+    def test_comparison_forms(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} "
+            "WHERE src p $X AND $X = $Y AND $X < 100 AND $X != 'abc'")
+        comps = [c for c in query.conditions
+                 if isinstance(c, ComparisonCondition)]
+        assert comps[0].right == ("var", "Y")
+        assert comps[1].right == "100"
+        assert comps[2].right == "abc"
+
+    def test_literal_content(self):
+        query = parse_xmas(
+            'CONSTRUCT <a> "hello" $X {$X} </a> {} WHERE src p $X')
+        assert query.head.children[0] == LiteralContent("hello")
+
+    def test_keywords_case_insensitive(self):
+        query = parse_xmas(
+            "construct <a> $X {$X} </a> {} where src p $X and $X = 1")
+        assert len(query.conditions) == 2
+
+    def test_wildcard_and_star_paths(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE src _*.book $X")
+        assert str(query.conditions[0].path) == "_*.book"
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "WHERE src p $X",
+        "CONSTRUCT <a> $X </a> WHERE src p $X",      # missing marker
+        "CONSTRUCT <a> $X {$X} </b> {} WHERE src p $X",  # mismatch
+        "CONSTRUCT <a> $X {$X} </a> {} WHERE",
+        "CONSTRUCT <a> $X {$X} </a> {} WHERE src p $X garbage end",
+        "CONSTRUCT <a> $X {$X} </a> {} WHERE src ..bad $X",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XMASSyntaxError):
+            parse_xmas(bad)
+
+
+class TestTranslation:
+    def test_fig3_reproduces_fig4_operators(self):
+        plan = translate(parse_xmas(FIG3_QUERY))
+        kinds = [type(n).__name__ for n in walk_plan(plan)]
+        # The Figure 4 stack, modulo the harmless unary concatenate at
+        # the answer level.
+        assert kinds.count("Join") == 1
+        assert kinds.count("GroupBy") == 2
+        assert kinds.count("CreateElement") == 2
+        assert kinds.count("GetDescendants") == 4
+        assert kinds.count("Source") == 2
+
+    def test_fig3_answer(self):
+        plan = translate(parse_xmas(FIG3_QUERY))
+        assert evaluate(plan, fig4_sources()) == expected_fig4_answer()
+
+    def test_join_predicate_placed_on_join(self):
+        plan = translate(parse_xmas(FIG3_QUERY))
+        joins = [n for n in walk_plan(plan) if isinstance(n, Join)]
+        assert "$V1 = $V2" in str(joins[0].predicate)
+
+    def test_same_source_comparison_becomes_select(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $H {$H} </a> {} "
+            "WHERE homesSrc homes.home $H AND $H zip._ $V AND $V = 91220")
+        plan = translate(query)
+        assert any(isinstance(n, Select) for n in walk_plan(plan))
+        assert not any(isinstance(n, Join) for n in walk_plan(plan))
+
+    def test_unjoined_sources_become_product(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $H {$H} $S {$S} </a> {} "
+            "WHERE homesSrc homes.home $H AND schoolsSrc schools.school $S")
+        plan = translate(query)
+        joins = [n for n in walk_plan(plan) if isinstance(n, Join)]
+        assert len(joins) == 1
+        assert str(joins[0].predicate) == "true"
+
+    def test_literal_content_constructed(self):
+        query = parse_xmas(
+            'CONSTRUCT <a> "label:" $X {$X} </a> {} '
+            "WHERE homesSrc homes.home $X")
+        answer = evaluate(translate(query), fig4_sources())
+        assert answer.child(0).label == "label:"
+
+    def test_source_url_mapping(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE homes p $X")
+        plan = translate(query, source_urls={"homes": "rdb://homesdb"})
+        sources = [n for n in walk_plan(plan) if isinstance(n, Source)]
+        assert sources[0].url == "rdb://homesdb"
+
+    def test_empty_result_constructs_empty_answer(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE homesSrc nope $X")
+        answer = evaluate(translate(query), fig4_sources())
+        assert answer == elem("a")
+
+    def test_head_unbound_variable_rejected(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $Q {$Q} </a> {} WHERE homesSrc homes.home $H")
+        with pytest.raises(XMASTranslationError):
+            translate(query)
+
+    def test_rebinding_rejected(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} "
+            "WHERE homesSrc homes.home $X AND schoolsSrc s $X")
+        with pytest.raises(XMASTranslationError):
+            translate(query)
+
+    def test_unbound_path_base_rejected(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} </a> {} WHERE $Q zip._ $X")
+        with pytest.raises(XMASTranslationError):
+            translate(query)
+
+    def test_plain_var_must_be_key(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $V </a> {} WHERE homesSrc homes.home $V")
+        with pytest.raises(XMASTranslationError) as err:
+            translate(query)
+        assert "group key" in str(err.value)
+
+    def test_mixing_marked_var_and_nested_element_rejected(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$X} <b> $Y </b> {$Y} </a> {} "
+            "WHERE homesSrc homes.home $X AND schoolsSrc s $Y")
+        with pytest.raises(XMASTranslationError):
+            translate(query)
+
+    def test_non_self_marker_rejected(self):
+        query = parse_xmas(
+            "CONSTRUCT <a> $X {$Y} </a> {} "
+            "WHERE homesSrc homes.home $X AND $X zip._ $Y")
+        with pytest.raises(XMASTranslationError):
+            translate(query)
+
+    def test_three_level_nesting(self):
+        query = parse_xmas("""
+            CONSTRUCT <top>
+                        <mid> $H <leafs> $V {$V} </leafs> {$V} </mid> {$H}
+                      </top> {}
+            WHERE homesSrc homes.home $H AND $H zip._ $V
+        """)
+        answer = evaluate(translate(query), fig4_sources())
+        assert answer.label == "top"
+        first_mid = answer.child(0)
+        assert first_mid.label == "mid"
+        assert first_mid.child(0).label == "home"
+        assert first_mid.child(1).label == "leafs"
+
+
+class TestComposition:
+    def _view(self):
+        return translate(parse_xmas(
+            "CONSTRUCT <zips> $V {$V} </zips> {} "
+            "WHERE homesSrc homes.home $H AND $H zip._ $V"))
+
+    def test_inline_view_into_query(self):
+        view = self._view()
+        query = translate(parse_xmas(
+            "CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview _ $Z"))
+        composed = inline_views(query, {"zipview": view})
+        # No source named zipview survives.
+        urls = [n.url for n in walk_plan(composed)
+                if isinstance(n, Source)]
+        assert urls == ["homesSrc"]
+        answer = evaluate(composed, fig4_sources())
+        assert [c.label for c in answer.children] == ["91220", "91223"]
+
+    def test_composition_equals_two_phase_evaluation(self):
+        view = self._view()
+        query = translate(parse_xmas(
+            "CONSTRUCT <out> $Z {$Z} </out> {} WHERE zipview _ $Z"))
+        composed = inline_views(query, {"zipview": view})
+        # Reference: evaluate the view, then the query over its answer.
+        view_answer = evaluate(view, fig4_sources())
+        direct = evaluate(query, {"zipview": view_answer})
+        assert evaluate(composed, fig4_sources()) == direct
+
+    def test_views_over_views(self):
+        base = self._view()
+        middle = translate(parse_xmas(
+            "CONSTRUCT <mid> $Z {$Z} </mid> {} WHERE base _ $Z"))
+        top = translate(parse_xmas(
+            "CONSTRUCT <top> $M {$M} </top> {} WHERE middle _ $M"))
+        composed = inline_views(top, {"base": base, "middle": middle})
+        answer = evaluate(composed, fig4_sources())
+        assert answer.label == "top"
+        assert len(answer.children) == 2

@@ -1,0 +1,265 @@
+"""Tests for the XMAS extensions beyond the paper's Figure 3 query:
+ORDER BY, sibling element templates, default markers, and the pinned
+bag-collection semantics."""
+
+import pytest
+
+from repro.algebra import OrderBy, evaluate, walk_plan
+from repro.lazy import build_virtual_document
+from repro.navigation import MaterializedDocument, materialize
+from repro.xmas import (
+    XMASSyntaxError,
+    XMASTranslationError,
+    parse_xmas,
+    translate,
+)
+from repro.xtree import Tree, elem
+
+from .fixtures import fig4_sources
+
+
+def _run(query_text, sources=None):
+    plan = translate(parse_xmas(query_text))
+    return evaluate(plan, sources or fig4_sources())
+
+
+def _run_lazy(query_text, sources=None):
+    plan = translate(parse_xmas(query_text))
+    trees = sources or fig4_sources()
+    docs = {u: MaterializedDocument(t) for u, t in trees.items()}
+    return materialize(build_virtual_document(plan, docs))
+
+
+class TestOrderBy:
+    SRC = {"s": Tree("s", [Tree("r", [
+        elem("x", elem("n", "banana"), elem("k", "2")),
+        elem("x", elem("n", "apple"), elem("k", "1")),
+        elem("x", elem("n", "cherry"), elem("k", "2")),
+    ])])}
+
+    def test_ascending(self):
+        answer = _run(
+            "CONSTRUCT <out> $X {$X} </out> {} "
+            "WHERE s r.x $X AND $X n._ $N ORDER BY $N", self.SRC)
+        names = [c.find_child("n").text() for c in answer.children]
+        assert names == ["apple", "banana", "cherry"]
+
+    def test_descending(self):
+        answer = _run(
+            "CONSTRUCT <out> $X {$X} </out> {} "
+            "WHERE s r.x $X AND $X n._ $N ORDER BY $N DESC", self.SRC)
+        names = [c.find_child("n").text() for c in answer.children]
+        assert names == ["cherry", "banana", "apple"]
+
+    def test_multi_key_mixed_direction(self):
+        answer = _run(
+            "CONSTRUCT <out> $X {$X} </out> {} "
+            "WHERE s r.x $X AND $X n._ $N AND $X k._ $K "
+            "ORDER BY $K DESC, $N ASC", self.SRC)
+        names = [c.find_child("n").text() for c in answer.children]
+        assert names == ["banana", "cherry", "apple"]
+
+    def test_numeric_ordering(self):
+        src = {"s": Tree("s", [Tree("r", [
+            elem("x", elem("k", "10")), elem("x", elem("k", "9"))])])}
+        answer = _run(
+            "CONSTRUCT <out> $X {$X} </out> {} "
+            "WHERE s r.x $X AND $X k._ $K ORDER BY $K", src)
+        assert [c.text() for c in answer.children] == ["9", "10"]
+
+    def test_order_by_in_plan(self):
+        plan = translate(parse_xmas(
+            "CONSTRUCT <out> $X {$X} </out> {} "
+            "WHERE s r.x $X ORDER BY $X"))
+        assert any(isinstance(n, OrderBy) for n in walk_plan(plan))
+
+    def test_order_by_unbound_rejected(self):
+        with pytest.raises(XMASTranslationError):
+            translate(parse_xmas(
+                "CONSTRUCT <out> $X {$X} </out> {} "
+                "WHERE s r.x $X ORDER BY $Q"))
+
+    def test_lazy_agrees(self):
+        query = ("CONSTRUCT <out> $X {$X} </out> {} "
+                 "WHERE s r.x $X AND $X n._ $N ORDER BY $N DESC")
+        assert _run_lazy(query, self.SRC) == _run(query, self.SRC)
+
+
+class TestSiblingTemplates:
+    JOINED = """
+        CONSTRUCT <report>
+                    <homes> $H {$H} </homes>
+                    <schools> $S {$S} </schools>
+                  </report> {}
+        WHERE homesSrc homes.home $H AND $H zip._ $V1
+          AND schoolsSrc schools.school $S AND $S zip._ $V2
+          AND $V1 = $V2
+    """
+
+    def test_two_sections(self):
+        answer = _run(self.JOINED)
+        assert [c.label for c in answer.children] == ["homes",
+                                                      "schools"]
+        homes, schools = answer.children
+        assert all(c.label == "home" for c in homes.children)
+        assert all(c.label == "school" for c in schools.children)
+
+    def test_lazy_agrees(self):
+        assert _run_lazy(self.JOINED) == _run(self.JOINED)
+
+    def test_shared_nonempty_marker(self):
+        answer = _run("""
+            CONSTRUCT <report>
+                        <section> $V1 $H {$H} </section> {$V1}
+                        <dup> $V1 </dup> {$V1}
+                      </report> {}
+            WHERE homesSrc homes.home $H AND $H zip._ $V1
+        """)
+        labels = [c.label for c in answer.children]
+        # one section+dup pair per distinct zip, sections first.
+        assert labels == ["section", "section", "dup", "dup"]
+
+    def test_differing_markers_rejected(self):
+        with pytest.raises(XMASTranslationError):
+            translate(parse_xmas("""
+                CONSTRUCT <r>
+                            <a> $H {$H} </a> {$V1}
+                            <b> $H {$H} </b> {$H}
+                          </r> {}
+                WHERE homesSrc homes.home $H AND $H zip._ $V1
+            """))
+
+    def test_deep_nesting_among_siblings_rejected(self):
+        with pytest.raises(XMASTranslationError):
+            translate(parse_xmas("""
+                CONSTRUCT <r>
+                            <a> <deep> $H {$H} </deep> </a> {}
+                            <b> $H {$H} </b> {}
+                          </r> {}
+                WHERE homesSrc homes.home $H
+            """))
+
+    def test_literal_only_sibling(self):
+        answer = _run("""
+            CONSTRUCT <r>
+                        <title> "homes report" </title>
+                        <body> $H {$H} </body>
+                      </r> {}
+            WHERE homesSrc homes.home $H
+        """)
+        assert answer.child(0).text() == "homes report"
+        assert len(answer.child(1).children) == 2
+
+
+class TestDefaultMarkers:
+    def test_markerless_nested_element_means_one_per_group(self):
+        answer = _run("""
+            CONSTRUCT <out>
+                        <wrap> $H </wrap> {$H}
+                      </out> {}
+            WHERE homesSrc homes.home $H
+        """)
+        # <wrap> has no marker: one per enclosing {$H} group member.
+        assert [c.label for c in answer.children] == ["wrap", "wrap"]
+
+
+class TestBagCollectionSemantics:
+    def test_product_body_multiplies_collections(self):
+        """Pinned: {$H} collects one value per body binding (the
+        paper's groupBy operator -- Figure 4 has no distinct), so a
+        cartesian-product body multiplies values."""
+        answer = _run("""
+            CONSTRUCT <report>
+                        <homes> $H {$H} </homes>
+                        <schools> $S {$S} </schools>
+                      </report> {}
+            WHERE homesSrc homes.home $H
+              AND schoolsSrc schools.school $S
+        """)
+        homes, schools = answer.children
+        # 2 homes x 3 schools product: each home appears 3 times.
+        assert len(homes.children) == 6
+        assert len(schools.children) == 6
+
+
+class TestTreePatterns:
+    """Footnote 6: XML-QL-style tree patterns desugar to path
+    conditions."""
+
+    def test_footnote6_pattern_equals_fig3_query(self):
+        pattern_query = parse_xmas("""
+            CONSTRUCT <answer>
+                        <med_home> $H $S {$S} </med_home> {$H}
+                      </answer> {}
+            WHERE <homes> $H: <home> <zip>$V1</zip> </home> </homes>
+                      IN homesSrc
+              AND <schools> $S: <school> <zip>$V2</zip> </school>
+                  </schools> IN schoolsSrc
+              AND $V1 = $V2
+        """)
+        path_query = parse_xmas("""
+            CONSTRUCT <answer>
+                        <med_home> $H $S {$S} </med_home> {$H}
+                      </answer> {}
+            WHERE homesSrc homes.home $H AND $H zip._ $V1
+              AND schoolsSrc schools.school $S AND $S zip._ $V2
+              AND $V1 = $V2
+        """)
+        assert [str(c) for c in pattern_query.conditions] == \
+            [str(c) for c in path_query.conditions]
+        assert evaluate(translate(pattern_query), fig4_sources()) == \
+            evaluate(translate(path_query), fig4_sources())
+
+    def test_pattern_with_root_binder(self):
+        query = parse_xmas(
+            "CONSTRUCT <out> $R {$R} </out> {} "
+            "WHERE $R: <homes> </homes> IN homesSrc")
+        answer = evaluate(translate(query), fig4_sources())
+        assert answer.child(0).label == "homes"
+
+    def test_deeply_nested_pattern(self):
+        query = parse_xmas("""
+            CONSTRUCT <out> $V {$V} </out> {}
+            WHERE <homes> <home> <zip>$V</zip> </home> </homes>
+                  IN homesSrc
+        """)
+        answer = evaluate(translate(query), fig4_sources())
+        assert [c.label for c in answer.children] == ["91220", "91223"]
+
+    def test_anonymous_intermediate_elements(self):
+        # No binder on <home>: a fresh internal variable carries it.
+        query = parse_xmas(
+            "CONSTRUCT <out> $A {$A} </out> {} "
+            "WHERE <homes> <home> $A: <addr> </addr> </home> </homes> "
+            "IN homesSrc")
+        answer = evaluate(translate(query), fig4_sources())
+        assert [c.label for c in answer.children] == ["addr", "addr"]
+
+    def test_pattern_mixed_with_plain_conditions(self):
+        query = parse_xmas("""
+            CONSTRUCT <out> $H {$H} </out> {}
+            WHERE <homes> $H: <home> <zip>$V</zip> </home> </homes>
+                  IN homesSrc
+              AND $V = 91223
+        """)
+        answer = evaluate(translate(query), fig4_sources())
+        assert len(answer.children) == 1
+
+    def test_bare_content_var_directly_under_bound_element(self):
+        query = parse_xmas(
+            "CONSTRUCT <out> $T {$T} </out> {} "
+            "WHERE <homes> <home> $H: <addr> $T </addr> </home> "
+            "</homes> IN homesSrc")
+        answer = evaluate(translate(query), fig4_sources())
+        assert [c.label for c in answer.children] == ["La Jolla",
+                                                      "El Cajon"]
+
+    def test_mismatched_pattern_tags_rejected(self):
+        with pytest.raises(XMASSyntaxError):
+            parse_xmas("CONSTRUCT <out> $X {$X} </out> {} "
+                       "WHERE <a> $X: <b> </b> </c> IN src")
+
+    def test_missing_in_rejected(self):
+        with pytest.raises(XMASSyntaxError):
+            parse_xmas("CONSTRUCT <out> $X {$X} </out> {} "
+                       "WHERE <a> $X: <b> </b> </a> src")

@@ -1,0 +1,109 @@
+"""Language-level property tests: random XMAS queries (within the
+supported fragment) over random sources, checked end to end.
+
+For every generated (query, source) pair:
+
+* the query's printed form re-parses to a query with the same plan;
+* lazy navigation of the virtual answer equals eager evaluation;
+* the answer validates against the query's own inferred DTD.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import evaluate
+from repro.lazy import build_virtual_document
+from repro.navigation import MaterializedDocument, materialize
+from repro.xmas import infer_dtd, parse_xmas, translate
+from repro.xtree import Tree, elem
+
+# ----------------------------------------------------------------------
+# Sources: src[r[item[k[...], v[...], w[...]]*]]
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def _sources(draw):
+    n_items = draw(st.integers(0, 6))
+    items = []
+    for _ in range(n_items):
+        items.append(elem(
+            "item",
+            elem("k", draw(st.sampled_from(["1", "2", "3"]))),
+            elem("v", draw(st.sampled_from(["10", "20", "30", "40"]))),
+            elem("w", draw(st.sampled_from(["x", "y"]))),
+        ))
+    return Tree("src", [Tree("r", items)])
+
+
+# ----------------------------------------------------------------------
+# Queries: bodies bind $X (item), $K, $V; heads drawn from the
+# supported construction fragment.
+# ----------------------------------------------------------------------
+
+_BODY = ("WHERE src r.item $X AND $X k._ $K AND $X v._ $V")
+
+_HEADS = [
+    "<out> $X {$X} </out> {}",
+    "<out> $V {$V} </out> {}",
+    '<out> "label" $K {$K} </out> {}',
+    "<out> <g> $K $X {$X} </g> {$K} </out> {}",
+    "<out> <g> $K $V {$V} </g> {$K} </out> {}",
+    "<out> <ks> $K {$K} </ks> <vs> $V {$V} </vs> </out> {}",
+    "<out> <wrap> <inner> $V {$V} </inner> {$V} </wrap> {} </out> {}",
+]
+
+_FILTERS = [
+    "",
+    " AND $V < 25",
+    " AND $K = 2",
+    " AND $V != 10 AND $K >= 1",
+]
+
+_ORDERINGS = ["", " ORDER BY $V", " ORDER BY $K DESC, $V"]
+
+
+@st.composite
+def _queries(draw):
+    head = draw(st.sampled_from(_HEADS))
+    filters = draw(st.sampled_from(_FILTERS))
+    ordering = draw(st.sampled_from(_ORDERINGS))
+    return "CONSTRUCT %s %s%s%s" % (head, _BODY, filters, ordering)
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=_sources(), query_text=_queries())
+def test_lazy_equals_eager_at_the_language_level(source, query_text):
+    plan = translate(parse_xmas(query_text))
+    eager_answer = evaluate(plan, {"src": source})
+    document = build_virtual_document(
+        plan, {"src": MaterializedDocument(source)})
+    assert materialize(document) == eager_answer
+
+
+@settings(max_examples=100, deadline=None)
+@given(query_text=_queries())
+def test_printed_query_reparses_to_the_same_plan(query_text):
+    query = parse_xmas(query_text)
+    reparsed = parse_xmas(str(query))
+    assert translate(reparsed).pretty() == translate(query).pretty()
+
+
+@settings(max_examples=150, deadline=None)
+@given(source=_sources(), query_text=_queries())
+def test_answers_validate_against_inferred_dtd(source, query_text):
+    query = parse_xmas(query_text)
+    answer = evaluate(translate(query), {"src": source})
+    violations = infer_dtd(query).validate(answer)
+    assert violations == [], (query_text, answer.sexpr(), violations)
+
+
+@settings(max_examples=75, deadline=None)
+@given(source=_sources(), query_text=_queries())
+def test_optimized_queries_agree(source, query_text):
+    from repro.rewriter import optimize
+    plan = translate(parse_xmas(query_text))
+    optimized, _ = optimize(plan)
+    sources = {"src": source}
+    assert evaluate(optimized, sources) == evaluate(plan, sources)
