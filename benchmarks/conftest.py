@@ -1,13 +1,17 @@
 """Shared infrastructure for the experiment harness.
 
 Every experiment writes its result table to ``benchmarks/results/``
-(so EXPERIMENTS.md can quote measured numbers) and benchmarks a
+(so EXPERIMENTS.md can quote measured numbers), plus a machine-readable
+``BENCH_<name>.json`` twin of the same data, and benchmarks a
 representative operation through pytest-benchmark.
 """
 
+import json
 import os
 
 import pytest
+
+from repro.bench import bench_record
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -20,12 +24,20 @@ def results_dir():
 
 @pytest.fixture
 def write_result(results_dir):
-    """write_result(name, text): persist an experiment table."""
+    """write_result(name, text, extra=None): persist an experiment
+    table as ``<name>.txt`` plus a ``BENCH_<name>.json`` record of the
+    parsed table and any ``extra`` measurements (timings, cache
+    counters)."""
 
-    def writer(name: str, text: str) -> None:
+    def writer(name: str, text: str, extra: dict = None) -> None:
         path = os.path.join(results_dir, name + ".txt")
         with open(path, "w") as handle:
             handle.write(text.rstrip() + "\n")
+        json_path = os.path.join(results_dir, "BENCH_%s.json" % name)
+        with open(json_path, "w") as handle:
+            json.dump(bench_record(name, text, extra), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
 
     return writer
 

@@ -23,8 +23,9 @@ from repro.algebra import (
     Source,
     Var,
 )
-from repro.bench import format_table
+from repro.bench import Timer, format_table
 from repro.lazy import BindingsDocument, build_lazy_plan
+from repro.runtime import ExecutionContext
 from repro.navigation import (
     CountingDocument,
     MaterializedDocument,
@@ -33,16 +34,24 @@ from repro.navigation import (
 from repro.xtree import Tree, elem
 
 
-def _navigations(plan, trees, cache, passes=1):
-    """Source navigations to walk the plan's bindings ``passes``
-    times over the *same* operator instance (re-walks model a client
-    resuming from previously issued node-ids)."""
+def _run(plan, trees, cache, passes=1):
+    """Walk the plan's bindings ``passes`` times over the *same*
+    operator instance (re-walks model a client resuming from
+    previously issued node-ids); returns (source navigations, cache
+    registry report, wall-clock ms)."""
     docs = {url: CountingDocument(MaterializedDocument(t))
             for url, t in trees.items()}
-    op = build_lazy_plan(plan, docs, cache_enabled=cache)
-    for _ in range(passes):
-        materialize(BindingsDocument(op))
-    return sum(d.total for d in docs.values())
+    context = ExecutionContext.create(cache_enabled=cache)
+    op = build_lazy_plan(plan, docs, context)
+    with Timer() as timer:
+        for _ in range(passes):
+            materialize(BindingsDocument(op))
+    navs = sum(d.total for d in docs.values())
+    return navs, context.caches.as_dict(), timer.ms
+
+
+def _navigations(plan, trees, cache, passes=1):
+    return _run(plan, trees, cache, passes)[0]
 
 
 def _join_case(n=15):
@@ -129,17 +138,21 @@ def test_join_inner_cache_wins_by_outer_cardinality():
 
 def test_ablation_table(write_result, benchmark):
     rows = []
+    cases = {}
     for name, case, passes in CASES:
         plan, trees = case()
-        with_cache = _navigations(plan, trees, cache=True,
+        with_cache, report, ms_on = _run(plan, trees, cache=True,
+                                         passes=passes)
+        without, _, ms_off = _run(plan, trees, cache=False,
                                   passes=passes)
-        without = _navigations(plan, trees, cache=False, passes=passes)
         rows.append([name, with_cache, without,
                      "%.1fx" % (without / max(1, with_cache))])
+        cases[name] = {"ms_cache_on": ms_on, "ms_cache_off": ms_off,
+                       "cache_report": report}
     table = format_table(
         ["operator cache", "navs (cache on)", "navs (cache off)",
          "off/on"], rows)
-    write_result("E7_cache_ablation", table)
+    write_result("E7_cache_ablation", table, extra={"cases": cases})
 
     plan, trees = _join_case(n=15)
     benchmark(lambda: _navigations(plan, trees, cache=True))

@@ -24,6 +24,7 @@ from repro.bench import format_table
 from repro.lazy import BindingsDocument, build_lazy_plan
 from repro.navigation import Browsability, Navigation, classify
 from repro.rewriter import classify_plan
+from repro.runtime import ExecutionContext
 from repro.xtree import Tree, elem
 
 
@@ -145,7 +146,8 @@ def test_sigma_command_upgrades_filter_view(write_result):
         documents = {"src%d" % i: doc
                      for i, doc in enumerate(source_docs)}
         return BindingsDocument(
-            build_lazy_plan(_filter_plan(), documents, use_sigma=True))
+            build_lazy_plan(_filter_plan(), documents,
+                            ExecutionContext.create(use_sigma=True)))
 
     report = classify(sigma_factory, _early, _late, NAV,
                       sizes=(4, 8, 16, 32, 64))

@@ -19,6 +19,7 @@ import pytest
 from repro.bench import format_table, homes_and_schools
 from repro.mediator import MIXMediator
 from repro.navigation import MaterializedDocument
+from repro.runtime import EngineConfig
 
 ORDERED_QUERY = ("CONSTRUCT <out> $H {$H} </out> {} "
                  "WHERE homesSrc homes.home $H AND $H zip._ $V "
@@ -28,7 +29,7 @@ N_HOMES = 20
 
 
 def _mediator(hybrid):
-    med = MIXMediator(hybrid=hybrid)
+    med = MIXMediator(EngineConfig(hybrid=hybrid))
     for url, tree in homes_and_schools(N_HOMES).items():
         med.register_source(url, MaterializedDocument(tree))
     return med

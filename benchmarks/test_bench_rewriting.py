@@ -17,6 +17,7 @@ from repro.bench import format_table, homes_and_schools
 from repro.mediator import MIXMediator
 from repro.navigation import MaterializedDocument
 from repro.rewriter import optimize
+from repro.runtime import EngineConfig
 from repro.xmas import parse_xmas, translate
 
 #: A selective query: only one zip code's homes survive the filter.
@@ -37,7 +38,7 @@ WHERE homesSrc homes.home $H AND $H zip._ $V
 
 
 def _mediator(optimize_plans, n_homes=20):
-    med = MIXMediator(optimize_plans=optimize_plans)
+    med = MIXMediator(EngineConfig(optimize_plans=optimize_plans))
     for url, tree in homes_and_schools(n_homes).items():
         med.register_source(url, MaterializedDocument(tree))
     return med

@@ -22,11 +22,16 @@ from .errors import ReproError
 from .core import (
     BindingsDocument,
     Browsability,
+    CacheManager,
     CountingDocument,
+    EngineConfig,
+    ExecutionContext,
     MediatorError,
+    MediatorWarning,
     MIXMediator,
     NavigableDocument,
     QueryResult,
+    Tracer,
     VirtualDocument,
     XMLElement,
     build_lazy_plan,
@@ -50,7 +55,8 @@ from .wrappers import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "MIXMediator", "MediatorError", "QueryResult",
+    "MIXMediator", "MediatorError", "MediatorWarning", "QueryResult",
+    "EngineConfig", "ExecutionContext", "CacheManager", "Tracer",
     "XMLElement", "open_virtual_document",
     "BindingsDocument", "VirtualDocument",
     "build_lazy_plan", "build_virtual_document",

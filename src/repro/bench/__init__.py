@@ -1,7 +1,14 @@
 """Workload generators and measurement utilities for the experiment
 harness (benchmarks/) and the examples."""
 
-from .measure import Timer, browse_first_k, depth_first_prefix, format_table
+from .measure import (
+    Timer,
+    bench_record,
+    browse_first_k,
+    depth_first_prefix,
+    format_table,
+    parse_table,
+)
 from .workloads import (
     ALLBOOKS_VIEW_NAME,
     CHEAP_DB_BOOKS_QUERY,
@@ -16,5 +23,6 @@ __all__ = [
     "homes_and_schools", "book_catalog", "two_bookstores",
     "allbooks_plan", "HOMES_SCHOOLS_QUERY", "CHEAP_DB_BOOKS_QUERY",
     "ALLBOOKS_VIEW_NAME",
-    "browse_first_k", "depth_first_prefix", "format_table", "Timer",
+    "browse_first_k", "depth_first_prefix", "format_table",
+    "parse_table", "bench_record", "Timer",
 ]

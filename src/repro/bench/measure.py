@@ -4,14 +4,15 @@ shape the experiment scripts print their series in)."""
 
 from __future__ import annotations
 
+import re
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..client.element import XMLElement
 from ..navigation.interface import NavigableDocument, materialize
 
 __all__ = ["browse_first_k", "depth_first_prefix", "format_table",
-           "Timer"]
+           "parse_table", "bench_record", "Timer"]
 
 
 def browse_first_k(root: XMLElement, k: int,
@@ -84,6 +85,51 @@ def format_table(headers: Sequence[str],
         for row in rows
     ]
     return "\n".join([line, rule] + body)
+
+
+def parse_table(text: str) -> Tuple[List[str], List[dict]]:
+    """The inverse of :func:`format_table`: headers plus one dict per
+    row, with numeric-looking cells converted back to numbers.
+
+    Columns are recognized by the two-space gutter ``format_table``
+    emits, so round-tripping a rendered table is lossless for the
+    tables the experiment harness writes.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 2:
+        return [], []
+    headers = re.split(r"\s{2,}", lines[0].strip())
+    rows: List[dict] = []
+    for line in lines[2:]:  # lines[1] is the dashed rule
+        cells = re.split(r"\s{2,}", line.strip())
+        rows.append({header: _parse_cell(cell)
+                     for header, cell in zip(headers, cells)})
+    return headers, rows
+
+
+def bench_record(name: str, table_text: str,
+                 extra: Optional[dict] = None) -> dict:
+    """A machine-readable record of one experiment: the parsed result
+    table plus optional ``extra`` measurements (wall-clock timings,
+    cache hit/miss/eviction counters).  The harness serializes this as
+    ``BENCH_<name>.json`` next to the text table.
+    """
+    columns, rows = parse_table(table_text)
+    record = {"experiment": name, "columns": columns, "rows": rows}
+    if extra:
+        record["extra"] = extra
+    return record
+
+
+def _parse_cell(cell: str):
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
 
 
 def _cell(value) -> str:

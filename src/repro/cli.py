@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from .mediator.mix import MIXMediator
 from .rewriter.analyzer import classify_plan, explain_plan
 from .rewriter.optimizer import optimize
+from .runtime.config import EngineConfig
 from .wrappers.xmlfile import XMLFileWrapper
 from .xmas.parser import parse_xmas
 from .xmas.translate import translate
@@ -61,6 +62,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="wrapper fill granularity (default 10)")
     run.add_argument("--no-optimize", action="store_true",
                      help="skip the rewriting phase")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the operator caches (E7 ablation)")
+    run.add_argument("--cache-budget", type=int, default=None,
+                     metavar="N",
+                     help="bound live cached entries to N "
+                          "(LRU-evicting; default unbounded)")
+    run.add_argument("--sigma", action="store_true",
+                     help="push sibling selection to the sources "
+                          "(select(sigma))")
+    run.add_argument("--hybrid", action="store_true",
+                     help="allow intermediate eager steps above "
+                          "unbrowsable subplans")
 
     plan = sub.add_parser("plan", help="show the algebraic plan")
     add_query_arguments(plan, with_sources=False)
@@ -92,7 +105,15 @@ def _parse_sources(specs: List[str]) -> Dict[str, str]:
 
 
 def _cmd_query(args) -> int:
-    mediator = MIXMediator(optimize_plans=not args.no_optimize)
+    config = EngineConfig(
+        optimize_plans=not args.no_optimize,
+        cache_enabled=not args.no_cache,
+        cache_budget=args.cache_budget,
+        use_sigma=args.sigma,
+        hybrid=args.hybrid,
+        chunk_size=args.chunk_size,
+    )
+    mediator = MIXMediator(config)
     for name, path in _parse_sources(args.source).items():
         with open(path) as handle:
             xml_text = handle.read()
@@ -100,16 +121,29 @@ def _cmd_query(args) -> int:
             name, XMLFileWrapper(name, xml_text,
                                  chunk_size=args.chunk_size))
     text = _query_text(args)
+    result = None
     if args.eager:
         answer = mediator.query_eager(text)
     else:
-        answer = mediator.prepare(text).materialize()
+        result = mediator.prepare(text)
+        answer = result.materialize()
     print(to_xml(answer, pretty=args.pretty))
     if args.stats:
         print("-- source navigations --", file=sys.stderr)
         for name, meter in sorted(mediator.meters.items()):
             print("  %-16s %s" % (name, meter.counters),
                   file=sys.stderr)
+        if result is not None:
+            stats = result.stats()
+            caches = stats["caches"]
+            print("-- caches (budget=%s, %s) --"
+                  % (caches["budget"],
+                     "on" if caches["enabled"] else "off"),
+                  file=sys.stderr)
+            for name, counts in sorted(caches["caches"].items()):
+                print("  %-22s hits=%-6d misses=%-6d evictions=%d"
+                      % (name, counts["hits"], counts["misses"],
+                         counts["evictions"]), file=sys.stderr)
     return 0
 
 

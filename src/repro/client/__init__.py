@@ -7,14 +7,17 @@ from .element import XMLElement, open_virtual_document
 from .remote import (
     ChannelStats,
     MessageChannel,
+    MeteredTransport,
     NavigableLXPServer,
     RPCDocument,
     connect_remote,
+    fragment_wire_size,
 )
 
 __all__ = [
     "XMLElement", "open_virtual_document",
     "BBQSession", "BBQError",
-    "NavigableLXPServer", "MessageChannel", "ChannelStats",
-    "RPCDocument", "connect_remote",
+    "NavigableLXPServer", "MessageChannel", "MeteredTransport",
+    "ChannelStats", "RPCDocument", "connect_remote",
+    "fragment_wire_size",
 ]

@@ -30,10 +30,12 @@ from ..buffer.component import BufferComponent
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
 from ..buffer.lxp import LXPServer, LXPStats, _measure
 from ..navigation.interface import NavigableDocument
+from ..runtime.context import ExecutionContext
 from .element import XMLElement
 
-__all__ = ["NavigableLXPServer", "MessageChannel", "ChannelStats",
-           "RPCDocument", "connect_remote"]
+__all__ = ["NavigableLXPServer", "MessageChannel", "MeteredTransport",
+           "ChannelStats", "RPCDocument", "connect_remote",
+           "fragment_wire_size"]
 
 
 class NavigableLXPServer(LXPServer):
@@ -133,7 +135,34 @@ class ChannelStats:
         self.virtual_ms = 0.0
 
 
-class MessageChannel(LXPServer):
+class MeteredTransport:
+    """Shared cost-charging core of every simulated remote transport
+    (:class:`MessageChannel`, :class:`RPCDocument`): one
+    :class:`ChannelStats` object, one charging rule, one reset path.
+    """
+
+    def __init__(self, latency_ms: float = 20.0,
+                 ms_per_kb: float = 2.0,
+                 tracer=None):
+        self.latency_ms = latency_ms
+        self.ms_per_kb = ms_per_kb
+        self.stats = ChannelStats()
+        self.tracer = tracer
+
+    def _charge(self, size: int) -> None:
+        self.stats.messages += 1
+        self.stats.bytes_transferred += size
+        self.stats.virtual_ms += self.latency_ms \
+            + self.ms_per_kb * (size / 1024.0)
+        if self.tracer is not None and self.tracer.active:
+            self.tracer.emit("channel", "round_trip", bytes=size)
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (shared by every transport)."""
+        self.stats.reset()
+
+
+class MessageChannel(MeteredTransport, LXPServer):
     """An LXP server proxied over a simulated network.
 
     Each ``fill`` is one round trip: fixed ``latency_ms`` plus
@@ -141,17 +170,9 @@ class MessageChannel(LXPServer):
     """
 
     def __init__(self, server: LXPServer, latency_ms: float = 20.0,
-                 ms_per_kb: float = 2.0):
+                 ms_per_kb: float = 2.0, tracer=None):
+        super().__init__(latency_ms, ms_per_kb, tracer)
         self.server = server
-        self.latency_ms = latency_ms
-        self.ms_per_kb = ms_per_kb
-        self.stats = ChannelStats()
-
-    def _charge(self, size: int) -> None:
-        self.stats.messages += 1
-        self.stats.bytes_transferred += size
-        self.stats.virtual_ms += self.latency_ms \
-            + self.ms_per_kb * (size / 1024.0)
 
     def get_root(self) -> FragHole:
         root = self.server.get_root()
@@ -165,7 +186,7 @@ class MessageChannel(LXPServer):
         return reply
 
 
-class RPCDocument(NavigableDocument):
+class RPCDocument(MeteredTransport, NavigableDocument):
     """The naive remote design: every DOM-VXD command is a round trip.
 
     This is the baseline the paper's fragment-exchange plan beats: a
@@ -175,17 +196,10 @@ class RPCDocument(NavigableDocument):
     _COMMAND_BYTES = 48  # request + pointer + small reply
 
     def __init__(self, document: NavigableDocument,
-                 latency_ms: float = 20.0, ms_per_kb: float = 2.0):
+                 latency_ms: float = 20.0, ms_per_kb: float = 2.0,
+                 tracer=None):
+        super().__init__(latency_ms, ms_per_kb, tracer)
         self.document = document
-        self.latency_ms = latency_ms
-        self.ms_per_kb = ms_per_kb
-        self.stats = ChannelStats()
-
-    def _charge(self, size: int) -> None:
-        self.stats.messages += 1
-        self.stats.bytes_transferred += size
-        self.stats.virtual_ms += self.latency_ms \
-            + self.ms_per_kb * (size / 1024.0)
 
     def root(self):
         # Handing out the root handle is free (it ships with the
@@ -207,18 +221,37 @@ class RPCDocument(NavigableDocument):
 
 
 def connect_remote(document: NavigableDocument,
-                   chunk_size: int = 10, depth: int = 3,
-                   latency_ms: float = 20.0,
-                   ms_per_kb: float = 2.0
+                   chunk_size: Optional[int] = None,
+                   depth: Optional[int] = None,
+                   latency_ms: Optional[float] = None,
+                   ms_per_kb: Optional[float] = None,
+                   context: Optional[ExecutionContext] = None
                    ) -> Tuple[XMLElement, ChannelStats]:
     """Open a remote client session onto ``document``.
+
+    Granularity and channel costs default to the execution context's
+    engine config (or the config defaults when no context is given);
+    the channel's stats register with the context so the query's
+    aggregated ``stats()`` covers the wire traffic.
 
     Returns the client-side root XMLElement (backed by a client-local
     buffer over the fragment channel) and the channel's stats object.
     """
-    server = NavigableLXPServer(document, chunk_size=chunk_size,
-                                depth=depth)
-    channel = MessageChannel(server, latency_ms=latency_ms,
-                             ms_per_kb=ms_per_kb)
+    if context is None:
+        context = ExecutionContext.create()
+    config = context.config
+    server = NavigableLXPServer(
+        document,
+        chunk_size=config.chunk_size if chunk_size is None else chunk_size,
+        depth=config.depth if depth is None else depth)
+    channel = MessageChannel(
+        server,
+        latency_ms=config.latency_ms if latency_ms is None else latency_ms,
+        ms_per_kb=config.ms_per_kb if ms_per_kb is None else ms_per_kb,
+        tracer=context.tracer)
     buffer = BufferComponent(channel)
+    context.register_channel(
+        "remote#%d" % (len(context.channels) + 1), channel.stats)
+    context.register_buffer(
+        "client-buffer#%d" % (len(context.buffers) + 1), buffer.stats)
     return XMLElement(buffer, buffer.root()), channel.stats

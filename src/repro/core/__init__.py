@@ -15,17 +15,31 @@ from ..client.element import XMLElement, open_virtual_document
 from ..lazy.base import BindingsDocument, LazyOperator
 from ..lazy.build import build_lazy_plan, build_virtual_document
 from ..lazy.document import VirtualDocument
-from ..mediator.mix import MediatorError, MIXMediator, QueryResult
+from ..mediator.mix import (
+    MediatorError,
+    MediatorWarning,
+    MIXMediator,
+    QueryResult,
+)
 from ..navigation.complexity import Browsability, classify
 from ..navigation.counting import CountingDocument, NavCounters
 from ..navigation.interface import NavigableDocument, materialize
 from ..rewriter.analyzer import classify_plan
 from ..rewriter.optimizer import optimize
+from ..runtime import (
+    CacheManager,
+    CacheStats,
+    EngineConfig,
+    ExecutionContext,
+    Tracer,
+)
 from ..xmas.parser import parse_xmas
 from ..xmas.translate import translate
 
 __all__ = [
-    "MIXMediator", "MediatorError", "QueryResult",
+    "MIXMediator", "MediatorError", "MediatorWarning", "QueryResult",
+    "EngineConfig", "ExecutionContext", "CacheManager", "CacheStats",
+    "Tracer",
     "XMLElement", "open_virtual_document",
     "LazyOperator", "BindingsDocument", "VirtualDocument",
     "build_lazy_plan", "build_virtual_document",

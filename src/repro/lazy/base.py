@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Hashable, List, Optional
 
 from ..navigation.interface import NavigableDocument
+from ..runtime.context import ExecutionContext
 from ..xtree.tree import Tree
 
 __all__ = ["LazyOperator", "BindingsDocument", "LazyError",
@@ -56,15 +57,24 @@ class LazyOperator:
     """Base class of all lazy mediators.
 
     Subclasses mint their own binding/value ids and must treat ids of
-    their inputs as opaque.  ``cache_enabled`` governs the operator's
-    optional memoization (the paper's operator caches).
+    their inputs as opaque.  Every operator carries the query's
+    :class:`~repro.runtime.context.ExecutionContext`; its config
+    governs the operator's optional memoization (the paper's operator
+    caches), and its cache manager owns every cache the operator
+    registers.
     """
 
     #: output variable schema, in order
     variables: List[str] = []
 
-    def __init__(self, cache_enabled: bool = True):
-        self.cache_enabled = cache_enabled
+    def __init__(self, context: Optional[ExecutionContext] = None):
+        self.ctx = (context if context is not None
+                    else ExecutionContext.create())
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the paper's operator caches are on (from config)."""
+        return self.ctx.config.cache_enabled
 
     # -- binding-level navigation ----------------------------------------
     def first_binding(self) -> Optional[BindingId]:

@@ -9,15 +9,23 @@ we obtain a smoothly integrated, uniform evaluation scheme."
 sources are resolved to NavigableDocuments (wrapped sources, buffer
 components, or even *other lazy plans* -- which is exactly how mediator
 stacking in Figure 1 works).
+
+Every operator in the resulting tree shares one
+:class:`~repro.runtime.context.ExecutionContext`: the frozen
+:class:`~repro.runtime.config.EngineConfig` (cache policy, sigma
+pushdown, ...), the query's budgeted cache registry, and the tracing
+hooks all travel through it instead of through per-constructor
+booleans.
 """
 
 from __future__ import annotations
 
 import typing
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Optional
 
 from ..algebra import operators as ops
 from ..navigation.interface import NavigableDocument
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator
 from .concat import LazyConcatenate
 from .createelem import LazyCreateElement
@@ -50,73 +58,73 @@ def _resolve(documents: DocumentResolver, url: str) -> NavigableDocument:
 
 
 def build_lazy_plan(plan: ops.Operator, documents: DocumentResolver,
-                    cache_enabled: bool = True,
-                    use_sigma: bool = False) -> LazyOperator:
+                    context: Optional[ExecutionContext] = None
+                    ) -> LazyOperator:
     """Translate an algebra plan (without its TupleDestroy root) into a
     tree of lazy mediators.
 
-    ``use_sigma`` lets getDescendants replace sibling scans by
-    ``select(sigma)`` commands (requires sources that serve the command
-    natively to actually pay off).
+    ``context`` carries the engine configuration (cache policy,
+    ``use_sigma`` pushdown, ...) and the query's cache registry; when
+    omitted, a fresh default context is created and shared by the
+    whole operator tree.
     """
     if isinstance(plan, ops.TupleDestroy):
         raise LazyError(
             "build_virtual_document() handles TupleDestroy roots")
+    if context is None:
+        context = ExecutionContext.create()
 
     def rec(node: ops.Operator) -> LazyOperator:
-        return build_lazy_plan(node, documents, cache_enabled,
-                               use_sigma)
+        return build_lazy_plan(node, documents, context)
 
     if isinstance(plan, ops.Source):
         return LazySource(_resolve(documents, plan.url), plan.out_var,
-                          cache_enabled)
+                          context)
     if isinstance(plan, ops.Constant):
         return LazyConstant(rec(plan.child), plan.value, plan.out_var,
-                            cache_enabled)
+                            context)
     if isinstance(plan, ops.GetDescendants):
         return LazyGetDescendants(rec(plan.child), plan.parent_var,
-                                  plan.path, plan.out_var, cache_enabled,
-                                  use_sigma)
+                                  plan.path, plan.out_var, context)
     if isinstance(plan, ops.Select):
-        return LazySelect(rec(plan.child), plan.predicate, cache_enabled)
+        return LazySelect(rec(plan.child), plan.predicate, context)
     if isinstance(plan, ops.Project):
-        return LazyProject(rec(plan.child), plan.variables, cache_enabled)
+        return LazyProject(rec(plan.child), plan.variables, context)
     if isinstance(plan, ops.Rename):
-        return LazyRename(rec(plan.child), plan.mapping, cache_enabled)
+        return LazyRename(rec(plan.child), plan.mapping, context)
     if isinstance(plan, ops.Distinct):
-        return LazyDistinct(rec(plan.child), cache_enabled)
+        return LazyDistinct(rec(plan.child), context)
     if isinstance(plan, ops.Join):
         return LazyJoin(rec(plan.left), rec(plan.right), plan.predicate,
-                        cache_enabled)
+                        context)
     if isinstance(plan, ops.Union):
-        return LazyUnion(rec(plan.left), rec(plan.right), cache_enabled)
+        return LazyUnion(rec(plan.left), rec(plan.right), context)
     if isinstance(plan, ops.Difference):
-        return LazyDifference(rec(plan.left), rec(plan.right),
-                              cache_enabled)
+        return LazyDifference(rec(plan.left), rec(plan.right), context)
     if isinstance(plan, ops.Materialize):
-        return LazyMaterialize(rec(plan.child), cache_enabled)
+        return LazyMaterialize(rec(plan.child), context)
     if isinstance(plan, ops.GroupBy):
         return LazyGroupBy(rec(plan.child), plan.group_vars,
-                           plan.aggregations, cache_enabled)
+                           plan.aggregations, context)
     if isinstance(plan, ops.OrderBy):
         return LazyOrderBy(rec(plan.child), plan.variables,
-                           plan.descending, cache_enabled)
+                           plan.descending, context)
     if isinstance(plan, ops.Concatenate):
         return LazyConcatenate(rec(plan.child), plan.in_vars,
-                               plan.out_var, cache_enabled)
+                               plan.out_var, context)
     if isinstance(plan, ops.CreateElement):
         label = (("var", plan.label_var) if plan.label_var
                  else plan.label_const)
         return LazyCreateElement(rec(plan.child), label,
                                  plan.content_var, plan.out_var,
-                                 cache_enabled)
+                                 context)
     raise LazyError("no lazy implementation for %r" % plan)
 
 
 def build_virtual_document(plan: ops.Operator,
                            documents: DocumentResolver,
-                           cache_enabled: bool = True,
-                           use_sigma: bool = False) -> VirtualDocument:
+                           context: Optional[ExecutionContext] = None
+                           ) -> VirtualDocument:
     """Translate a full plan (TupleDestroy root) into the virtual
     answer document handed to the client."""
     if not isinstance(plan, ops.TupleDestroy):
@@ -125,6 +133,7 @@ def build_virtual_document(plan: ops.Operator,
             % plan.signature()
         )
     plan.validate()
-    lazy = build_lazy_plan(plan.child, documents, cache_enabled,
-                           use_sigma)
+    if context is None:
+        context = ExecutionContext.create()
+    lazy = build_lazy_plan(plan.child, documents, context)
     return VirtualDocument(lazy, plan.var)

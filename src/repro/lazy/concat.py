@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..algebra.bindings import LIST_LABEL
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator
 
 __all__ = ["LazyConcatenate"]
@@ -26,8 +27,9 @@ class LazyConcatenate(LazyOperator):
     enumeration rules."""
 
     def __init__(self, child: LazyOperator, in_vars: Sequence[str],
-                 out_var: str, cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 out_var: str,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         if not in_vars:
             raise LazyError("concatenate needs at least one variable")
         self.child = child

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, Union
 
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator, value_text_of
 
 __all__ = ["LazyCreateElement"]
@@ -28,8 +29,8 @@ class LazyCreateElement(LazyOperator):
     def __init__(self, child: LazyOperator,
                  label: Union[str, Tuple[str, str]],
                  content_var: str, out_var: str,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         if isinstance(label, tuple):
             kind, name = label

@@ -20,8 +20,10 @@ pays off (toggleable via ``cache_enabled`` for the ablation bench).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from ..xtree.path import PathExpr, PathNFA, parse_path
 from .base import LazyOperator
 
@@ -36,7 +38,7 @@ Stack = Tuple[Frame, ...]
 class LazyGetDescendants(LazyOperator):
     """See module docstring.
 
-    ``use_sigma=True`` enables the paper's Example 1 upgrade: when the
+    ``config.use_sigma`` enables the paper's Example 1 upgrade: when the
     NFA frontier can only be advanced by a concrete set of labels (no
     wildcard transitions), sibling scans are replaced by a single
     ``select(sigma)`` command pushed down to the source.  Views that
@@ -46,9 +48,8 @@ class LazyGetDescendants(LazyOperator):
 
     def __init__(self, child: LazyOperator, parent_var: str,
                  path: Union[str, PathExpr, PathNFA], out_var: str,
-                 cache_enabled: bool = True, use_sigma: bool = False):
-        super().__init__(cache_enabled)
-        self.use_sigma = use_sigma
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.parent_var = parent_var
         if isinstance(path, PathNFA):
@@ -59,9 +60,15 @@ class LazyGetDescendants(LazyOperator):
         self.out_var = out_var
         self.variables = child.variables + [out_var]
         # Operator caches (the paper's "keeps around the input nodes
-        # that may have descendants that satisfy the path condition"):
-        self._first_cache: Dict[object, Optional[Tuple]] = {}
-        self._next_cache: Dict[Tuple, Optional[Tuple]] = {}
+        # that may have descendants that satisfy the path condition");
+        # both are pure memos over structured ids, hence evictable.
+        self._first_cache = self.ctx.caches.cache("getDescendants.first")
+        self._next_cache = self.ctx.caches.cache("getDescendants.next")
+
+    @property
+    def use_sigma(self) -> bool:
+        """Whether sibling scans may become select(sigma) pushdowns."""
+        return self.ctx.config.use_sigma
 
     # -- bindings ----------------------------------------------------------
     def first_binding(self):
@@ -70,29 +77,27 @@ class LazyGetDescendants(LazyOperator):
 
     def next_binding(self, binding):
         _, ib, stack = binding
-        if self.cache_enabled and (ib, stack) in self._next_cache:
-            return self._next_cache[(ib, stack)]
+        cached = self._next_cache.get((ib, stack), MISS)
+        if cached is not MISS:
+            return cached
         result_stack = self._next_match(stack)
         result = None
         if result_stack is not None:
             result = ("b", ib, result_stack)
         else:
             result = self._advance_from_input(self.child.next_binding(ib))
-        if self.cache_enabled:
-            self._next_cache[(ib, stack)] = result
+        self._next_cache.put((ib, stack), result)
         return result
 
     def _advance_from_input(self, ib):
         """First output binding at or after input binding ``ib``."""
         while ib is not None:
-            if self.cache_enabled and ib in self._first_cache:
-                stack = self._first_cache[ib]
-            else:
+            stack = self._first_cache.get(ib, MISS)
+            if stack is MISS:
                 parent_vid = self.child.attribute(ib, self.parent_var)
                 stack = self._first_in_subtree(
                     (), parent_vid, self.nfa.start_states)
-                if self.cache_enabled:
-                    self._first_cache[ib] = stack
+                self._first_cache.put(ib, stack)
             if stack is not None:
                 return ("b", ib, stack)
             ib = self.child.next_binding(ib)

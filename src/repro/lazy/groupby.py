@@ -22,8 +22,10 @@ binding, even over empty input (this realizes XMAS's ``<answer>
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator, canonical_key_of
 
 __all__ = ["LazyGroupBy"]
@@ -36,8 +38,8 @@ class LazyGroupBy(LazyOperator):
     def __init__(self, child: LazyOperator,
                  group_vars: Sequence[str],
                  aggregations: Sequence[Tuple[str, str]],
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.group_vars = list(group_vars)
         self.aggregations = [tuple(a) for a in aggregations]
@@ -49,11 +51,16 @@ class LazyGroupBy(LazyOperator):
         #: input bindings scanned so far, in input order
         self._scanned: List[object] = []
         self._exhausted = False
-        #: memoized keys by scan position (subject to cache_enabled)
-        self._keys: Dict[int, Hashable] = {}
-        #: G_prev: discovered keys in first-occurrence order
+        #: memoized keys by scan position -- a pure memo (re-derivable
+        #: by re-navigating the key value), hence evictable
+        self._keys = self.ctx.caches.cache("groupBy.keys")
+        #: G_prev (Figure 10): key -> group index.  Group identity is
+        #: evaluation state the node-ids depend on, so the registry is
+        #: kind="state": always on, never evicted, but visible in the
+        #: cache report (its hits are next_gb's membership re-tests).
+        self._gprev = self.ctx.caches.cache("groupBy.G_prev",
+                                            kind="state")
         self._group_keys: List[Hashable] = []
-        self._key_to_group: Dict[Hashable, int] = {}
         self._group_first_pos: List[int] = []
 
     # -- input scanning ------------------------------------------------------
@@ -64,11 +71,11 @@ class LazyGroupBy(LazyOperator):
         )
 
     def _key_at(self, pos: int) -> Hashable:
-        if pos in self._keys:
-            return self._keys[pos]
+        key = self._keys.get(pos, MISS)
+        if key is not MISS:
+            return key
         key = self._compute_key(self._scanned[pos])
-        if self.cache_enabled:
-            self._keys[pos] = key
+        self._keys.put(pos, key)
         return key
 
     def _scan_one(self) -> bool:
@@ -86,10 +93,9 @@ class LazyGroupBy(LazyOperator):
         self._scanned.append(ib)
         pos = len(self._scanned) - 1
         key = self._compute_key(self._scanned[pos])
-        if self.cache_enabled:
-            self._keys[pos] = key
-        if key not in self._key_to_group:
-            self._key_to_group[key] = len(self._group_keys)
+        self._keys.put(pos, key)
+        if self._gprev.get(key, MISS) is MISS:
+            self._gprev.put(key, len(self._group_keys))
             self._group_keys.append(key)
             self._group_first_pos.append(pos)
         return True

@@ -11,9 +11,11 @@ texts, so re-scans stop costing source navigations once warmed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from ..algebra.predicates import Predicate
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator, value_text_of
 
 __all__ = ["LazyJoin"]
@@ -24,8 +26,9 @@ class LazyJoin(LazyOperator):
     cache design."""
 
     def __init__(self, left: LazyOperator, right: LazyOperator,
-                 predicate: Predicate, cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 predicate: Predicate,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.left = left
         self.right = right
         self.predicate = predicate
@@ -36,51 +39,71 @@ class LazyJoin(LazyOperator):
         self.variables = left.variables + right.variables
         self._left_vars = set(left.variables)
         self._pred_vars = predicate.variables()
-        #: inner cache: position -> (right binding id, join-attr texts)
-        self._inner: List[Tuple[object, Dict[str, str]]] = []
-        self._inner_complete = False
+        #: inner cache (paper footnote 9): position -> right binding id,
+        #: and (position, var) -> join-attribute text.  Both are memos
+        #: over stable scan positions -- evicted entries are re-derived
+        #: by resuming the inner scan from the nearest cached
+        #: predecessor (or, with caching off, honestly from the start).
+        self._inner_bindings = self.ctx.caches.cache("join.inner")
+        self._inner_texts = self.ctx.caches.cache("join.inner_texts")
+        #: scan length once discovered (scalar bookkeeping, only
+        #: trusted while caching is on -- the cache-off ablation mode
+        #: re-pays the full discovery walk, as before)
+        self._inner_len: Optional[int] = None
 
     # -- inner-side access (cached) ----------------------------------------
-    def _inner_entry(self, index: int):
-        """The inner entry at ``index`` (None past the end).
+    def _inner_binding(self, index: int):
+        """The right binding id at inner position ``index`` (None past
+        the end).
 
-        With caching on, right binding ids and (lazily) their
-        join-attribute texts are memoized; with caching off every
-        access honestly re-walks the inner side from its first binding,
-        re-paying the underlying source navigations -- the cost the
-        paper's inner cache exists to avoid.
+        With caching on, binding ids are memoized by position; a
+        missing position (never visited, or evicted under a cache
+        budget) is re-derived by walking forward from the nearest
+        cached predecessor.  With caching off every access honestly
+        re-walks the inner side from its first binding, re-paying the
+        underlying source navigations -- the cost the paper's inner
+        cache exists to avoid.
         """
-        if not self.cache_enabled:
-            rb = self.right.first_binding()
-            position = 0
-            while rb is not None and position < index:
-                rb = self.right.next_binding(rb)
-                position += 1
-            return (rb, {}) if rb is not None else None
-        while len(self._inner) <= index and not self._inner_complete:
-            if self._inner:
-                rb = self.right.next_binding(self._inner[-1][0])
-            else:
-                rb = self.right.first_binding()
-            if rb is None:
-                self._inner_complete = True
+        if self.cache_enabled and self._inner_len is not None \
+                and index >= self._inner_len:
+            return None
+        rb = self._inner_bindings.get(index, MISS)
+        if rb is not MISS:
+            return rb
+        # Resume from the nearest cached predecessor position.
+        position = index - 1
+        rb = MISS
+        while position >= 0:
+            rb = self._inner_bindings.peek(position, MISS)
+            if rb is not MISS:
                 break
-            self._inner.append((rb, {}))
-        if index < len(self._inner):
-            return self._inner[index]
-        return None
+            position -= 1
+        if rb is MISS:
+            position = 0
+            rb = self.right.first_binding()
+            if rb is None:
+                if self.cache_enabled:
+                    self._inner_len = 0
+                return None
+            self._inner_bindings.put(position, rb)
+        while position < index:
+            rb = self.right.next_binding(rb)
+            position += 1
+            if rb is None:
+                if self.cache_enabled:
+                    self._inner_len = position
+                return None
+            self._inner_bindings.put(position, rb)
+        return rb
 
     def _right_text(self, index: int, var: str) -> str:
-        if not self.cache_enabled:
-            rb, _ = self._inner_entry(index)
-            return value_text_of(self.right,
-                                 self.right.attribute(rb, var))
-        rb, texts = self._inner[index]
-        if var in texts:
-            return texts[var]
+        text = self._inner_texts.get((index, var), MISS)
+        if text is not MISS:
+            return text
+        rb = self._inner_binding(index)
         text = value_text_of(self.right,
                              self.right.attribute(rb, var))
-        texts[var] = text
+        self._inner_texts.put((index, var), text)
         return text
 
     # -- the nested loop -----------------------------------------------------
@@ -101,8 +124,7 @@ class LazyJoin(LazyOperator):
         """First output at/after (lb, right_index), left-major."""
         while lb is not None:
             while True:
-                entry = self._inner_entry(right_index)
-                if entry is None:
+                if self._inner_binding(right_index) is None:
                     break
                 if self._matches(lb, right_index):
                     return ("b", lb, right_index)
@@ -124,7 +146,7 @@ class LazyJoin(LazyOperator):
         _, lb, right_index = binding
         if var in self._left_vars:
             return ("L", self.left.attribute(lb, var))
-        rb = self._inner_entry(right_index)[0]
+        rb = self._inner_binding(right_index)
         return ("R", self.right.attribute(rb, var))
 
     def _side(self, value):

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from ..xtree.tree import Tree
 from .base import LazyOperator, materialize_value
 
@@ -34,12 +36,17 @@ class LazyMaterialize(LazyOperator):
     as MaterializedDocument.
     """
 
-    def __init__(self, child: LazyOperator, cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+    def __init__(self, child: LazyOperator,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.variables = list(child.variables)
         self._bindings: Optional[List[object]] = None
-        self._values: dict = {}
+        #: the buffered value trees; an explicit eager step is
+        #: evaluation state, not an optional cache, so the store is
+        #: registered as kind="state" (always on, never evicted)
+        self._values = self.ctx.caches.cache("materialize.values",
+                                             kind="state")
 
     def _force(self) -> List[object]:
         """Drain the child's binding ids (the unavoidable full scan)."""
@@ -56,14 +63,14 @@ class LazyMaterialize(LazyOperator):
     def _tree(self, binding_index: int, var_index: int) -> Tree:
         """The buffered value tree (materialized on first access)."""
         key = (binding_index, var_index)
-        tree = self._values.get(key)
-        if tree is None:
+        tree = self._values.get(key, MISS)
+        if tree is MISS:
             child_binding = self._force()[binding_index]
             tree = materialize_value(
                 self.child,
                 self.child.attribute(child_binding,
                                      self.variables[var_index]))
-            self._values[key] = tree
+            self._values.put(key, tree)
         return tree
 
     def _node(self, binding_index: int, var_index: int,

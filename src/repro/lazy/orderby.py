@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..algebra.eager import sort_key_for_value
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator, value_text_of
 
 __all__ = ["LazyOrderBy"]
@@ -22,8 +24,9 @@ class LazyOrderBy(LazyOperator):
     module docstring."""
 
     def __init__(self, child: LazyOperator, variables: Sequence[str],
-                 descending: bool = False, cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 descending: bool = False,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.sort_vars = list(variables)
         self.descending = descending
@@ -31,12 +34,16 @@ class LazyOrderBy(LazyOperator):
         for var in self.sort_vars:
             if var not in child.variables:
                 raise LazyError("orderBy over unbound $%s" % var)
-        self._order: Optional[List[object]] = None
+        #: one-entry memo holding the sorted binding order; the sort
+        #: is deterministic, so re-deriving it after eviction yields
+        #: the same positions and node-ids stay valid
+        self._order_cache = self.ctx.caches.cache("orderBy.order")
 
     def _force(self) -> List[object]:
         """Scan the whole input and sort -- the unavoidable eager step."""
-        if self._order is not None and self.cache_enabled:
-            return self._order
+        order = self._order_cache.get("order", MISS)
+        if order is not MISS:
+            return order
         entries: List[Tuple[tuple, int, object]] = []
         ib = self.child.first_binding()
         position = 0
@@ -51,8 +58,7 @@ class LazyOrderBy(LazyOperator):
             position += 1
         entries.sort(key=lambda e: e[0], reverse=self.descending)
         order = [ib for _key, _pos, ib in entries]
-        if self.cache_enabled:
-            self._order = order
+        self._order_cache.put("order", order)
         return order
 
     # -- bindings -----------------------------------------------------------

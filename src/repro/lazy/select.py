@@ -8,9 +8,11 @@ the input.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..algebra.predicates import Predicate
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from ..xtree.tree import Tree
 from .base import LazyError, LazyOperator, value_text_of
 
@@ -27,22 +29,22 @@ class LazySelect(LazyOperator):
     """
 
     def __init__(self, child: LazyOperator, predicate: Predicate,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.predicate = predicate
         self.variables = list(child.variables)
-        self._verdicts: Dict[object, bool] = {}
+        self._verdicts = self.ctx.caches.cache("select.verdicts")
 
     def _holds(self, ib) -> bool:
-        if self.cache_enabled and ib in self._verdicts:
-            return self._verdicts[ib]
+        verdict = self._verdicts.get(ib, MISS)
+        if verdict is not MISS:
+            return verdict
         verdict = self.predicate.evaluate(
             lambda var: value_text_of(
                 self.child, self.child.attribute(ib, var))
         )
-        if self.cache_enabled:
-            self._verdicts[ib] = verdict
+        self._verdicts.put(ib, verdict)
         return verdict
 
     def _scan(self, ib):
@@ -80,8 +82,8 @@ class LazyProject(LazyOperator):
     values pass straight through."""
 
     def __init__(self, child: LazyOperator, variables,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.variables = list(variables)
         missing = [v for v in self.variables if v not in child.variables]
@@ -115,8 +117,8 @@ class LazyRename(LazyOperator):
     """``rho``: rename variables; bindings and values pass through."""
 
     def __init__(self, child: LazyOperator, mapping: dict,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.mapping = dict(mapping)
         self._reverse = {new: old for old, new in self.mapping.items()}
@@ -157,8 +159,8 @@ class LazyConstant(LazyOperator):
     """
 
     def __init__(self, child: LazyOperator, value: Tree, out_var: str,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.value = value
         self.out_var = out_var

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+from ..runtime.cache import MISS
+from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator, canonical_key_of
 
 __all__ = ["LazyUnion", "LazyDifference", "LazyDistinct"]
@@ -21,8 +23,8 @@ class LazyUnion(LazyOperator):
     """Left bindings followed by right bindings (same schema)."""
 
     def __init__(self, left: LazyOperator, right: LazyOperator,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         if left.variables != right.variables:
             raise LazyError(
                 "union schemas differ: %s vs %s"
@@ -79,8 +81,9 @@ class _LeftStreamOperator(LazyOperator):
     """Shared shell for operators that stream their left/only input and
     merely decide which bindings survive."""
 
-    def __init__(self, child: LazyOperator, cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+    def __init__(self, child: LazyOperator,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.child = child
         self.variables = list(child.variables)
 
@@ -127,26 +130,27 @@ class LazyDifference(_LeftStreamOperator):
     """Left bindings whose values do not occur on the right."""
 
     def __init__(self, left: LazyOperator, right: LazyOperator,
-                 cache_enabled: bool = True):
+                 context: Optional[ExecutionContext] = None):
         if left.variables != right.variables:
             raise LazyError(
                 "difference schemas differ: %s vs %s"
                 % (left.variables, right.variables)
             )
-        super().__init__(left, cache_enabled)
+        super().__init__(left, context)
         self.right = right
-        self._right_keys: Optional[Set] = None
+        #: one-entry memo holding the full right-side key set
+        self._right_keys = self.ctx.caches.cache("difference.right_keys")
 
     def _force_right(self) -> Set:
-        if self._right_keys is not None and self.cache_enabled:
-            return self._right_keys
+        keys = self._right_keys.get("keys", MISS)
+        if keys is not MISS:
+            return keys
         keys = set()
         rb = self.right.first_binding()
         while rb is not None:
             keys.add(self._binding_key(self.right, rb))
             rb = self.right.next_binding(rb)
-        if self.cache_enabled:
-            self._right_keys = keys
+        self._right_keys.put("keys", keys)
         return keys
 
     def _keep(self, ib) -> bool:
@@ -161,8 +165,12 @@ class LazyDistinct(_LeftStreamOperator):
     re-scanning when caching is disabled.
     """
 
-    def __init__(self, child: LazyOperator, cache_enabled: bool = True):
-        super().__init__(child, cache_enabled)
+    def __init__(self, child: LazyOperator,
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(child, context)
+        # Order-dependent: evicting individual pairs could re-admit a
+        # key, so this stays a toggleable in-operator list rather than
+        # a budgeted memo cache.
         self._seen_upto: List = []  # (ib, key) pairs in input order
 
     def _keep(self, ib) -> bool:

@@ -3,7 +3,10 @@ the singleton binding list ``bs[b[v[root]]]``."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..navigation.interface import NavigableDocument
+from ..runtime.context import ExecutionContext
 from .base import LazyOperator
 
 __all__ = ["LazySource"]
@@ -19,8 +22,8 @@ class LazySource(LazyOperator):
     """
 
     def __init__(self, document: NavigableDocument, out_var: str,
-                 cache_enabled: bool = True):
-        super().__init__(cache_enabled)
+                 context: Optional[ExecutionContext] = None):
+        super().__init__(context)
         self.document = document
         self.out_var = out_var
         self.variables = [out_var]

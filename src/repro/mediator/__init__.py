@@ -1,6 +1,7 @@
 """The MIX mediator: catalog of wrapped sources and views, XMAS query
 processing, and the virtual-answer client handle."""
 
-from .mix import MediatorError, MIXMediator, QueryResult
+from .mix import MediatorError, MediatorWarning, MIXMediator, QueryResult
 
-__all__ = ["MIXMediator", "MediatorError", "QueryResult"]
+__all__ = ["MIXMediator", "MediatorError", "MediatorWarning",
+           "QueryResult"]

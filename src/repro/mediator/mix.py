@@ -19,10 +19,18 @@ Sources can be registered three ways, mirroring Figure 1:
 * another mediator's view (``register_view`` + queries that name it) --
   views compose algebraically by default, or stack as navigable
   sources via ``as_source=True``.
+
+Configuration lives in one frozen :class:`~repro.runtime.config.
+EngineConfig`; every ``prepare()`` creates a fresh
+:class:`~repro.runtime.context.ExecutionContext` (config + budgeted
+cache registry + tracing hooks) and threads it down the whole operator
+tower.  The legacy boolean keyword arguments still work through a
+deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Union
 
 from ..algebra.eager import evaluate
@@ -31,9 +39,11 @@ from ..buffer.lxp import LXPServer
 from ..client.element import XMLElement, open_virtual_document
 from ..lazy.build import build_virtual_document
 from ..lazy.document import VirtualDocument
-from ..navigation.counting import CountingDocument
+from ..navigation.counting import CountingDocument, NavCounters
 from ..navigation.interface import NavigableDocument, materialize
 from ..rewriter.optimizer import OptimizationTrace, optimize
+from ..runtime.config import EngineConfig
+from ..runtime.context import ExecutionContext, Tracer
 from ..wrappers.base import buffered
 from ..xmas.ast import XMASQuery
 from ..xmas.compose import inline_views
@@ -41,7 +51,8 @@ from ..xmas.parser import parse_xmas
 from ..xmas.translate import translate
 from ..xtree.tree import Tree
 
-__all__ = ["MIXMediator", "MediatorError", "QueryResult"]
+__all__ = ["MIXMediator", "MediatorError", "MediatorWarning",
+           "QueryResult"]
 
 
 from ..errors import ReproError
@@ -51,18 +62,38 @@ class MediatorError(ReproError):
     """Raised for catalog problems (unknown sources, name clashes)."""
 
 
+class MediatorWarning(UserWarning):
+    """Emitted for recoverable mediator anomalies (e.g. the optimizer
+    returning a plan with a non-tupleDestroy root, which is discarded
+    in favor of the initial plan)."""
+
+
+_UNSET = object()
+
+#: legacy MIXMediator keyword arguments -> EngineConfig field
+_LEGACY_KWARGS = ("optimize_plans", "cache_enabled", "use_sigma",
+                  "hybrid")
+
+
 class QueryResult:
-    """Everything the mediator knows about one processed query."""
+    """Everything the mediator knows about one processed query,
+    including its :class:`ExecutionContext` (config, caches, tracing)
+    and a per-query baseline of the source navigation meters."""
 
     def __init__(self, mediator: "MIXMediator", plan: TupleDestroy,
                  initial_plan: TupleDestroy,
                  trace: Optional[OptimizationTrace],
-                 document: VirtualDocument):
+                 document: VirtualDocument,
+                 context: Optional[ExecutionContext] = None,
+                 meter_baseline: Optional[Dict[str, NavCounters]] = None):
         self.mediator = mediator
         self.plan = plan
         self.initial_plan = initial_plan
         self.optimization_trace = trace
         self.document = document
+        self.context = (context if context is not None
+                        else ExecutionContext.create())
+        self._meter_baseline = dict(meter_baseline or {})
         self._root: Optional[XMLElement] = None
 
     @property
@@ -77,9 +108,47 @@ class QueryResult:
         """Navigate the whole virtual answer into memory."""
         return materialize(self.document)
 
+    def connect_remote(self, **kwargs):
+        """Open a remote client session onto this query's virtual
+        answer (Section 5's mediator/client split).
+
+        Granularity and channel-cost defaults come from the engine
+        config; the channel's stats register with the query context,
+        so :meth:`stats` covers the wire traffic.  Returns the
+        client-side root :class:`XMLElement` and the channel stats.
+        """
+        from ..client.remote import connect_remote
+        return connect_remote(self.document, context=self.context,
+                              **kwargs)
+
+    # -- aggregated telemetry ---------------------------------------------
+    def stats(self) -> dict:
+        """One aggregated report for this query: source navigations
+        (since ``prepare()``), per-cache hit/miss/eviction counts, and
+        -- for remote sessions -- channel messages/bytes.
+        """
+        report = self.context.stats_report()
+        per_source = {}
+        total = NavCounters()
+        for name, meter in sorted(self.mediator.meters.items()):
+            counters = meter.counters
+            baseline = self._meter_baseline.get(name)
+            if baseline is not None:
+                counters = counters - baseline
+            per_source[name] = counters.as_dict()
+            total = total + counters
+        report["source_navigations"] = {
+            "total": total.total,
+            "per_source": per_source,
+            "by_command": total.as_dict(),
+        }
+        return report
+
     def explain(self) -> str:
-        """A human-readable report: rewritten plan, rules fired, and
-        per-node browsability classification."""
+        """A human-readable report: rewritten plan, rules fired,
+        per-node browsability classification, and the aggregated
+        runtime view (source navigations, cache behavior, wire
+        traffic)."""
         from ..rewriter.analyzer import classify_plan, explain_plan
         lines = ["plan:"]
         lines.append(self.plan.pretty())
@@ -92,27 +161,97 @@ class QueryResult:
         lines.append("browsability: %s" % classify_plan(self.plan))
         lines.append("")
         lines.append(explain_plan(self.plan))
+        lines.append("")
+        lines.extend(self._stats_lines())
         return "\n".join(lines)
+
+    def _stats_lines(self) -> list:
+        stats = self.stats()
+        caches = stats["caches"]
+        lines = ["runtime:"]
+        lines.append("  cache policy: %s, budget=%s"
+                     % ("on" if caches["enabled"] else "off",
+                        caches["budget"]))
+        navigations = stats["source_navigations"]
+        lines.append("  source navigations: %d" % navigations["total"])
+        for name, counts in sorted(caches["caches"].items()):
+            lines.append(
+                "  cache %-22s hits=%-6d misses=%-6d evictions=%d"
+                % (name, counts["hits"], counts["misses"],
+                   counts["evictions"]))
+        channels = stats.get("channels")
+        if channels:
+            lines.append("  channel: %d messages, %d bytes"
+                         % (channels["messages"],
+                            channels["bytes_transferred"]))
+        return lines
 
 
 class MIXMediator:
-    """A MIX mediator instance over a catalog of sources and views."""
+    """A MIX mediator instance over a catalog of sources and views.
 
-    def __init__(self, optimize_plans: bool = True,
-                 cache_enabled: bool = True,
-                 use_sigma: bool = False,
-                 hybrid: bool = False):
-        self.optimize_plans = optimize_plans
-        self.cache_enabled = cache_enabled
-        #: insert intermediate eager steps above unbrowsable subplans
-        #: (Section 6's lazy/eager combination)
-        self.hybrid = hybrid
-        #: let getDescendants push sibling selection to the sources
-        #: (the select(sigma) command of Section 2)
-        self.use_sigma = use_sigma
+    Configure it with one :class:`EngineConfig`::
+
+        MIXMediator(EngineConfig(cache_budget=256, use_sigma=True))
+
+    The pre-runtime boolean keyword arguments (``optimize_plans``,
+    ``cache_enabled``, ``use_sigma``, ``hybrid``) still work but are
+    deprecated; they fold into the config.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 tracer: Optional[Tracer] = None, **legacy):
+        if isinstance(config, bool):
+            # Very old call shape: MIXMediator(optimize_plans) positional.
+            legacy.setdefault("optimize_plans", config)
+            config = None
+        if config is None:
+            config = EngineConfig()
+        unknown = set(legacy) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError("unexpected keyword arguments %s"
+                            % sorted(unknown))
+        if legacy:
+            warnings.warn(
+                "MIXMediator(%s) boolean keywords are deprecated; pass "
+                "MIXMediator(EngineConfig(...)) instead"
+                % ", ".join(sorted(legacy)),
+                DeprecationWarning, stacklevel=2)
+            config = config.replace(**legacy)
+        self.config = config
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: session-level context: buffers registered at source
+        #: registration time report through it
+        self.runtime = ExecutionContext(config, tracer=self.tracer)
         self._documents: Dict[str, NavigableDocument] = {}
         self._meters: Dict[str, CountingDocument] = {}
         self._views: Dict[str, TupleDestroy] = {}
+
+    # -- config compatibility views ----------------------------------------
+    @property
+    def optimize_plans(self) -> bool:
+        """Whether the rewriting phase runs (from config)."""
+        return self.config.optimize_plans
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether operator caches are on (from config)."""
+        return self.config.cache_enabled
+
+    @property
+    def use_sigma(self) -> bool:
+        """Whether select(sigma) pushdown is on (from config)."""
+        return self.config.use_sigma
+
+    @property
+    def hybrid(self) -> bool:
+        """Whether the optimizer may insert eager steps (from
+        config)."""
+        return self.config.hybrid
+
+    def _new_context(self) -> ExecutionContext:
+        """A fresh per-query execution context (shared tracer)."""
+        return ExecutionContext(self.config, tracer=self.tracer)
 
     # -- catalog -----------------------------------------------------------
     def register_source(self, name: str,
@@ -125,15 +264,26 @@ class MIXMediator:
         """
         self._check_free(name)
         if meter:
-            counted = CountingDocument(document, name=name)
+            counted = CountingDocument(document, name=name,
+                                       tracer=self.tracer)
             self._meters[name] = counted
             document = counted
         self._documents[name] = document
+        self.tracer.emit("mediator", "register_source", name=name)
 
     def register_wrapper(self, name: str, server: LXPServer,
-                         prefetch: int = 0, meter: bool = True) -> None:
-        """Register an LXP wrapper, stacked under the generic buffer."""
-        self.register_source(name, buffered(server, prefetch), meter)
+                         prefetch: Optional[int] = None,
+                         meter: bool = True) -> None:
+        """Register an LXP wrapper, stacked under the generic buffer.
+
+        ``prefetch`` defaults to the engine config's buffer lookahead.
+        """
+        if prefetch is None:
+            prefetch = self.config.prefetch
+        buffer = buffered(server, prefetch)
+        if hasattr(buffer, "stats"):
+            self.runtime.register_buffer(name, buffer.stats)
+        self.register_source(name, buffer, meter)
 
     def register_view(self, name: str,
                       query: Union[str, XMASQuery, TupleDestroy],
@@ -150,8 +300,7 @@ class MIXMediator:
         plan = self._plan_of(query)
         if as_source:
             document = build_virtual_document(
-                plan, self._resolver(), self.cache_enabled,
-                self.use_sigma)
+                plan, self._resolver(), self._new_context())
             self._documents[name] = document
         else:
             self._views[name] = plan
@@ -201,22 +350,43 @@ class MIXMediator:
         """Run preprocessing + rewriting and build the lazy plan.
 
         Returns a QueryResult whose ``root`` is the virtual answer
-        handle; no source is touched yet.
+        handle; no source is touched yet.  The result carries a fresh
+        :class:`ExecutionContext` holding this query's caches and
+        tracing hooks.
         """
+        context = self._new_context()
+        context.trace("mediator", "prepare.begin")
         initial = self._plan_of(query)
         if self._views:
             initial = inline_views(initial, self._views)
         self._validate_sources(initial)
         plan = initial
         trace = None
-        if self.optimize_plans:
-            plan, trace = optimize(initial, hybrid=self.hybrid)
+        if self.config.optimize_plans:
+            plan, trace = optimize(initial, hybrid=self.config.hybrid)
+            context.trace("mediator", "optimize",
+                          applied=tuple(trace.applied) if trace else ())
             if not isinstance(plan, TupleDestroy):
-                plan = initial  # safety net; optimize preserves roots
+                # The optimizer must preserve the tupleDestroy root; a
+                # different root means a rewrite rule misfired.  Fall
+                # back to the initial plan, but loudly: silently
+                # swallowing the anomaly hid real rule bugs.
+                warnings.warn(
+                    "optimizer returned a %s-rooted plan instead of "
+                    "tupleDestroy; discarding the rewrite and using "
+                    "the initial plan"
+                    % type(plan).__name__,
+                    MediatorWarning, stacklevel=2)
+                context.trace("mediator", "optimizer.discarded_result",
+                              got=type(plan).__name__)
+                plan = initial
         document = build_virtual_document(
-            plan, self._resolver(), self.cache_enabled,
-            self.use_sigma)
-        return QueryResult(self, plan, initial, trace, document)
+            plan, self._resolver(), context)
+        baseline = {name: meter.counters.snapshot()
+                    for name, meter in self._meters.items()}
+        context.trace("mediator", "prepare.end")
+        return QueryResult(self, plan, initial, trace, document,
+                           context=context, meter_baseline=baseline)
 
     def query(self, query: Union[str, XMASQuery, TupleDestroy]
               ) -> XMLElement:

@@ -15,6 +15,9 @@ from typing import List, Optional, Tuple
 from .commands import LabelPredicate
 from .interface import NavigableDocument
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from ..runtime.context import Tracer
+
 __all__ = ["NavCounters", "CountingDocument"]
 
 
@@ -45,6 +48,20 @@ class NavCounters:
             self.select - other.select,
         )
 
+    def __add__(self, other: "NavCounters") -> "NavCounters":
+        return NavCounters(
+            self.down + other.down,
+            self.right + other.right,
+            self.fetch + other.fetch,
+            self.select + other.select,
+        )
+
+    def as_dict(self) -> dict:
+        """Per-command counts as a plain dict (for stats reports)."""
+        return {"down": self.down, "right": self.right,
+                "fetch": self.fetch, "select": self.select,
+                "total": self.total}
+
     def __str__(self) -> str:
         return ("d=%d r=%d f=%d sel=%d total=%d"
                 % (self.down, self.right, self.fetch, self.select,
@@ -63,19 +80,27 @@ class CountingDocument(NavigableDocument):
     log:
         When True, every command is appended to :attr:`trace` as
         ``(command_name, pointer)`` pairs.
+    tracer:
+        Optional :class:`~repro.runtime.context.Tracer`; when it has
+        subscribers (or records), every command crossing this layer is
+        emitted as a ``source`` event -- the per-navigation hook of
+        the execution context.
     """
 
     def __init__(self, inner: NavigableDocument, name: str = "",
-                 log: bool = False):
+                 log: bool = False, tracer: "Optional[Tracer]" = None):
         self.inner = inner
         self.name = name
         self.counters = NavCounters()
         self.log = log
+        self.tracer = tracer
         self.trace: List[Tuple[str, object]] = []
 
     def _note(self, command: str, pointer) -> None:
         if self.log:
             self.trace.append((command, pointer))
+        if self.tracer is not None and self.tracer.active:
+            self.tracer.emit("source", command, source=self.name)
 
     # -- NavigableDocument ----------------------------------------------
     def root(self):

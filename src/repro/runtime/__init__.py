@@ -1,0 +1,23 @@
+"""The unified runtime spine: config, caches, and telemetry.
+
+Everything cross-cutting in the evaluation tower lives here:
+
+* :class:`EngineConfig` -- one frozen configuration object replacing
+  the old ``cache_enabled``/``use_sigma`` boolean plumbing;
+* :class:`CacheManager`/:class:`ManagedCache` -- the paper's operator
+  caches under one memory-budgeted, LRU-evicting registry with
+  per-cache hit/miss/eviction counters;
+* :class:`ExecutionContext`/:class:`Tracer` -- the per-query carrier
+  of config, caches, and span/event hooks, created per ``prepare()``
+  and threaded client -> mediator -> lazy operators -> buffer.
+"""
+
+from .cache import MISS, CacheManager, CacheStats, ManagedCache
+from .config import ConfigError, EngineConfig
+from .context import ExecutionContext, TraceEvent, Tracer
+
+__all__ = [
+    "EngineConfig", "ConfigError",
+    "MISS", "CacheStats", "ManagedCache", "CacheManager",
+    "ExecutionContext", "Tracer", "TraceEvent",
+]

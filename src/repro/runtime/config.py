@@ -1,0 +1,91 @@
+"""The engine configuration: one frozen object instead of booleans.
+
+Before this subsystem existed, cross-cutting evaluator settings
+(``cache_enabled``, ``use_sigma``, ...) were threaded as positional
+booleans through the mediator, the plan builder, and every lazy
+operator constructor.  :class:`EngineConfig` replaces that plumbing
+with a single immutable value that the :class:`~repro.runtime.context.
+ExecutionContext` carries down the whole tower (client -> mediator ->
+lazy operators -> buffer), the shape mediator stacks such as XLive use
+for evaluator configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["EngineConfig", "ConfigError"]
+
+
+from ..errors import ReproError
+
+
+class ConfigError(ReproError):
+    """Raised for invalid engine configurations."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable evaluator configuration for one mediator session.
+
+    Instances are frozen: derive variants with :meth:`replace`.
+
+    Cache policy
+        ``cache_enabled`` toggles the paper's operator caches (the E7
+        ablation switch); ``cache_budget`` bounds how many *evictable*
+        cached entries may live at once across all operator caches of
+        one query (None = unbounded).  Eviction is semantically safe:
+        every evictable entry is a memo re-derivable from structured
+        node-ids (paper Fig. 5), so a bounded budget changes costs,
+        never answers.
+
+    Navigation pushdown
+        ``use_sigma`` lets getDescendants replace sibling scans by
+        ``select(sigma)`` commands pushed to capable sources (paper
+        Example 1).
+
+    Optimizer
+        ``optimize_plans`` runs the rewriting phase; ``hybrid`` lets it
+        insert intermediate eager steps above unbrowsable subplans
+        (Section 6).
+
+    Buffer / channel granularity defaults
+        ``chunk_size``/``depth`` are the default fragment granularity
+        for wrappers and the mediator->client fragment channel;
+        ``prefetch`` is the default buffer lookahead;
+        ``latency_ms``/``ms_per_kb`` parameterize the simulated remote
+        channel.
+    """
+
+    optimize_plans: bool = True
+    hybrid: bool = False
+    cache_enabled: bool = True
+    cache_budget: Optional[int] = None
+    use_sigma: bool = False
+    chunk_size: int = 10
+    depth: int = 3
+    prefetch: int = 0
+    latency_ms: float = 20.0
+    ms_per_kb: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cache_budget is not None and self.cache_budget < 0:
+            raise ConfigError("cache_budget must be >= 0 or None")
+        if self.chunk_size <= 0:
+            raise ConfigError("chunk_size must be positive")
+        if self.depth <= 0:
+            raise ConfigError("depth must be positive")
+        if self.prefetch < 0:
+            raise ConfigError("prefetch must be >= 0")
+        if self.latency_ms < 0 or self.ms_per_kb < 0:
+            raise ConfigError("channel costs must be >= 0")
+
+    def replace(self, **overrides) -> "EngineConfig":
+        """A copy with the given fields replaced (validated anew)."""
+        return dataclasses.replace(self, **overrides)
+
+    def as_dict(self) -> dict:
+        """The configuration as a plain dict (for reports/JSON)."""
+        return dataclasses.asdict(self)

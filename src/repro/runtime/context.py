@@ -1,0 +1,165 @@
+"""The execution context: the spine threaded through the tower.
+
+One :class:`ExecutionContext` is created per :meth:`MIXMediator.
+prepare` and handed down through plan building into every lazy
+operator; buffers and remote channels register their stats objects
+with it.  It carries exactly three things:
+
+* the frozen :class:`~repro.runtime.config.EngineConfig`,
+* the :class:`~repro.runtime.cache.CacheManager` holding every
+  operator cache of the query under one budget,
+* a :class:`Tracer` whose span/event callbacks see each navigation
+  crossing the layers (mediator, lazy operators, sources, channel).
+
+``QueryResult.stats()`` aggregates the context into a single report:
+source navigations, per-cache hit/miss/eviction counts, and -- for
+remote sessions -- channel messages/bytes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .cache import CacheManager
+from .config import EngineConfig
+
+__all__ = ["TraceEvent", "Tracer", "ExecutionContext"]
+
+
+@dataclass
+class TraceEvent:
+    """One crossing of a layer boundary."""
+
+    layer: str
+    event: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join("%s=%r" % kv for kv in sorted(self.data.items()))
+        return ("%s.%s %s" % (self.layer, self.event, detail)).rstrip()
+
+
+class Tracer:
+    """Span/event hooks for the execution tower.
+
+    Subscribing a callback makes every layer's :meth:`emit` call it
+    with a :class:`TraceEvent`; with ``record=True`` events are also
+    kept in :attr:`events`.  An idle tracer (no subscribers, not
+    recording) is near-free: instrumented layers check :attr:`active`
+    before building events.
+    """
+
+    def __init__(self, record: bool = False):
+        self._callbacks: List[Callable[[TraceEvent], None]] = []
+        self.record = record
+        self.events: List[TraceEvent] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether emitting is observable at all."""
+        return self.record or bool(self._callbacks)
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked on every event."""
+        self._callbacks.append(callback)
+
+    def emit(self, layer: str, event: str, **data) -> None:
+        """Publish one event to subscribers (and the record)."""
+        if not self.active:
+            return
+        record = TraceEvent(layer, event, data)
+        if self.record:
+            self.events.append(record)
+        for callback in self._callbacks:
+            callback(record)
+
+    @contextmanager
+    def span(self, layer: str, name: str, **data):
+        """A begin/end event pair around a block."""
+        self.emit(layer, name + ".begin", **data)
+        try:
+            yield self
+        finally:
+            self.emit(layer, name + ".end", **data)
+
+
+class ExecutionContext:
+    """Config + caches + tracing for one prepared query.
+
+    Create one with :meth:`create`; the mediator does so per
+    ``prepare()`` and threads it through ``build_virtual_document``
+    into every operator, so the query's whole cache footprint lives
+    (and is bounded) in one place.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 caches: Optional[CacheManager] = None,
+                 tracer: Optional[Tracer] = None):
+        self.config = config if config is not None else EngineConfig()
+        if caches is None:
+            caches = CacheManager(budget=self.config.cache_budget,
+                                  enabled=self.config.cache_enabled)
+        self.caches = caches
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: buffer stats registered by name (generic buffer components)
+        self.buffers: Dict[str, object] = {}
+        #: channel stats registered by name (remote sessions)
+        self.channels: Dict[str, object] = {}
+
+    @classmethod
+    def create(cls, config: Optional[EngineConfig] = None,
+               tracer: Optional[Tracer] = None,
+               **overrides) -> "ExecutionContext":
+        """A fresh context, optionally overriding config fields::
+
+            ctx = ExecutionContext.create(cache_enabled=False)
+        """
+        config = config if config is not None else EngineConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        return cls(config=config, tracer=tracer)
+
+    # -- tracing -----------------------------------------------------------
+    def trace(self, layer: str, event: str, **data) -> None:
+        """Emit one event through the context's tracer."""
+        self.tracer.emit(layer, event, **data)
+
+    def span(self, layer: str, name: str, **data):
+        """A tracing span (contextmanager) through the tracer."""
+        return self.tracer.span(layer, name, **data)
+
+    # -- registries --------------------------------------------------------
+    def register_buffer(self, name: str, stats) -> None:
+        """Attach a buffer's stats object for aggregated reporting."""
+        self.buffers[name] = stats
+
+    def register_channel(self, name: str, stats) -> None:
+        """Attach a remote channel's stats for aggregated reporting."""
+        self.channels[name] = stats
+
+    # -- reporting ---------------------------------------------------------
+    def stats_report(self) -> dict:
+        """Caches, buffers, and channels in one plain-dict view."""
+        report = {"config": self.config.as_dict(),
+                  "caches": self.caches.as_dict()}
+        if self.buffers:
+            report["buffers"] = {
+                name: {"navigations": stats.navigations,
+                       "hits": stats.hits, "fills": stats.fills}
+                for name, stats in sorted(self.buffers.items())}
+        if self.channels:
+            messages = sum(s.messages for s in self.channels.values())
+            transferred = sum(s.bytes_transferred
+                              for s in self.channels.values())
+            report["channels"] = {
+                "messages": messages,
+                "bytes_transferred": transferred,
+                "per_channel": {
+                    name: {"messages": stats.messages,
+                           "bytes_transferred": stats.bytes_transferred,
+                           "virtual_ms": stats.virtual_ms}
+                    for name, stats in sorted(self.channels.items())},
+            }
+        return report

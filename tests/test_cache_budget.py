@@ -1,0 +1,132 @@
+"""Cache-eviction equivalence: a bounded cache budget changes costs,
+never answers.
+
+Every evictable (memo) cache entry is re-derivable from the structured
+node-ids of paper Fig. 5, so evicting at any time -- even with a budget
+of a single entry -- must leave the materialized answer byte-identical
+to the eager evaluator's.  These tests pin that invariant on the
+Figure 4 plan and scaled variants, and check the budget actually binds
+(evictions observed, live memo entries within budget).
+"""
+
+import pytest
+
+from repro.algebra import Comparison, GetDescendants, Join, Source, Var
+from repro.algebra.eager import evaluate
+from repro.lazy import build_lazy_plan, build_virtual_document
+from repro.navigation import MaterializedDocument, materialize
+from repro.runtime import ExecutionContext
+from repro.xtree import to_xml
+
+from .fixtures import (
+    expected_fig4_answer,
+    fig4_plan,
+    fig4_sources,
+    homes_of_size,
+)
+
+
+def _materialize_with(plan, trees, **overrides):
+    """Materialize the lazy plan under a configured context; returns
+    (answer xml, context)."""
+    context = ExecutionContext.create(**overrides)
+    docs = {url: MaterializedDocument(t) for url, t in trees.items()}
+    document = build_virtual_document(plan, docs, context)
+    return to_xml(materialize(document)), context
+
+
+def _eager_xml(plan, trees):
+    return to_xml(evaluate(plan, trees))
+
+
+CONFIGS = [
+    {},                                     # unlimited caches
+    {"cache_enabled": False},               # E7 ablation: no caches
+    {"cache_budget": 1},                    # pathological budget
+    {"cache_budget": 4},
+    {"cache_budget": 0},                    # insert -> immediate evict
+]
+CONFIG_IDS = ["unlimited", "disabled", "budget-1", "budget-4",
+              "budget-0"]
+
+
+@pytest.mark.parametrize("overrides", CONFIGS, ids=CONFIG_IDS)
+def test_fig4_answer_identical_under_any_cache_policy(overrides):
+    plan, trees = fig4_plan(), fig4_sources()
+    xml, _ = _materialize_with(plan, trees, **overrides)
+    assert xml == _eager_xml(plan, trees)
+    assert xml == to_xml(expected_fig4_answer())
+
+
+@pytest.mark.parametrize("overrides", CONFIGS, ids=CONFIG_IDS)
+@pytest.mark.parametrize("n_homes", [5, 12])
+def test_scaled_workload_identical_under_any_cache_policy(
+        overrides, n_homes):
+    plan = fig4_plan()
+    trees = homes_of_size(n_homes, schools_per_zip=2)
+    xml, _ = _materialize_with(plan, trees, **overrides)
+    assert xml == _eager_xml(plan, trees)
+
+
+def test_tiny_budget_actually_evicts_and_stays_within_budget():
+    plan, trees = fig4_plan(), fig4_sources()
+    _, context = _materialize_with(plan, trees, cache_budget=1)
+    assert context.caches.evictions > 0
+    assert context.caches.memo_entries <= 1
+
+
+def test_budget_bounds_full_e7_materialization():
+    """The E7-style workload fully materialized under a small budget:
+    live memo entries never exceed the budget, evictions happen, and
+    the answer matches the unlimited run byte for byte."""
+    plan = fig4_plan()
+    trees = homes_of_size(12, schools_per_zip=3)
+    budget = 8
+    bounded, context = _materialize_with(plan, trees,
+                                         cache_budget=budget)
+    unlimited, _ = _materialize_with(plan, trees)
+    assert bounded == unlimited
+    assert context.caches.evictions > 0
+    assert context.caches.memo_entries <= budget
+    # State caches (groupBy's G_prev etc.) are exempt, not evicted.
+    report = context.caches.report()
+    assert report["groupBy.G_prev"].evictions == 0
+
+
+def test_interleaved_rewalk_after_eviction():
+    """Re-walking from retained node-ids after the cache under them
+    was evicted must reproduce the identical binding chain."""
+    left = GetDescendants(
+        GetDescendants(Source("homesSrc", "root1"),
+                       "root1", "homes.home", "H"),
+        "H", "zip._", "V1")
+    right = GetDescendants(
+        GetDescendants(Source("schoolsSrc", "root2"),
+                       "root2", "schools.school", "S"),
+        "S", "zip._", "V2")
+    plan = Join(left, right, Comparison(Var("V1"), "=", Var("V2")))
+    trees = fig4_sources()
+    context = ExecutionContext.create(cache_budget=1)
+    docs = {url: MaterializedDocument(t) for url, t in trees.items()}
+    lazy = build_lazy_plan(plan, docs, context)
+    first = lazy.first_binding()
+    chain1, b = [], first
+    while b is not None:
+        chain1.append(b)
+        b = lazy.next_binding(b)
+    assert context.caches.evictions > 0
+    chain2, b = [], first
+    while b is not None:
+        chain2.append(b)
+        b = lazy.next_binding(b)
+    assert chain1 == chain2
+
+
+def test_disabled_caches_report_no_activity():
+    plan, trees = fig4_plan(), fig4_sources()
+    _, context = _materialize_with(plan, trees, cache_enabled=False)
+    totals = context.caches.totals()
+    # Memo caches are bypasses when disabled; only state caches (the
+    # groupBy registry, Materialize buffers) may record entries.
+    assert context.caches.memo_entries == 0
+    assert totals.evictions == 0

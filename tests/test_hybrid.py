@@ -23,6 +23,7 @@ from repro.navigation import (
     materialize,
 )
 from repro.rewriter import optimize
+from repro.runtime import EngineConfig
 from repro.xtree import Tree, elem
 
 ORDERED_QUERY = ("CONSTRUCT <out> $H {$H} </out> {} "
@@ -132,7 +133,7 @@ class TestHybridOptimizer:
 
 class TestHybridMediator:
     def _mediator(self, hybrid):
-        med = MIXMediator(hybrid=hybrid)
+        med = MIXMediator(EngineConfig(hybrid=hybrid))
         for url, tree in homes_and_schools(10).items():
             med.register_source(url, MaterializedDocument(tree))
         return med

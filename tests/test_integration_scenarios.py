@@ -11,6 +11,7 @@ from repro.mediator import MIXMediator
 from repro.navigation import MaterializedDocument
 from repro.oodb import ObjectStore
 from repro.relational import Connection, Database
+from repro.runtime import EngineConfig
 from repro.webstore import HttpSimulator, make_catalog_site
 from repro.wrappers import (
     OODBLXPWrapper,
@@ -22,10 +23,10 @@ from repro.wrappers import (
 from repro.xtree import Tree, elem
 
 
-def _full_stack_mediator(**kwargs) -> MIXMediator:
+def _full_stack_mediator(**overrides) -> MIXMediator:
     """XML + relational + OODB + web sources, all wrapped and
     buffered, plus an integrated view."""
-    med = MIXMediator(**kwargs)
+    med = MIXMediator(EngineConfig(**overrides))
 
     med.register_wrapper("homesSrc", XMLFileWrapper("homesSrc", """
         <homes>

@@ -37,6 +37,7 @@ from repro.navigation import (
     materialize,
     run_navigation,
 )
+from repro.runtime import ExecutionContext
 from repro.xtree import Tree, leaf
 
 # ----------------------------------------------------------------------
@@ -155,7 +156,7 @@ def test_lazy_equals_eager_with_cache(tree, plan):
 def test_lazy_equals_eager_without_cache(tree, plan):
     expected = evaluate_bindings(plan, {"src": tree}).to_tree()
     lazy = build_lazy_plan(plan, {"src": MaterializedDocument(tree)},
-                           cache_enabled=False)
+                           ExecutionContext.create(cache_enabled=False))
     assert materialize(BindingsDocument(lazy)) == expected
 
 
@@ -260,7 +261,7 @@ def test_lazy_equals_eager_with_sigma(tree, plan):
     """The select(sigma) optimization must not change results."""
     expected = evaluate_bindings(plan, {"src": tree}).to_tree()
     lazy = build_lazy_plan(plan, {"src": MaterializedDocument(tree)},
-                           use_sigma=True)
+                           ExecutionContext.create(use_sigma=True))
     assert materialize(BindingsDocument(lazy)) == expected
 
 
@@ -277,7 +278,7 @@ class TestSigmaBoundedness:
             GetDescendants(Source("src", "R"), "R", "r", "L"),
             "L", "hit", "X")
         lazy = build_lazy_plan(plan, {"src": counter},
-                               use_sigma=use_sigma)
+                               ExecutionContext.create(use_sigma=use_sigma))
         lazy.first_binding()
         return counter.total
 
@@ -301,8 +302,9 @@ def test_lazy_equals_eager_under_all_flag_combinations(
         tree, plan, cache, sigma):
     """cache x sigma: no configuration may change results."""
     expected = evaluate_bindings(plan, {"src": tree}).to_tree()
-    lazy = build_lazy_plan(plan, {"src": MaterializedDocument(tree)},
-                           cache_enabled=cache, use_sigma=sigma)
+    lazy = build_lazy_plan(
+        plan, {"src": MaterializedDocument(tree)},
+        ExecutionContext.create(cache_enabled=cache, use_sigma=sigma))
     assert materialize(BindingsDocument(lazy)) == expected
 
 

@@ -31,6 +31,7 @@ from repro.lazy import (
     value_text_of,
 )
 from repro.navigation import MaterializedDocument, materialize
+from repro.runtime import ExecutionContext
 from repro.xtree import Tree, elem, leaf
 
 from .fixtures import fig4_sources, homes_source
@@ -38,7 +39,8 @@ from .fixtures import fig4_sources, homes_source
 
 def lazy_of(plan, trees, cache=True):
     docs = {url: MaterializedDocument(t) for url, t in trees.items()}
-    return build_lazy_plan(plan, docs, cache_enabled=cache)
+    return build_lazy_plan(plan, docs,
+                           ExecutionContext.create(cache_enabled=cache))
 
 
 def assert_lazy_matches_eager(plan, trees, cache=True):
@@ -184,7 +186,8 @@ class TestLazyJoin:
         def total_navs(cache):
             docs = {u: CountingDocument(MaterializedDocument(t))
                     for u, t in trees.items()}
-            op = build_lazy_plan(plan, docs, cache_enabled=cache)
+            op = build_lazy_plan(
+                plan, docs, ExecutionContext.create(cache_enabled=cache))
             materialize(BindingsDocument(op))
             return sum(d.total for d in docs.values())
 

@@ -8,6 +8,7 @@ from repro.navigation import MaterializedDocument
 from repro.client import open_virtual_document
 from repro.oodb import ObjectStore
 from repro.relational import Connection, Database
+from repro.runtime import EngineConfig
 from repro.wrappers import (
     OODBLXPWrapper,
     RelationalLXPWrapper,
@@ -81,7 +82,7 @@ class TestMediator:
                 MaterializedDocument(elem("x")))
 
     def test_optimizer_can_be_disabled(self):
-        med = MIXMediator(optimize_plans=False)
+        med = MIXMediator(EngineConfig(optimize_plans=False))
         med.register_wrapper(
             "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
         med.register_wrapper(
@@ -260,8 +261,8 @@ class TestCompositionEquivalence:
 
 class TestSigmaMediator:
     def test_sigma_mediator_same_answers(self):
-        plain = MIXMediator(use_sigma=False)
-        sigma = MIXMediator(use_sigma=True)
+        plain = MIXMediator(EngineConfig(use_sigma=False))
+        sigma = MIXMediator(EngineConfig(use_sigma=True))
         for med in (plain, sigma):
             med.register_wrapper(
                 "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
@@ -280,7 +281,7 @@ class TestExplain:
         assert "rewrites:" in report
 
     def test_explain_without_optimizer(self):
-        med = MIXMediator(optimize_plans=False)
+        med = MIXMediator(EngineConfig(optimize_plans=False))
         med.register_wrapper("homesSrc",
                              XMLFileWrapper("homesSrc", HOMES_XML))
         med.register_wrapper("schoolsSrc",

@@ -7,7 +7,8 @@ import inspect
 import pytest
 
 PACKAGES = [
-    "repro", "repro.core", "repro.xtree", "repro.navigation",
+    "repro", "repro.core", "repro.runtime", "repro.xtree",
+    "repro.navigation",
     "repro.algebra", "repro.lazy", "repro.xmas", "repro.rewriter",
     "repro.buffer", "repro.wrappers", "repro.relational", "repro.oodb",
     "repro.webstore", "repro.client", "repro.mediator", "repro.bench",
