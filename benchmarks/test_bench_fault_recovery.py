@@ -1,0 +1,117 @@
+"""E12 -- fault tolerance: what resilience costs and what it saves.
+
+The paper's sources are live and autonomous (Sec. 2), so fills can
+fail.  PR 2's resilience layer must obey two contracts:
+
+* **free when off**: the default config returns the *unwrapped*
+  server, so the healthy path is the same object graph as before --
+  we assert identical source-navigation counts and record the
+  wall-clock ratio (acceptance: within noise of 1.0);
+* **bounded when on**: against scripted transient faults, retries
+  reproduce the healthy answer exactly; against a permanently dead
+  stretch, degrade mode terminates with a marked partial answer
+  instead of hanging or aborting.
+
+Table 1 sweeps the healthy workload across configurations (resilience
+off / armed-but-idle) and Table 2 scripts fault scenarios on a fake
+clock (zero real sleeping), recording retry/degradation counters.
+"""
+
+from repro.bench import Timer, book_catalog, format_table
+from repro.mediator import MIXMediator
+from repro.runtime import EngineConfig
+from repro.testing import FailureSchedule, FakeClock, FlakyLXPServer
+from repro.wrappers import XMLFileWrapper
+from repro.xtree import Tree, to_xml
+
+N_BOOKS = 200
+
+QUERY = ("CONSTRUCT <hits> $B {$B} </hits> {} "
+         "WHERE store catalog.book $B")
+
+
+def _mediator(config=None, schedule=None, clock=None):
+    med = MIXMediator(config or EngineConfig(), clock=clock)
+    server = XMLFileWrapper(
+        "store", Tree("catalog", book_catalog("store", N_BOOKS, 7)),
+        chunk_size=20, depth=4)
+    if schedule is not None:
+        server = FlakyLXPServer(server, schedule)
+    med.register_wrapper("store", server)
+    return med
+
+
+def _healthy_run(config):
+    med = _mediator(config)
+    with Timer() as timer:
+        answer = med.prepare(QUERY).materialize()
+    return answer, med.total_source_navigations(), timer.ms
+
+
+def test_healthy_path_overhead(write_result):
+    """Resilience off vs armed-but-idle on the same healthy workload."""
+    off_answer, off_navs, off_ms = _healthy_run(EngineConfig())
+    armed = EngineConfig(retry_max_attempts=3)
+    on_answer, on_navs, on_ms = _healthy_run(armed)
+
+    # contract 1: identical work, identical answer
+    assert to_xml(on_answer) == to_xml(off_answer)
+    assert on_navs == off_navs
+
+    ratio = on_ms / max(off_ms, 1e-9)
+    rows = [
+        ["resilience off (default)", off_navs, "%.2f" % off_ms],
+        ["armed, no faults", on_navs, "%.2f" % on_ms],
+    ]
+    table = format_table(
+        ["configuration", "source navigations", "wall ms"], rows)
+    write_result("E12_fault_recovery", table, extra={
+        "healthy_navs_off": off_navs,
+        "healthy_navs_armed": on_navs,
+        "healthy_ms_off": off_ms,
+        "healthy_ms_armed": on_ms,
+        "armed_over_off_ratio": ratio,
+    })
+
+
+def test_retry_recovery_reproduces_answer(write_result):
+    """Transient faults + retries give the byte-identical answer."""
+    reference, _, _ = _healthy_run(EngineConfig())
+    clock = FakeClock()
+    med = _mediator(EngineConfig(retry_max_attempts=3),
+                    schedule=FailureSchedule([True, False] * 4),
+                    clock=clock)
+    result = med.prepare(QUERY)
+    answer = result.materialize()
+    assert to_xml(answer) == to_xml(reference)
+    stats = result.stats()["resilience"]["per_source"]["store"]
+    assert stats["retries"] == 4
+    assert stats["giveups"] == 0
+
+    rows = [["retry recovery", stats["retries"], stats["giveups"],
+             0, "%.1f" % stats["retry_wait_ms"]]]
+
+    # degrade against a permanently dead stretch: terminates, partial
+    clock = FakeClock()
+    med = _mediator(EngineConfig(retry_max_attempts=2,
+                                 on_source_failure="degrade"),
+                    schedule=FailureSchedule([False] * 3,
+                                             exhausted="fail"),
+                    clock=clock)
+    result = med.prepare(QUERY)
+    partial = result.materialize()
+    stats = result.stats()["resilience"]["per_source"]["store"]
+    assert stats["degraded"] >= 1
+    assert len(partial.children) < N_BOOKS   # partial, not aborted
+    rows.append(["degrade (dead stretch)", stats["retries"],
+                 stats["giveups"], stats["degraded"],
+                 "%.1f" % stats["retry_wait_ms"]])
+
+    table = format_table(
+        ["scenario", "retries", "giveups", "degraded",
+         "fake wait ms"], rows)
+    write_result("E12_fault_scenarios", table, extra={
+        "retry_answer_identical": True,
+        "degrade_partial_children": len(partial.children),
+        "all_sleeps_faked": True,
+    })

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Querying an unreliable source: retries, breakers, degradation.
+
+The paper's mediator navigates live, autonomous sources -- which may
+drop a ``fill`` at any time.  This example runs the same bookstore
+query three times against a scripted flaky wrapper:
+
+1. **fail fast** (the default): the first dropped fill aborts the
+   query with a ``TransientSourceError``;
+2. **retries heal**: with ``retry_max_attempts=3`` the transient
+   faults are retried (deterministic backoff on a fake clock -- the
+   script never sleeps for real) and the answer is byte-identical to
+   the healthy run;
+3. **degrade to a partial answer**: against a permanently dead stretch
+   of the source, ``on_source_failure="degrade"`` splices a marked
+   ``<mix:error source=...>`` placeholder into the virtual answer
+   instead of aborting, and the client spots it via ``find_errors()``.
+
+Run:  python examples/unreliable_source.py
+"""
+
+from repro import (
+    EngineConfig,
+    MIXMediator,
+    TransientSourceError,
+    XMLFileWrapper,
+)
+from repro.testing import FailureSchedule, FakeClock, FlakyLXPServer
+from repro.xtree import to_xml
+
+BOOKS_XML = """
+<catalog>
+  <book><title>The Art of Navigation</title><price>30</price></book>
+  <book><title>Lazy Mediators</title><price>25</price></book>
+  <book><title>Virtual Views</title><price>40</price></book>
+</catalog>
+"""
+
+QUERY = ("CONSTRUCT <shelf> $B {$B} </shelf> {} "
+         "WHERE store catalog._ $B")
+
+
+def flaky_mediator(schedule, config=None):
+    """A mediator whose single source drops fills per ``schedule``.
+
+    ``chunk_size=1`` keeps the fragment traffic fine-grained so the
+    scripted schedule lines up with individual elements.
+    """
+    mediator = MIXMediator(config or EngineConfig(chunk_size=1),
+                           clock=FakeClock())
+    mediator.register_wrapper(
+        "store",
+        FlakyLXPServer(
+            XMLFileWrapper("store", BOOKS_XML, chunk_size=1),
+            schedule))
+    return mediator
+
+
+def main():
+    healthy = MIXMediator()
+    healthy.register_wrapper("store",
+                             XMLFileWrapper("store", BOOKS_XML))
+    reference = to_xml(healthy.prepare(QUERY).materialize())
+    print("healthy answer:")
+    print("  " + reference)
+
+    # -- act 1: the default config fails fast ------------------------
+    print("\n[1] default config, flaky source -> fail fast")
+    mediator = flaky_mediator(FailureSchedule.first(1))
+    try:
+        mediator.prepare(QUERY).materialize()
+    except TransientSourceError as err:
+        print("  query aborted: %s" % err)
+
+    # -- act 2: retries heal the transient faults --------------------
+    print("\n[2] retry_max_attempts=3 -> retries heal")
+    mediator = flaky_mediator(
+        FailureSchedule.first(2),
+        EngineConfig(chunk_size=1, retry_max_attempts=3))
+    result = mediator.prepare(QUERY)
+    answer = to_xml(result.materialize())
+    print("  answer identical to healthy run: %s"
+          % (answer == reference))
+    resilience = result.stats()["resilience"]
+    print("  retries=%d giveups=%d (waited %.1f fake ms)"
+          % (resilience["retries"], resilience["giveups"],
+             resilience["per_source"]["store"]["retry_wait_ms"]))
+
+    # -- act 3: a dead stretch degrades to a partial answer ----------
+    print("\n[3] on_source_failure='degrade' -> marked partial answer")
+    mediator = flaky_mediator(
+        FailureSchedule([False, False, False, False],
+                        exhausted="fail"),
+        EngineConfig(chunk_size=1, retry_max_attempts=2,
+                     on_source_failure="degrade"))
+    result = mediator.prepare(QUERY)
+    root = result.root
+    print("  " + to_xml(root.to_tree()))
+    for error in root.find_errors():
+        info = error.error_info()
+        print("  degraded: source=%r reason=%r"
+              % (info["source"], info["reason"]))
+    resilience = result.stats()["resilience"]
+    print("  degraded fills: %d" % resilience["degraded"])
+
+
+if __name__ == "__main__":
+    main()

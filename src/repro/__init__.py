@@ -18,7 +18,13 @@ Quickstart::
         print(med_home.find("addr").text())
 """
 
-from .errors import ReproError
+from .errors import (
+    PermanentSourceError,
+    ReproError,
+    SourceError,
+    TransientSourceError,
+    classify_failure,
+)
 from .core import (
     BindingsDocument,
     Browsability,
@@ -65,6 +71,7 @@ __all__ = [
     "parse_xmas", "translate",
     "XMLFileWrapper", "RelationalLXPWrapper", "WebLXPWrapper",
     "OODBLXPWrapper", "buffered",
-    "ReproError",
+    "ReproError", "SourceError", "TransientSourceError",
+    "PermanentSourceError", "classify_failure",
     "__version__",
 ]

@@ -33,11 +33,14 @@ __all__ = [
 ]
 
 
-from ..errors import ReproError
+from ..errors import PermanentSourceError
 
 
-class LXPProtocolError(ReproError):
-    """Raised when a wrapper's fill reply violates the LXP rules."""
+class LXPProtocolError(PermanentSourceError):
+    """Raised when a wrapper's fill reply violates the LXP rules.
+
+    Permanent by classification: re-sending the identical request to
+    a wrapper that violates the protocol cannot make it conform."""
 
 
 # ----------------------------------------------------------------------

@@ -25,11 +25,13 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..runtime.config import validate_granularity
 from ..xtree.tree import Tree
 from .holes import FragElem, FragHole, Fragment, LXPProtocolError
 
 __all__ = ["LXPServer", "LXPStats", "TreeLXPServer",
-           "AdaptiveTreeLXPServer", "RandomizedLXPServer"]
+           "AdaptiveTreeLXPServer", "RandomizedLXPServer",
+           "measure_fragment"]
 
 
 @dataclass
@@ -58,7 +60,12 @@ class LXPServer:
         raise NotImplementedError
 
 
-def _measure(stats: LXPStats, fragments: Sequence[Fragment]) -> None:
+def measure_fragment(stats: LXPStats,
+                     fragments: Sequence[Fragment]) -> None:
+    """Account one fill reply against ``stats``: bump the fill count
+    and tally shipped elements/holes across the whole reply.  Every
+    LXP server (source wrappers and the remote channel exporter) calls
+    this on each reply it returns."""
     stats.fills += 1
     stack = list(fragments)
     while stack:
@@ -68,6 +75,10 @@ def _measure(stats: LXPStats, fragments: Sequence[Fragment]) -> None:
         else:
             stats.elements_shipped += 1
             stack.extend(fragment.children)
+
+
+#: deprecated private alias, kept for one release for old importers
+_measure = measure_fragment
 
 
 class TreeLXPServer(LXPServer):
@@ -91,15 +102,11 @@ class TreeLXPServer(LXPServer):
     means "to the end"), plus the root hole ``("root",)``.
     """
 
-    def __init__(self, tree: Tree, chunk_size: int = 10,
+    def __init__(self, tree: Tree, chunk_size: Optional[int] = None,
                  depth: int = 1000000):
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
-        if depth <= 0:
-            raise ValueError("depth must be positive")
         self.tree = tree
-        self.chunk_size = chunk_size
-        self.depth = depth
+        self.chunk_size, self.depth = validate_granularity(chunk_size,
+                                                           depth)
         self.stats = LXPStats()
 
     # -- helpers ----------------------------------------------------------
@@ -134,7 +141,7 @@ class TreeLXPServer(LXPServer):
         if hole_id == ("root",):
             reply: List[Fragment] = [
                 self._ship_element((), self.tree, self.depth)]
-            _measure(self.stats, reply)
+            measure_fragment(self.stats, reply)
             return reply
         try:
             path, lo, hi = hole_id
@@ -149,7 +156,7 @@ class TreeLXPServer(LXPServer):
                 path + (index,), parent.child(index), self.depth))
         if limit < end:
             reply.append(FragHole((path, limit, hi)))
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply
 
 
@@ -177,7 +184,7 @@ class AdaptiveTreeLXPServer(TreeLXPServer):
             self.chunk_size = self.initial_chunk
             reply: List[Fragment] = [
                 self._ship_element((), self.tree, self.depth)]
-            _measure(self.stats, reply)
+            measure_fragment(self.stats, reply)
             return reply
         try:
             if len(hole_id) == 4:
@@ -198,7 +205,7 @@ class AdaptiveTreeLXPServer(TreeLXPServer):
         if limit < end:
             grown = min(chunk * 2, self.max_chunk)
             reply.append(FragHole((path, limit, hi, grown)))
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply
 
 
@@ -268,11 +275,11 @@ class RandomizedLXPServer(LXPServer):
     def fill(self, hole_id) -> List[Fragment]:
         if hole_id == ("root",):
             reply: List[Fragment] = [self._ship_element((), self.tree)]
-            _measure(self.stats, reply)
+            measure_fragment(self.stats, reply)
             return reply
         path, lo, hi = hole_id
         parent = self._node_at(path)
         end = len(parent.children) if hi is None else hi
         reply = self._split_range(path, lo, end)
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply

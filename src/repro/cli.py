@@ -74,6 +74,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hybrid", action="store_true",
                      help="allow intermediate eager steps above "
                           "unbrowsable subplans")
+    run.add_argument("--retries", type=int, default=1, metavar="N",
+                     help="total attempts per source operation "
+                          "(default 1 = fail fast; >1 enables "
+                          "transient-failure retries with backoff)")
+    run.add_argument("--retry-deadline", type=float, default=None,
+                     metavar="MS",
+                     help="cumulative per-operation retry budget in "
+                          "milliseconds (default: unbounded)")
+    run.add_argument("--degrade", action="store_true",
+                     help="on exhausted source failure, splice a "
+                          "<mix:error> placeholder into the answer "
+                          "instead of aborting the query")
 
     plan = sub.add_parser("plan", help="show the algebraic plan")
     add_query_arguments(plan, with_sources=False)
@@ -112,6 +124,9 @@ def _cmd_query(args) -> int:
         use_sigma=args.sigma,
         hybrid=args.hybrid,
         chunk_size=args.chunk_size,
+        retry_max_attempts=args.retries,
+        retry_deadline_ms=args.retry_deadline,
+        on_source_failure="degrade" if args.degrade else "fail",
     )
     mediator = MIXMediator(config)
     for name, path in _parse_sources(args.source).items():
@@ -144,6 +159,17 @@ def _cmd_query(args) -> int:
                 print("  %-22s hits=%-6d misses=%-6d evictions=%d"
                       % (name, counts["hits"], counts["misses"],
                          counts["evictions"]), file=sys.stderr)
+            resilience = stats.get("resilience")
+            if resilience:
+                print("-- resilience --", file=sys.stderr)
+                for name, counts in sorted(
+                        resilience["per_source"].items()):
+                    print("  %-16s retries=%-4d giveups=%-4d "
+                          "degraded=%-4d breaker_opens=%d"
+                          % (name, counts["retries"],
+                             counts["giveups"], counts["degraded"],
+                             counts["breaker_opens"]),
+                          file=sys.stderr)
     return 0
 
 

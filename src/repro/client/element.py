@@ -86,6 +86,34 @@ class XMLElement:
     def is_leaf(self) -> bool:
         return self.first_child() is None
 
+    # -- degradation markers --------------------------------------------
+    @property
+    def is_error(self) -> bool:
+        """Whether this element is a ``<mix:error>`` placeholder left
+        by a degraded source (see :mod:`repro.runtime.resilience`)."""
+        from ..runtime.resilience import is_error_label
+        return is_error_label(self.tag)
+
+    def error_info(self) -> Optional[dict]:
+        """For a placeholder element: ``{"source": ..., "reason":
+        ...}``; None for ordinary elements."""
+        if not self.is_error:
+            return None
+        info = {}
+        for child in self.children():
+            info[child.tag] = child.text()
+        return info
+
+    def find_errors(self) -> List["XMLElement"]:
+        """All ``<mix:error>`` placeholders in this subtree (forces
+        it) -- the quick way to ask "was this answer degraded?"."""
+        if self.is_error:
+            return [self]
+        found: List["XMLElement"] = []
+        for child in self.children():
+            found.extend(child.find_errors())
+        return found
+
     def text(self) -> str:
         """Concatenated leaf text below this element (forces the
         subtree)."""

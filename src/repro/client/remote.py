@@ -28,9 +28,11 @@ from typing import List, Optional, Tuple
 
 from ..buffer.component import BufferComponent
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
-from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..navigation.interface import NavigableDocument
+from ..runtime.config import validate_granularity
 from ..runtime.context import ExecutionContext
+from ..runtime.resilience import Clock, resilient_server
 from .element import XMLElement
 
 __all__ = ["NavigableLXPServer", "MessageChannel", "MeteredTransport",
@@ -54,12 +56,11 @@ class NavigableLXPServer(LXPServer):
     """
 
     def __init__(self, document: NavigableDocument,
-                 chunk_size: int = 10, depth: int = 3):
-        if chunk_size <= 0 or depth <= 0:
-            raise ValueError("chunk_size and depth must be positive")
+                 chunk_size: Optional[int] = None,
+                 depth: Optional[int] = None):
         self.document = document
-        self.chunk_size = chunk_size
-        self.depth = depth
+        self.chunk_size, self.depth = validate_granularity(chunk_size,
+                                                           depth)
         self.stats = LXPStats()
 
     def get_root(self) -> FragHole:
@@ -95,7 +96,7 @@ class NavigableLXPServer(LXPServer):
             reply = self._ship_siblings(hole_id[1])
         else:
             raise LXPProtocolError("unknown hole id %r" % (hole_id,))
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply
 
     def _ship_siblings(self, pointer) -> List[Fragment]:
@@ -225,7 +226,8 @@ def connect_remote(document: NavigableDocument,
                    depth: Optional[int] = None,
                    latency_ms: Optional[float] = None,
                    ms_per_kb: Optional[float] = None,
-                   context: Optional[ExecutionContext] = None
+                   context: Optional[ExecutionContext] = None,
+                   clock: Optional[Clock] = None
                    ) -> Tuple[XMLElement, ChannelStats]:
     """Open a remote client session onto ``document``.
 
@@ -233,6 +235,15 @@ def connect_remote(document: NavigableDocument,
     engine config (or the config defaults when no context is given);
     the channel's stats register with the context so the query's
     aggregated ``stats()`` covers the wire traffic.
+
+    When the config's resilience is active (retries, a retry deadline,
+    or degrade mode) the channel is wrapped in a
+    :class:`~repro.runtime.resilience.ResilientLXPServer`: transient
+    round-trip failures are retried with deterministic backoff, a
+    per-channel circuit breaker fails fast once the channel is dead,
+    and in degrade mode a broken round trip splices a ``<mix:error>``
+    placeholder into the client's view instead of aborting.  ``clock``
+    injects a time source for the backoff/breaker (tests use a fake).
 
     Returns the client-side root XMLElement (backed by a client-local
     buffer over the fragment channel) and the channel's stats object.
@@ -249,9 +260,12 @@ def connect_remote(document: NavigableDocument,
         latency_ms=config.latency_ms if latency_ms is None else latency_ms,
         ms_per_kb=config.ms_per_kb if ms_per_kb is None else ms_per_kb,
         tracer=context.tracer)
-    buffer = BufferComponent(channel)
-    context.register_channel(
-        "remote#%d" % (len(context.channels) + 1), channel.stats)
+    name = "remote#%d" % (len(context.channels) + 1)
+    transport = resilient_server(channel, config, name=name,
+                                 clock=clock, tracer=context.tracer,
+                                 context=context)
+    buffer = BufferComponent(transport)
+    context.register_channel(name, channel.stats)
     context.register_buffer(
         "client-buffer#%d" % (len(context.buffers) + 1), buffer.stats)
     return XMLElement(buffer, buffer.root()), channel.stats

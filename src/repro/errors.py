@@ -11,10 +11,73 @@ from :class:`ReproError`, so downstream code can write one handler::
 
 Programming errors (wrong types passed to constructors and the like)
 still surface as the builtin TypeError/ValueError.
+
+Source-failure taxonomy
+-----------------------
+
+The resilience layer (:mod:`repro.runtime.resilience`) needs to know
+which failures are worth retrying.  Wrappers and channels classify
+their faults into two branches of :class:`SourceError`:
+
+* :class:`TransientSourceError` -- the operation *may* succeed if
+  repeated: a dropped connection, a timeout, an overloaded source.
+  Retry policies apply; circuit breakers count these.
+* :class:`PermanentSourceError` -- repeating the identical request
+  cannot help: unknown hole ids, protocol violations, missing pages,
+  schema errors.  These fail (or degrade) immediately, never retry.
+
+Failures raised by code outside this library are classified by
+:func:`classify_failure`: the builtin ``ConnectionError`` and
+``TimeoutError`` count as transient, everything else as permanent.
 """
 
-__all__ = ["ReproError"]
+__all__ = [
+    "ReproError",
+    "SourceError",
+    "TransientSourceError",
+    "PermanentSourceError",
+    "classify_failure",
+    "is_transient",
+]
 
 
 class ReproError(Exception):
     """Base class of all expected repro errors."""
+
+
+class SourceError(ReproError):
+    """A failure attributable to a source or a channel."""
+
+
+class TransientSourceError(SourceError):
+    """A source/channel failure that may heal on retry."""
+
+
+class PermanentSourceError(SourceError):
+    """A source/channel failure that retrying cannot fix."""
+
+
+#: exception types the resilience layer treats as *expected* failures
+#: (eligible for retry accounting and degrade mode); anything else is
+#: a programming error and propagates untouched.
+FAILURE_TYPES = (SourceError, ReproError, ConnectionError, TimeoutError,
+                 OSError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` is worth retrying."""
+    if isinstance(error, TransientSourceError):
+        return True
+    if isinstance(error, SourceError):
+        return False
+    return isinstance(error, (ConnectionError, TimeoutError))
+
+
+def classify_failure(error: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` for any exception.
+
+    Library errors carry their class in the taxonomy; foreign
+    exceptions are classified conservatively (only the builtins that
+    plainly mean "try again" are transient).
+    """
+    return "transient" if is_transient(error) else "permanent"

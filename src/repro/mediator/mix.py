@@ -44,6 +44,7 @@ from ..navigation.interface import NavigableDocument, materialize
 from ..rewriter.optimizer import OptimizationTrace, optimize
 from ..runtime.config import EngineConfig
 from ..runtime.context import ExecutionContext, Tracer
+from ..runtime.resilience import Clock, resilient_server
 from ..wrappers.base import buffered
 from ..xmas.ast import XMASQuery
 from ..xmas.compose import inline_views
@@ -118,6 +119,7 @@ class QueryResult:
         client-side root :class:`XMLElement` and the channel stats.
         """
         from ..client.remote import connect_remote
+        kwargs.setdefault("clock", self.mediator.clock)
         return connect_remote(self.document, context=self.context,
                               **kwargs)
 
@@ -184,6 +186,14 @@ class QueryResult:
             lines.append("  channel: %d messages, %d bytes"
                          % (channels["messages"],
                             channels["bytes_transferred"]))
+        resilience = stats.get("resilience")
+        if resilience:
+            lines.append(
+                "  resilience: %d retries, %d giveups, %d degraded, "
+                "%d breaker opens"
+                % (resilience["retries"], resilience["giveups"],
+                   resilience["degraded"],
+                   resilience["breaker_opens"]))
         return lines
 
 
@@ -200,7 +210,8 @@ class MIXMediator:
     """
 
     def __init__(self, config: Optional[EngineConfig] = None,
-                 tracer: Optional[Tracer] = None, **legacy):
+                 tracer: Optional[Tracer] = None,
+                 clock: Optional[Clock] = None, **legacy):
         if isinstance(config, bool):
             # Very old call shape: MIXMediator(optimize_plans) positional.
             legacy.setdefault("optimize_plans", config)
@@ -220,6 +231,9 @@ class MIXMediator:
             config = config.replace(**legacy)
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer()
+        #: time source for retry backoff and breaker windows (tests
+        #: inject a fake clock so nothing really sleeps)
+        self.clock = clock
         #: session-level context: buffers registered at source
         #: registration time report through it
         self.runtime = ExecutionContext(config, tracer=self.tracer)
@@ -250,8 +264,12 @@ class MIXMediator:
         return self.config.hybrid
 
     def _new_context(self) -> ExecutionContext:
-        """A fresh per-query execution context (shared tracer)."""
-        return ExecutionContext(self.config, tracer=self.tracer)
+        """A fresh per-query execution context (shared tracer), seeded
+        with the session-level wrapper registrations so per-query
+        ``stats()`` reports cover buffer and resilience counters."""
+        context = ExecutionContext(self.config, tracer=self.tracer)
+        context.adopt_registries(self.runtime)
+        return context
 
     # -- catalog -----------------------------------------------------------
     def register_source(self, name: str,
@@ -277,9 +295,20 @@ class MIXMediator:
         """Register an LXP wrapper, stacked under the generic buffer.
 
         ``prefetch`` defaults to the engine config's buffer lookahead.
+
+        When the engine config's resilience is active (retries, a
+        retry deadline, or degrade mode), the wrapper is hardened
+        behind a :class:`~repro.runtime.resilience.ResilientLXPServer`
+        before the buffer stacks on top: every ``fill`` the buffer
+        issues gets the retry/breaker/degradation treatment, and the
+        per-source counters surface through ``QueryResult.stats()``.
         """
         if prefetch is None:
             prefetch = self.config.prefetch
+        server = resilient_server(server, self.config, name=name,
+                                  clock=self.clock,
+                                  tracer=self.tracer,
+                                  context=self.runtime)
         buffer = buffered(server, prefetch)
         if hasattr(buffer, "stats"):
             self.runtime.register_buffer(name, buffer.stats)

@@ -16,11 +16,12 @@ __all__ = ["OODBError", "OClass", "OObject", "ObjectStore",
            "register_store", "open_store"]
 
 
-from ..errors import ReproError
+from ..errors import PermanentSourceError
 
 
-class OODBError(ReproError):
-    """Raised for schema violations and unknown names/oids."""
+class OODBError(PermanentSourceError):
+    """Raised for schema violations and unknown names/oids (permanent:
+    retrying the same lookup cannot succeed)."""
 
 
 @dataclass(frozen=True)

@@ -14,11 +14,12 @@ from typing import List, Optional, Sequence, Tuple
 __all__ = ["ColumnType", "Column", "TableSchema", "SchemaError"]
 
 
-from ..errors import ReproError
+from ..errors import PermanentSourceError
 
 
-class SchemaError(ReproError):
-    """Raised for invalid schemas or rows that violate them."""
+class SchemaError(PermanentSourceError):
+    """Raised for invalid schemas or rows that violate them
+    (permanent: the schema does not change between retries)."""
 
 
 class ColumnType:

@@ -29,11 +29,12 @@ __all__ = ["SQLError", "SelectStatement", "Condition", "OrderKey",
            "parse_select", "execute_select"]
 
 
-from ..errors import ReproError
+from ..errors import PermanentSourceError
 
 
-class SQLError(ReproError):
-    """Raised for SQL syntax or semantic errors."""
+class SQLError(PermanentSourceError):
+    """Raised for SQL syntax or semantic errors (permanent: the same
+    statement fails the same way on every retry)."""
 
 
 _TOKEN_RE = re.compile(

@@ -1,4 +1,4 @@
-"""The unified runtime spine: config, caches, and telemetry.
+"""The unified runtime spine: config, caches, telemetry, resilience.
 
 Everything cross-cutting in the evaluation tower lives here:
 
@@ -9,15 +9,42 @@ Everything cross-cutting in the evaluation tower lives here:
   per-cache hit/miss/eviction counters;
 * :class:`ExecutionContext`/:class:`Tracer` -- the per-query carrier
   of config, caches, and span/event hooks, created per ``prepare()``
-  and threaded client -> mediator -> lazy operators -> buffer.
+  and threaded client -> mediator -> lazy operators -> buffer;
+* :class:`RetryPolicy`/:class:`CircuitBreaker`/
+  :class:`ResilientLXPServer` -- fault tolerance at the I/O seams:
+  bounded retries with deterministic backoff, per-source breakers,
+  and ``<mix:error>`` partial-answer degradation.
 """
 
 from .cache import MISS, CacheManager, CacheStats, ManagedCache
-from .config import ConfigError, EngineConfig
+from .config import ConfigError, EngineConfig, validate_granularity
 from .context import ExecutionContext, TraceEvent, Tracer
+from .resilience import (
+    ERROR_LABEL,
+    SYSTEM_CLOCK,
+    BreakerOpenError,
+    CircuitBreaker,
+    Clock,
+    MonotonicClock,
+    ResilienceStats,
+    ResilientCaller,
+    ResilientDocument,
+    ResilientLXPServer,
+    RetryPolicy,
+    error_placeholder,
+    is_error_label,
+    resilient_document,
+    resilient_server,
+)
 
 __all__ = [
-    "EngineConfig", "ConfigError",
+    "EngineConfig", "ConfigError", "validate_granularity",
     "MISS", "CacheStats", "ManagedCache", "CacheManager",
     "ExecutionContext", "Tracer", "TraceEvent",
+    "Clock", "MonotonicClock", "SYSTEM_CLOCK",
+    "RetryPolicy", "BreakerOpenError", "CircuitBreaker",
+    "ResilienceStats", "ResilientCaller",
+    "ERROR_LABEL", "error_placeholder", "is_error_label",
+    "ResilientLXPServer", "ResilientDocument",
+    "resilient_server", "resilient_document",
 ]

@@ -14,16 +14,47 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
-__all__ = ["EngineConfig", "ConfigError"]
+__all__ = ["EngineConfig", "ConfigError", "validate_granularity"]
 
 
 from ..errors import ReproError
 
 
-class ConfigError(ReproError):
-    """Raised for invalid engine configurations."""
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid engine configurations.
+
+    Also a ``ValueError``: constructor-level validation failures (bad
+    chunk sizes and the like) predate this class and were plain
+    ValueErrors; keeping the subclassing lets old handlers keep
+    working.
+    """
+
+
+def validate_granularity(chunk_size: Optional[int] = None,
+                         depth: Optional[int] = None,
+                         ) -> Tuple[int, int]:
+    """The one positivity check for fragment granularity.
+
+    Every LXP exporter (the source-side wrappers and the
+    mediator->client :class:`~repro.client.remote.NavigableLXPServer`)
+    takes a ``chunk_size``/``depth`` pair; they all validate through
+    here instead of hand-rolling the checks.  ``None`` defaults the
+    value from :class:`EngineConfig`'s field default, so the engine
+    config stays the single source of granularity defaults.
+
+    Returns the validated ``(chunk_size, depth)`` pair.
+    """
+    if chunk_size is None:
+        chunk_size = EngineConfig.chunk_size
+    if depth is None:
+        depth = EngineConfig.depth
+    if chunk_size <= 0:
+        raise ConfigError("chunk_size must be positive")
+    if depth <= 0:
+        raise ConfigError("depth must be positive")
+    return chunk_size, depth
 
 
 @dataclass(frozen=True)
@@ -57,6 +88,23 @@ class EngineConfig:
         ``prefetch`` is the default buffer lookahead;
         ``latency_ms``/``ms_per_kb`` parameterize the simulated remote
         channel.
+
+    Fault tolerance
+        ``retry_max_attempts`` is the total number of tries per I/O
+        operation (1 = no retries); ``retry_base_delay_ms`` /
+        ``retry_backoff`` / ``retry_max_delay_ms`` shape the
+        exponential backoff (with deterministic jitter), and
+        ``retry_deadline_ms`` bounds the *cumulative* time one
+        operation may spend retrying.  ``breaker_threshold``
+        consecutive failures open a per-source circuit breaker that
+        fails fast until ``breaker_reset_ms`` has elapsed (then one
+        half-open probe decides).  ``on_source_failure`` picks what an
+        exhausted failure does: ``"fail"`` aborts the query;
+        ``"degrade"`` splices a marked ``<mix:error source=...>``
+        placeholder into the virtual answer and lets sibling sources
+        continue.  Resilience wrapping only engages when
+        :attr:`resilience_active` is true, so the default healthy path
+        is byte-for-byte the PR 1 code path.
     """
 
     optimize_plans: bool = True
@@ -69,18 +117,66 @@ class EngineConfig:
     prefetch: int = 0
     latency_ms: float = 20.0
     ms_per_kb: float = 2.0
+    retry_max_attempts: int = 1
+    retry_base_delay_ms: float = 10.0
+    retry_backoff: float = 2.0
+    retry_max_delay_ms: float = 1000.0
+    retry_deadline_ms: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_reset_ms: float = 30000.0
+    on_source_failure: str = "fail"
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:
             raise ConfigError("cache_budget must be >= 0 or None")
-        if self.chunk_size <= 0:
-            raise ConfigError("chunk_size must be positive")
-        if self.depth <= 0:
-            raise ConfigError("depth must be positive")
+        validate_granularity(self.chunk_size, self.depth)
         if self.prefetch < 0:
             raise ConfigError("prefetch must be >= 0")
         if self.latency_ms < 0 or self.ms_per_kb < 0:
             raise ConfigError("channel costs must be >= 0")
+        if self.retry_max_attempts < 1:
+            raise ConfigError("retry_max_attempts must be >= 1")
+        if self.retry_base_delay_ms < 0 or self.retry_max_delay_ms < 0:
+            raise ConfigError("retry delays must be >= 0")
+        if self.retry_backoff < 1.0:
+            raise ConfigError("retry_backoff must be >= 1.0")
+        if self.retry_deadline_ms is not None \
+                and self.retry_deadline_ms <= 0:
+            raise ConfigError("retry_deadline_ms must be positive "
+                              "or None")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_reset_ms < 0:
+            raise ConfigError("breaker_reset_ms must be >= 0")
+        if self.on_source_failure not in ("fail", "degrade"):
+            raise ConfigError(
+                "on_source_failure must be 'fail' or 'degrade', not %r"
+                % (self.on_source_failure,))
+
+    @property
+    def resilience_active(self) -> bool:
+        """Whether the resilience layer wraps the I/O seams at all.
+
+        True when the configuration asks for something the plain path
+        cannot deliver: retries, a retry deadline, or degrade mode.
+        With the defaults this is False and no wrapping happens, so
+        healthy-path performance is unchanged.
+        """
+        return (self.retry_max_attempts > 1
+                or self.retry_deadline_ms is not None
+                or self.on_source_failure != "fail")
+
+    def retry_policy(self):
+        """The :class:`~repro.runtime.resilience.RetryPolicy` these
+        fields describe."""
+        from .resilience import RetryPolicy
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            base_delay_ms=self.retry_base_delay_ms,
+            backoff=self.retry_backoff,
+            max_delay_ms=self.retry_max_delay_ms,
+            deadline_ms=self.retry_deadline_ms,
+        )
 
     def replace(self, **overrides) -> "EngineConfig":
         """A copy with the given fields replaced (validated anew)."""

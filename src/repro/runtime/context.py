@@ -107,6 +107,8 @@ class ExecutionContext:
         self.buffers: Dict[str, object] = {}
         #: channel stats registered by name (remote sessions)
         self.channels: Dict[str, object] = {}
+        #: resilience stats registered by name (retry/breaker seams)
+        self.resilience: Dict[str, object] = {}
 
     @classmethod
     def create(cls, config: Optional[EngineConfig] = None,
@@ -139,6 +141,19 @@ class ExecutionContext:
         """Attach a remote channel's stats for aggregated reporting."""
         self.channels[name] = stats
 
+    def register_resilience(self, name: str, stats) -> None:
+        """Attach a resilient seam's retry/breaker/degradation stats
+        for aggregated reporting."""
+        self.resilience[name] = stats
+
+    def adopt_registries(self, other: "ExecutionContext") -> None:
+        """Share another context's registered stats objects (the
+        mediator seeds each per-query context with the session-level
+        wrapper registrations)."""
+        self.buffers.update(other.buffers)
+        self.channels.update(other.channels)
+        self.resilience.update(other.resilience)
+
     # -- reporting ---------------------------------------------------------
     def stats_report(self) -> dict:
         """Caches, buffers, and channels in one plain-dict view."""
@@ -149,6 +164,18 @@ class ExecutionContext:
                 name: {"navigations": stats.navigations,
                        "hits": stats.hits, "fills": stats.fills}
                 for name, stats in sorted(self.buffers.items())}
+        if self.resilience:
+            per_seam = {name: stats.as_dict()
+                        for name, stats in sorted(self.resilience.items())}
+            report["resilience"] = {
+                "retries": sum(s["retries"] for s in per_seam.values()),
+                "giveups": sum(s["giveups"] for s in per_seam.values()),
+                "degraded": sum(s["degraded"]
+                                for s in per_seam.values()),
+                "breaker_opens": sum(s["breaker_opens"]
+                                     for s in per_seam.values()),
+                "per_source": per_seam,
+            }
         if self.channels:
             messages = sum(s.messages for s in self.channels.values())
             transferred = sum(s.bytes_transferred

@@ -1,0 +1,560 @@
+"""Fault tolerance at the I/O seams: retries, breakers, degradation.
+
+The paper's mediator navigates *live, autonomous* sources on demand
+(Sec. 2, Fig. 2) -- which means any ``fill`` against a wrapper and any
+channel round trip may fail at any time.  Distributed XML-query
+systems treat source unavailability and partial results as protocol
+states, not exceptions; this module gives the tower the same posture:
+
+* :class:`RetryPolicy` -- a frozen value describing bounded retries
+  with exponential backoff, *deterministic* jitter (seeded from the
+  operation key, so runs reproduce) and an optional cumulative
+  per-operation deadline.
+* :class:`CircuitBreaker` -- the classic closed / open / half-open
+  automaton, one per source, so a dead source fails fast instead of
+  soaking every query in its full retry schedule.
+* :class:`ResilientLXPServer` -- the seam wrapper.  Both I/O seams in
+  the architecture speak LXP (the generic buffer's ``fill`` into a
+  source wrapper, and the remote client's ``MessageChannel``), so one
+  proxy class covers both.  In ``"degrade"`` mode an exhausted or
+  broken source yields a marked ``<mix:error source=...>`` placeholder
+  element in the virtual answer instead of aborting the query.
+* :class:`ResilientDocument` -- the same retry/breaker engine for
+  per-navigation round trips (:class:`~repro.client.remote.
+  RPCDocument` and other NavigableDocuments).
+
+Time is abstracted behind :class:`Clock` so tests drive the whole
+machinery -- backoff sleeps, breaker reset windows, deadlines -- from
+a fake clock without ever sleeping for real (see
+:mod:`repro.testing.faults`).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import (
+    FAILURE_TYPES,
+    PermanentSourceError,
+    TransientSourceError,
+    is_transient,
+)
+from .config import ConfigError
+
+__all__ = [
+    "Clock", "MonotonicClock", "SYSTEM_CLOCK",
+    "RetryPolicy", "BreakerOpenError", "CircuitBreaker",
+    "ResilienceStats", "ResilientCaller",
+    "ERROR_LABEL", "error_placeholder", "is_error_label",
+    "ResilientLXPServer", "ResilientDocument",
+    "resilient_server", "resilient_document",
+]
+
+
+# ----------------------------------------------------------------------
+# Time
+# ----------------------------------------------------------------------
+
+class Clock:
+    """The time source the resilience layer reads and sleeps on."""
+
+    def now_ms(self) -> float:
+        raise NotImplementedError
+
+    def sleep_ms(self, ms: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real time: ``time.monotonic`` + ``time.sleep``."""
+
+    def now_ms(self) -> float:
+        return time.monotonic() * 1000.0
+
+    def sleep_ms(self, ms: float) -> None:
+        if ms > 0:
+            time.sleep(ms / 1000.0)
+
+
+#: the default wall-clock; tests substitute a FakeClock
+SYSTEM_CLOCK = MonotonicClock()
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try one I/O operation, and how to wait.
+
+    ``max_attempts`` is the *total* try count (1 = no retries).  The
+    delay before retry ``n`` (1-based) is::
+
+        min(base_delay_ms * backoff**(n-1), max_delay_ms) * jitter_factor
+
+    where the jitter factor is drawn deterministically from the
+    operation key and the attempt number (+-``jitter`` relative), so a
+    rerun of the same schedule produces identical waits -- randomized
+    enough to de-synchronize a fleet, deterministic enough to test.
+
+    ``deadline_ms`` bounds the cumulative elapsed time (tries plus
+    waits) one operation may consume; when the next backoff would
+    cross it, the policy gives up immediately instead of sleeping.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 10.0
+    backoff: float = 2.0
+    max_delay_ms: float = 1000.0
+    deadline_ms: Optional[float] = None
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ConfigError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ConfigError("backoff must be >= 1.0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigError("jitter must be in [0, 1]")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigError("deadline_ms must be positive or None")
+
+    def delay_ms(self, attempt: int, key: object = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(self.base_delay_ms * self.backoff ** (attempt - 1),
+                   self.max_delay_ms)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        # crc32 (not hash()) so the jitter survives PYTHONHASHSEED.
+        seed = zlib.crc32(repr((key, attempt)).encode("utf-8"))
+        unit = (seed % 10000) / 10000.0          # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+class BreakerOpenError(TransientSourceError):
+    """Raised (or degraded) when a call is short-circuited by an open
+    breaker.  Transient by definition: the breaker will half-open."""
+
+
+class CircuitBreaker:
+    """Per-source closed / open / half-open failure automaton.
+
+    * **closed** -- calls pass; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    * **open** -- calls are refused instantly (no source traffic, no
+      retry schedule) until ``reset_timeout_ms`` has elapsed.
+    * **half-open** -- exactly one probe call passes; its success
+      closes the breaker, its failure re-opens it for another window.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_ms: float = 30000.0,
+                 clock: Clock = SYSTEM_CLOCK,
+                 name: str = ""):
+        if failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if reset_timeout_ms < 0:
+            raise ConfigError("reset_timeout_ms must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_ms = reset_timeout_ms
+        self.clock = clock
+        self.name = name
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        #: lifetime transition counters (reported through stats)
+        self.opens = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        """The current state, applying the open -> half-open timeout."""
+        if self._state == self.OPEN and self._opened_at is not None \
+                and self.clock.now_ms() - self._opened_at \
+                >= self.reset_timeout_ms:
+            self._state = self.HALF_OPEN
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (claims the half-open
+        probe slot when in half-open state)."""
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        self.short_circuits += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probing = False
+        self._state = self.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self.clock.now_ms()
+        self._consecutive_failures = 0
+        self._probing = False
+        self.opens += 1
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(%r, %s)" % (self.name, self.state)
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+
+@dataclass
+class ResilienceStats:
+    """Retry/breaker/degradation accounting for one wrapped peer."""
+
+    calls: int = 0
+    failures: int = 0              # individual failed tries
+    retries: int = 0               # sleeps taken before re-trying
+    giveups: int = 0               # operations that exhausted retries
+    degraded: int = 0              # fills answered by an error hole
+    breaker_opens: int = 0
+    breaker_short_circuits: int = 0
+    retry_wait_ms: float = 0.0     # cumulative backoff waited
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "failures": self.failures,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "degraded": self.degraded,
+            "breaker_opens": self.breaker_opens,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "retry_wait_ms": self.retry_wait_ms,
+        }
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.failures = 0
+        self.retries = 0
+        self.giveups = 0
+        self.degraded = 0
+        self.breaker_opens = 0
+        self.breaker_short_circuits = 0
+        self.retry_wait_ms = 0.0
+
+
+# ----------------------------------------------------------------------
+# The retry/breaker engine
+# ----------------------------------------------------------------------
+
+class ResilientCaller:
+    """Retry + breaker + deadline around calls to one named peer.
+
+    This is the shared engine under :class:`ResilientLXPServer` and
+    :class:`ResilientDocument`: classify each failure via the error
+    taxonomy, retry transient ones per the policy, feed the breaker,
+    and keep the counters.  Raises the *last* underlying error when it
+    gives up (callers decide whether to degrade).
+    """
+
+    def __init__(self, name: str,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Clock = SYSTEM_CLOCK,
+                 tracer=None,
+                 stats: Optional[ResilienceStats] = None):
+        self.name = name
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker
+        self.clock = clock
+        self.tracer = tracer
+        self.stats = stats if stats is not None else ResilienceStats()
+
+    def _trace(self, event: str, **data) -> None:
+        if self.tracer is not None and self.tracer.active:
+            self.tracer.emit("resilience", event, source=self.name,
+                             **data)
+
+    def call(self, fn: Callable, *args, key: object = None):
+        """Run ``fn(*args)`` under the policy; return its result or
+        raise the final failure."""
+        self.stats.calls += 1
+        policy = self.policy
+        started = self.clock.now_ms()
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.breaker_short_circuits += 1
+                self._trace("short_circuit",
+                            state=self.breaker.state)
+                raise BreakerOpenError(
+                    "circuit for source %r is %s"
+                    % (self.name, self.breaker.state))
+            try:
+                result = fn(*args)
+            except FAILURE_TYPES as err:
+                self.stats.failures += 1
+                transient = is_transient(err)
+                if self.breaker is not None:
+                    opens_before = self.breaker.opens
+                    self.breaker.record_failure()
+                    opened = self.breaker.opens - opens_before
+                    if opened:
+                        self.stats.breaker_opens += opened
+                        self._trace("breaker_open")
+                self._trace("failure", attempt=attempt,
+                            transient=transient,
+                            error=type(err).__name__)
+                if not transient or attempt >= policy.max_attempts:
+                    self.stats.giveups += 1
+                    raise
+                delay = policy.delay_ms(attempt, key=(self.name, key))
+                if policy.deadline_ms is not None:
+                    elapsed = self.clock.now_ms() - started
+                    if elapsed + delay > policy.deadline_ms:
+                        self.stats.giveups += 1
+                        self._trace("deadline_exceeded",
+                                    elapsed_ms=elapsed)
+                        raise
+                self.stats.retries += 1
+                self.stats.retry_wait_ms += delay
+                self._trace("retry", attempt=attempt, delay_ms=delay)
+                self.clock.sleep_ms(delay)
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return result
+
+
+# ----------------------------------------------------------------------
+# Degradation: error placeholders in the virtual answer
+# ----------------------------------------------------------------------
+
+#: label of the placeholder element a degraded source leaves behind
+ERROR_LABEL = "mix:error"
+
+#: hole-id tag routing a degraded get_root to a synthetic fill
+_ERROR_HOLE = "__mix:error__"
+
+
+def is_error_label(label: str) -> bool:
+    """Whether an element label marks a degradation placeholder."""
+    return label == ERROR_LABEL
+
+
+def error_placeholder(source: str, reason: str):
+    """The marked partial-answer element ``<mix:error source=...>``.
+
+    Shipped as an ordinary closed fragment, it flows through the
+    buffer, the lazy operators and the client API like any element;
+    ``XMLElement.is_error`` and :func:`is_error_label` recognize it.
+    """
+    from ..buffer.holes import FragElem
+    return FragElem(ERROR_LABEL, (
+        FragElem("source", (FragElem(source),)),
+        FragElem("reason", (FragElem(reason or "unavailable"),)),
+    ))
+
+
+# ----------------------------------------------------------------------
+# Seam wrappers
+# ----------------------------------------------------------------------
+
+class ResilientLXPServer:
+    """Retry/breaker/degrade proxy around any LXP server.
+
+    Both I/O seams of the architecture speak LXP -- the generic
+    buffer's ``fill`` into a source wrapper, and the remote client's
+    ``MessageChannel`` -- so this one proxy hardens both.  On
+    ``on_failure="degrade"``, an exhausted or short-circuited
+    operation answers with :func:`error_placeholder` fragments instead
+    of raising, which the buffer splices like any reply: the virtual
+    answer carries a marked partial result and sibling sources are
+    untouched.
+    """
+
+    def __init__(self, server, name: str = "source",
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Clock = SYSTEM_CLOCK,
+                 on_failure: str = "fail",
+                 tracer=None):
+        if on_failure not in ("fail", "degrade"):
+            raise ConfigError(
+                "on_failure must be 'fail' or 'degrade', not %r"
+                % (on_failure,))
+        self.server = server
+        self.name = name
+        self.on_failure = on_failure
+        self.caller = ResilientCaller(name, policy=policy,
+                                      breaker=breaker, clock=clock,
+                                      tracer=tracer)
+        self.resilience = self.caller.stats
+
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        return self.caller.breaker
+
+    def _degrade(self, err: BaseException):
+        self.resilience.degraded += 1
+        self.caller._trace("degraded", error=type(err).__name__)
+        return [error_placeholder(self.name, str(err))]
+
+    def get_root(self):
+        from ..buffer.holes import FragHole
+        try:
+            return self.caller.call(self.server.get_root,
+                                    key="get_root")
+        except FAILURE_TYPES as err:
+            if self.on_failure != "degrade":
+                raise
+            # Degrade via a synthetic hole: get_root must return a
+            # hole, so the placeholder ships on its first fill.
+            self.resilience.degraded += 1
+            return FragHole((_ERROR_HOLE, str(err)))
+
+    def fill(self, hole_id):
+        if isinstance(hole_id, tuple) and hole_id \
+                and hole_id[0] == _ERROR_HOLE:
+            return [error_placeholder(self.name, hole_id[1])]
+        try:
+            return self.caller.call(self.server.fill, hole_id,
+                                    key=hole_id)
+        except FAILURE_TYPES as err:
+            if self.on_failure != "degrade":
+                raise
+            return self._degrade(err)
+
+    def __getattr__(self, attr):
+        # Transparent proxy for everything else (stats, chunk_size...)
+        return getattr(self.server, attr)
+
+
+class ResilientDocument:
+    """Retry/breaker proxy around a NavigableDocument's round trips.
+
+    Covers the naive per-command remote design
+    (:class:`~repro.client.remote.RPCDocument`): each ``down`` /
+    ``right`` / ``fetch`` / ``select`` is one retriable operation.
+    Navigation has no fragment stream to degrade into, so exhaustion
+    always raises; degradation is a property of the fragment seams.
+    """
+
+    def __init__(self, document, name: str = "channel",
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Clock = SYSTEM_CLOCK,
+                 tracer=None):
+        self.document = document
+        self.name = name
+        self.caller = ResilientCaller(name, policy=policy,
+                                      breaker=breaker, clock=clock,
+                                      tracer=tracer)
+        self.resilience = self.caller.stats
+
+    def root(self):
+        return self.caller.call(self.document.root, key="root")
+
+    def down(self, pointer):
+        return self.caller.call(self.document.down, pointer,
+                                key="down")
+
+    def right(self, pointer):
+        return self.caller.call(self.document.right, pointer,
+                                key="right")
+
+    def fetch(self, pointer):
+        return self.caller.call(self.document.fetch, pointer,
+                                key="fetch")
+
+    def select(self, pointer, predicate):
+        return self.caller.call(
+            lambda: self.document.select(pointer, predicate),
+            key="select")
+
+    def apply(self, command, pointer):
+        from ..navigation.interface import NavigableDocument
+        return NavigableDocument.apply(self, command, pointer)
+
+    def __getattr__(self, attr):
+        return getattr(self.document, attr)
+
+
+# ----------------------------------------------------------------------
+# Config-driven factories
+# ----------------------------------------------------------------------
+
+def _build(config, name, clock, tracer):
+    policy = config.retry_policy()
+    breaker = CircuitBreaker(
+        failure_threshold=config.breaker_threshold,
+        reset_timeout_ms=config.breaker_reset_ms,
+        clock=clock, name=name)
+    return policy, breaker
+
+
+def resilient_server(server, config, name: str = "source",
+                     clock: Optional[Clock] = None,
+                     tracer=None, context=None):
+    """Wrap an LXP server per ``config``; pass-through when inactive.
+
+    When ``config.resilience_active`` is false the server is returned
+    *unchanged* -- the healthy default path pays nothing.  Otherwise
+    the wrapped server's :class:`ResilienceStats` are registered with
+    ``context`` (when given) under ``name``, so they surface through
+    ``QueryResult.stats()``.
+    """
+    if not config.resilience_active:
+        return server
+    clock = clock if clock is not None else SYSTEM_CLOCK
+    policy, breaker = _build(config, name, clock, tracer)
+    wrapped = ResilientLXPServer(
+        server, name=name, policy=policy, breaker=breaker,
+        clock=clock, on_failure=config.on_source_failure,
+        tracer=tracer)
+    if context is not None:
+        context.register_resilience(name, wrapped.resilience)
+    return wrapped
+
+
+def resilient_document(document, config, name: str = "channel",
+                       clock: Optional[Clock] = None,
+                       tracer=None, context=None):
+    """Wrap a NavigableDocument per ``config``; pass-through when
+    inactive (see :func:`resilient_server`)."""
+    if not config.resilience_active:
+        return document
+    clock = clock if clock is not None else SYSTEM_CLOCK
+    policy, breaker = _build(config, name, clock, tracer)
+    wrapped = ResilientDocument(document, name=name, policy=policy,
+                                breaker=breaker, clock=clock,
+                                tracer=tracer)
+    if context is not None:
+        context.register_resilience(name, wrapped.resilience)
+    return wrapped

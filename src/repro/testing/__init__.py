@@ -1,0 +1,22 @@
+"""Deterministic fault injection for resilience testing.
+
+Everything here is test scaffolding that ships with the library (like
+``RandomizedLXPServer``): a fake clock, scripted failure schedules,
+and flaky proxies for the two I/O seams (LXP fills and channel round
+trips).  Nothing in this package ever sleeps for real.
+"""
+
+from .faults import (
+    DeadLXPServer,
+    FailureSchedule,
+    FakeClock,
+    FlakyChannel,
+    FlakyDocument,
+    FlakyLXPServer,
+)
+
+__all__ = [
+    "FakeClock", "FailureSchedule",
+    "FlakyLXPServer", "FlakyChannel", "FlakyDocument",
+    "DeadLXPServer",
+]

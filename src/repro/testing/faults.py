@@ -1,0 +1,213 @@
+"""Scripted failure schedules, flaky seam proxies, and a fake clock.
+
+The resilience layer (:mod:`repro.runtime.resilience`) is driven
+entirely by two inputs: *when operations fail* and *what time it is*.
+Both are injectable, so every retry/breaker/degradation behaviour can
+be reproduced exactly, with zero real sleeps:
+
+* :class:`FailureSchedule` scripts which calls fail and with what
+  exception ("fail the first two fills, then succeed");
+* :class:`FlakyLXPServer` / :class:`FlakyChannel` inject those
+  failures at the wrapper seam and the remote-channel seam;
+* :class:`FlakyDocument` does the same for per-navigation round trips
+  (the RPC baseline);
+* :class:`FakeClock` is a manual-advance time source -- ``sleep_ms``
+  just moves the hands, so backoff schedules and breaker reset
+  windows run instantaneously in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from ..errors import TransientSourceError
+from ..runtime.resilience import Clock
+
+__all__ = [
+    "FakeClock", "FailureSchedule",
+    "FlakyLXPServer", "FlakyChannel", "FlakyDocument",
+    "DeadLXPServer",
+]
+
+
+class FakeClock(Clock):
+    """A manually advanced clock; sleeping advances it instantly.
+
+    ``sleeps`` records every requested sleep, so tests can assert the
+    exact backoff schedule a retry policy produced.
+    """
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now = start_ms
+        self.sleeps: List[float] = []
+
+    def now_ms(self) -> float:
+        return self._now
+
+    def sleep_ms(self, ms: float) -> None:
+        self.sleeps.append(ms)
+        self._now += ms
+
+    def advance(self, ms: float) -> None:
+        """Move time forward without recording a sleep (models the
+        world moving on between calls, e.g. a breaker reset window
+        elapsing)."""
+        self._now += ms
+
+
+#: a schedule step: False/None = succeed, True = fail with the default
+#: error, or an exception instance/factory to raise as-is
+Step = Union[bool, None, BaseException, Callable[[], BaseException]]
+
+
+class FailureSchedule:
+    """A deterministic script of which calls fail.
+
+    The schedule is consumed one step per intercepted call; after the
+    script is exhausted every further call succeeds (or fails, with
+    ``exhausted="fail"`` -- a permanently dead peer).
+
+    Convenience constructors::
+
+        FailureSchedule.first(2)       # fail call 1 and 2, then heal
+        FailureSchedule.always()       # permanently dead
+        FailureSchedule.never()        # healthy control
+        FailureSchedule([True, False, True])   # fail 1st and 3rd
+    """
+
+    def __init__(self, steps=(),
+                 error: Callable[[], BaseException] = None,
+                 exhausted: str = "succeed"):
+        if exhausted not in ("succeed", "fail"):
+            raise ValueError("exhausted must be 'succeed' or 'fail'")
+        self.steps = list(steps)
+        self.error = (error if error is not None
+                      else (lambda: TransientSourceError(
+                          "injected transient fault")))
+        self.exhausted = exhausted
+        #: how many calls the schedule has intercepted so far
+        self.calls = 0
+        #: how many failures it has injected
+        self.failures = 0
+
+    @classmethod
+    def first(cls, n: int, error=None) -> "FailureSchedule":
+        """Fail the first ``n`` calls, then succeed forever."""
+        return cls([True] * n, error=error)
+
+    @classmethod
+    def always(cls, error=None) -> "FailureSchedule":
+        """Every call fails: a permanently dead peer."""
+        return cls([], error=error, exhausted="fail")
+
+    @classmethod
+    def never(cls) -> "FailureSchedule":
+        """Every call succeeds (healthy control)."""
+        return cls([])
+
+    def next_failure(self) -> Optional[BaseException]:
+        """The exception to raise for this call, or None to succeed."""
+        index = self.calls
+        self.calls += 1
+        if index < len(self.steps):
+            step = self.steps[index]
+        else:
+            step = self.exhausted == "fail"
+        if step is False or step is None:
+            return None
+        self.failures += 1
+        if step is True:
+            return self.error()
+        if isinstance(step, BaseException):
+            return step
+        return step()
+
+
+class FlakyLXPServer:
+    """An LXP server whose ``fill`` fails per a scripted schedule.
+
+    Wraps any real server; ``get_root`` always succeeds (it mints a
+    hole without touching the source in every shipped wrapper), while
+    each ``fill`` consumes one schedule step.  All other attributes
+    (``stats``, ``chunk_size``, ...) proxy through.
+    """
+
+    def __init__(self, server, schedule: FailureSchedule,
+                 name: str = "flaky"):
+        self.server = server
+        self.schedule = schedule
+        self.name = name
+
+    def get_root(self):
+        return self.server.get_root()
+
+    def fill(self, hole_id):
+        err = self.schedule.next_failure()
+        if err is not None:
+            raise err
+        return self.server.fill(hole_id)
+
+    def __getattr__(self, attr):
+        return getattr(self.server, attr)
+
+
+class FlakyChannel(FlakyLXPServer):
+    """A remote fragment channel that drops round trips on schedule.
+
+    Identical mechanics to :class:`FlakyLXPServer` -- the remote
+    channel *is* an LXP server -- but named for the seam it models:
+    wrap a :class:`~repro.client.remote.MessageChannel` in one of
+    these, then wrap the result in a ``ResilientLXPServer`` (or let
+    ``connect_remote`` do it from the engine config).
+    """
+
+
+def DeadLXPServer(server, name: str = "dead") -> FlakyLXPServer:
+    """A permanently failing wrapper (every fill raises): the
+    no-hang-guarantee fixture."""
+    return FlakyLXPServer(server, FailureSchedule.always(), name=name)
+
+
+class FlakyDocument:
+    """A NavigableDocument whose navigations fail on schedule.
+
+    Models a lossy per-command RPC transport: each ``down`` /
+    ``right`` / ``fetch`` / ``select`` consumes one schedule step
+    (``root()`` is free, as in :class:`~repro.client.remote.
+    RPCDocument`).
+    """
+
+    def __init__(self, document, schedule: FailureSchedule):
+        self.document = document
+        self.schedule = schedule
+
+    def _maybe_fail(self):
+        err = self.schedule.next_failure()
+        if err is not None:
+            raise err
+
+    def root(self):
+        return self.document.root()
+
+    def down(self, pointer):
+        self._maybe_fail()
+        return self.document.down(pointer)
+
+    def right(self, pointer):
+        self._maybe_fail()
+        return self.document.right(pointer)
+
+    def fetch(self, pointer):
+        self._maybe_fail()
+        return self.document.fetch(pointer)
+
+    def select(self, pointer, predicate):
+        self._maybe_fail()
+        return self.document.select(pointer, predicate)
+
+    def apply(self, command, pointer):
+        from ..navigation.interface import NavigableDocument
+        return NavigableDocument.apply(self, command, pointer)
+
+    def __getattr__(self, attr):
+        return getattr(self.document, attr)

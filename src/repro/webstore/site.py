@@ -27,11 +27,13 @@ __all__ = ["WebSite", "HttpSimulator", "FetchStats", "WebError",
            "make_catalog_site", "register_site", "open_site"]
 
 
-from ..errors import ReproError
+from ..errors import PermanentSourceError
 
 
-class WebError(ReproError):
-    """Raised for unknown URLs or sites."""
+class WebError(PermanentSourceError):
+    """Raised for unknown URLs or sites (a 404 is permanent: the same
+    request will keep failing, so the resilience layer never retries
+    it)."""
 
 
 class WebSite:

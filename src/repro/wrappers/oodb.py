@@ -14,11 +14,12 @@ object, mirroring the relational wrapper's tuple.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
-from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..oodb.store import ObjectStore, OObject
+from ..runtime.config import validate_granularity
 
 __all__ = ["OODBLXPWrapper"]
 
@@ -28,11 +29,10 @@ class OODBLXPWrapper(LXPServer):
     exported view shape).  ``chunk_size`` objects ship per extent
     fill."""
 
-    def __init__(self, store: ObjectStore, chunk_size: int = 10):
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+    def __init__(self, store: ObjectStore,
+                 chunk_size: Optional[int] = None):
         self.store = store
-        self.chunk_size = chunk_size
+        self.chunk_size, _ = validate_granularity(chunk_size)
         self.stats = LXPStats()
 
     def get_root(self) -> FragHole:
@@ -66,7 +66,7 @@ class OODBLXPWrapper(LXPServer):
                 for name in self.store.class_names
             )
             reply: List[Fragment] = [FragElem(self.store.name, classes)]
-            _measure(self.stats, reply)
+            measure_fragment(self.stats, reply)
             return reply
         try:
             kind, class_name, start = hole_id
@@ -79,7 +79,7 @@ class OODBLXPWrapper(LXPServer):
         reply = [self._ship_object(obj) for obj in extent[start:end]]
         if end < len(extent):
             reply.append(FragHole(("extent", class_name, end)))
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply
 
 

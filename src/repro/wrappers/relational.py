@@ -24,8 +24,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
-from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..relational.database import Connection
+from ..runtime.config import validate_granularity
 
 __all__ = ["RelationalLXPWrapper", "RelationalQueryWrapper"]
 
@@ -41,11 +42,10 @@ class RelationalLXPWrapper(LXPServer):
         ``n``: rows shipped per table/row-level fill.
     """
 
-    def __init__(self, connection: Connection, chunk_size: int = 10):
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+    def __init__(self, connection: Connection,
+                 chunk_size: Optional[int] = None):
         self.connection = connection
-        self.chunk_size = chunk_size
+        self.chunk_size, _ = validate_granularity(chunk_size)
         self.stats = LXPStats()
         #: per-table row cursors kept across fills so that consecutive
         #: row-level fills advance rather than restart
@@ -74,7 +74,7 @@ class RelationalLXPWrapper(LXPServer):
             reply = self._fill_rows(parts[1], int(parts[2]))
         else:
             raise LXPProtocolError("malformed hole id %r" % (hole_id,))
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply
 
     # -- levels ---------------------------------------------------------------
@@ -156,10 +156,9 @@ class RelationalQueryWrapper(LXPServer):
     """
 
     def __init__(self, connection: Connection, sql: str,
-                 chunk_size: int = 10,
+                 chunk_size: Optional[int] = None,
                  view_label: str = "view", tuple_label: str = "tuple"):
-        if chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+        chunk_size, _ = validate_granularity(chunk_size)
         self.connection = connection
         self.sql = sql
         self.chunk_size = chunk_size
@@ -219,5 +218,5 @@ class RelationalQueryWrapper(LXPServer):
                 raise LXPProtocolError(
                     "unknown hole id %r" % (hole_id,))
             reply = self._ship_tuples(start)
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply

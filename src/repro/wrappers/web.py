@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
-from ..buffer.lxp import LXPServer, LXPStats, _measure
+from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..webstore.site import HttpSimulator
 from ..xtree.tree import Tree
 
@@ -84,5 +84,5 @@ class WebLXPWrapper(LXPServer):
                 FragElem(self.root_label, tuple(items) + tuple(tail))]
         else:
             reply = list(items) + tail
-        _measure(self.stats, reply)
+        measure_fragment(self.stats, reply)
         return reply

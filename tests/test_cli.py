@@ -75,6 +75,24 @@ class TestQueryCommand:
         assert "\n  <med_home>" in out
 
 
+class TestResilienceFlags:
+    def test_retries_flags_accepted_on_healthy_run(self, source_files,
+                                                   capsys):
+        assert main(_query_argv(source_files, "--retries", "3",
+                                "--retry-deadline", "1000",
+                                "--stats")) == 0
+        captured = capsys.readouterr()
+        answer = parse_xml(captured.out)
+        assert len(answer.children) == 2
+        assert "resilience" in captured.err
+        assert "retries=0" in captured.err
+
+    def test_degrade_flag_accepted(self, source_files, capsys):
+        assert main(_query_argv(source_files, "--degrade")) == 0
+        answer = parse_xml(capsys.readouterr().out)
+        assert answer.label == "answer"
+
+
 class TestPlanCommand:
     def test_shows_plan_and_class(self, capsys):
         assert main(["plan", "-q", QUERY]) == 0

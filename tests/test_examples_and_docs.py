@@ -27,7 +27,8 @@ def test_example_runs(name):
 def test_expected_examples_present():
     expected = {"quickstart.py", "bookstore_integration.py",
                 "web_browsing.py", "heterogeneous_join.py",
-                "bbq_browser.py", "remote_session.py"}
+                "bbq_browser.py", "remote_session.py",
+                "unreliable_source.py"}
     assert expected <= set(EXAMPLES)
 
 

@@ -12,7 +12,7 @@ PACKAGES = [
     "repro.algebra", "repro.lazy", "repro.xmas", "repro.rewriter",
     "repro.buffer", "repro.wrappers", "repro.relational", "repro.oodb",
     "repro.webstore", "repro.client", "repro.mediator", "repro.bench",
-    "repro.cli",
+    "repro.testing", "repro.cli",
 ]
 
 
