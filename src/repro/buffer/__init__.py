@@ -2,6 +2,7 @@
 open trees with holes, fill-request chasing (Figure 8), granularity
 policies, and prefetching."""
 
+from .batch import BatchingBuffer, BatchStats
 from .component import BufferComponent, BufferStats
 from .holes import (
     FragElem,
@@ -21,15 +22,21 @@ from .lxp import (
     LXPStats,
     RandomizedLXPServer,
     TreeLXPServer,
+    reply_holes,
 )
-from .prefetch import PrefetchingBuffer, PrefetchStats
+from .prefetch import (
+    AsyncPrefetchingBuffer,
+    PrefetchingBuffer,
+    PrefetchStats,
+)
 
 __all__ = [
     "OpenElem", "OpenHole", "FragElem", "FragHole", "Fragment",
     "LXPProtocolError", "validate_fill_reply", "fragment_of_tree",
-    "open_tree_to_tree", "count_holes",
+    "open_tree_to_tree", "count_holes", "reply_holes",
     "LXPServer", "LXPStats", "TreeLXPServer", "AdaptiveTreeLXPServer",
     "RandomizedLXPServer",
     "BufferComponent", "BufferStats",
-    "PrefetchingBuffer", "PrefetchStats",
+    "PrefetchingBuffer", "AsyncPrefetchingBuffer", "PrefetchStats",
+    "BatchingBuffer", "BatchStats",
 ]

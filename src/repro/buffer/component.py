@@ -16,6 +16,7 @@ holes as it goes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -72,17 +73,31 @@ class BufferComponent(NavigableDocument):
         self._top = OpenElem("#top")
         self._top.children = [OpenHole(server.get_root().hole_id,
                                        self._top)]
+        #: guards the open tree and the fill counters.  The plain
+        #: buffer is client-thread-confined and never contends on it;
+        #: the concurrent subclasses (async prefetch) splice worker
+        #: results through the same lock.  Re-entrant: a splice may
+        #: happen inside a navigation that already holds it.
+        self._lock = threading.RLock()
 
     # -- splicing --------------------------------------------------------
+    def _splice(self, hole: OpenHole, fragments) -> None:
+        """Replace ``hole`` in the open tree by ``fragments``.
+
+        The one mutation point of the open tree: every fill reply --
+        demanded, prefetched, batched or speculative -- lands here.
+        """
+        validate_fill_reply(fragments)
+        with self._lock:
+            self.stats.fills += 1
+            parent = hole.parent
+            index = parent.children.index(hole)
+            spliced = [graft(f, parent) for f in fragments]
+            parent.children[index:index + 1] = spliced
+
     def _fill_hole(self, hole: OpenHole) -> None:
         """Replace ``hole`` by the wrapper's fill reply."""
-        fragments = self.server.fill(hole.hole_id)
-        validate_fill_reply(fragments)
-        self.stats.fills += 1
-        parent = hole.parent
-        index = parent.children.index(hole)
-        spliced = [graft(f, parent) for f in fragments]
-        parent.children[index:index + 1] = spliced
+        self._splice(hole, self.server.fill(hole.hole_id))
 
     def _chase_elem_at(self, parent: OpenElem,
                        index: int) -> Optional[OpenElem]:
@@ -106,43 +121,48 @@ class BufferComponent(NavigableDocument):
         up: the *mediator* does not call this until the client
         navigates.
         """
-        if self._root is None:
-            self.stats.navigations += 1
-            root = self._chase_elem_at(self._top, 0)
-            if root is None:
-                raise LXPProtocolError(
-                    "wrapper shipped no root element")
-            self._root = root
-        return self._root
+        with self._lock:
+            if self._root is None:
+                self.stats.navigations += 1
+                root = self._chase_elem_at(self._top, 0)
+                if root is None:
+                    raise LXPProtocolError(
+                        "wrapper shipped no root element")
+                self._root = root
+            return self._root
 
     def down(self, pointer: OpenElem) -> Optional[OpenElem]:
-        self.stats.navigations += 1
-        before = self.stats.fills
-        result = self._chase_elem_at(pointer, 0)
-        if self.stats.fills == before:
-            self.stats.hits += 1
-        return result
+        with self._lock:
+            self.stats.navigations += 1
+            before = self.stats.fills
+            result = self._chase_elem_at(pointer, 0)
+            if self.stats.fills == before:
+                self.stats.hits += 1
+            return result
 
     def right(self, pointer: OpenElem) -> Optional[OpenElem]:
-        self.stats.navigations += 1
-        before = self.stats.fills
-        parent = pointer.parent
-        if parent is None or parent is self._top:
-            # The root element has no siblings (the wrapper exports a
-            # single root; trailing holes beside it are not chased).
-            self.stats.hits += 1
-            return None
-        index = pointer.index_in_parent()
-        result = self._chase_elem_at(parent, index + 1)
-        if self.stats.fills == before:
-            self.stats.hits += 1
-        return result
+        with self._lock:
+            self.stats.navigations += 1
+            before = self.stats.fills
+            parent = pointer.parent
+            if parent is None or parent is self._top:
+                # The root element has no siblings (the wrapper exports
+                # a single root; trailing holes beside it are not
+                # chased).
+                self.stats.hits += 1
+                return None
+            index = pointer.index_in_parent()
+            result = self._chase_elem_at(parent, index + 1)
+            if self.stats.fills == before:
+                self.stats.hits += 1
+            return result
 
     def fetch(self, pointer: OpenElem) -> str:
         # Labels always travel with their elements: a fetch never
         # triggers a fill.
-        self.stats.navigations += 1
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.navigations += 1
+            self.stats.hits += 1
         return pointer.label
 
     # -- inspection -------------------------------------------------------
@@ -150,10 +170,50 @@ class BufferComponent(NavigableDocument):
         """The current open tree (None before the first navigation)."""
         return self._root
 
+    def leftmost_holes(self, limit: int) -> List[OpenHole]:
+        """Up to ``limit`` outstanding holes in document order -- the
+        direction a forward-browsing client needs next.  Both
+        prefetcher variants pick their targets from this list."""
+        found: List[OpenHole] = []
+        with self._lock:
+            start = self._root if self._root is not None else self._top
+
+            def walk(node: OpenElem) -> None:
+                for child in node.children:
+                    if len(found) >= limit:
+                        return
+                    if isinstance(child, OpenHole):
+                        found.append(child)
+                    else:
+                        walk(child)
+
+            walk(start)
+        return found
+
+    def find_hole(self, hole_id) -> Optional[OpenHole]:
+        """The outstanding open-tree hole carrying ``hole_id``, if any.
+
+        Speculative batch replies are addressed by hole id, not by
+        pointer; a reply whose hole has meanwhile been filled (or was
+        never seen) resolves to ``None`` and is simply dropped.
+        """
+        with self._lock:
+            stack: List[OpenElem] = [self._top]
+            while stack:
+                node = stack.pop()
+                for child in node.children:
+                    if isinstance(child, OpenHole):
+                        if child.hole_id == hole_id:
+                            return child
+                    else:
+                        stack.append(child)
+        return None
+
     def holes_outstanding(self) -> int:
         from .holes import count_holes
-        root = self._root
-        if root is None:
-            return sum(1 for c in self._top.children
-                       if isinstance(c, OpenHole))
-        return count_holes(root)
+        with self._lock:
+            root = self._root
+            if root is None:
+                return sum(1 for c in self._top.children
+                           if isinstance(c, OpenHole))
+            return count_holes(root)

@@ -22,6 +22,8 @@ in the id, so the server keeps no per-hole table.
 from __future__ import annotations
 
 import random
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -31,21 +33,50 @@ from .holes import FragElem, FragHole, Fragment, LXPProtocolError
 
 __all__ = ["LXPServer", "LXPStats", "TreeLXPServer",
            "AdaptiveTreeLXPServer", "RandomizedLXPServer",
-           "measure_fragment"]
+           "measure_fragment", "reply_holes"]
 
 
 @dataclass
 class LXPStats:
-    """Traffic accounting for one LXP connection."""
+    """Traffic accounting for one LXP connection.
+
+    Carries its own lock: with batched pipelining and thread-backed
+    prefetching, fills reach one server from the client thread and
+    from prefetch workers at once."""
 
     fills: int = 0
     elements_shipped: int = 0
     holes_shipped: int = 0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: equality/repr stay value-based.
+        self.lock = threading.Lock()
+
     def reset(self) -> None:
-        self.fills = 0
-        self.elements_shipped = 0
-        self.holes_shipped = 0
+        with self.lock:
+            self.fills = 0
+            self.elements_shipped = 0
+            self.holes_shipped = 0
+
+
+def reply_holes(fragments: Sequence[Fragment]) -> List[object]:
+    """The hole ids of a fill reply, in document order.
+
+    The speculation loop of :meth:`LXPServer.fill_batch` uses this to
+    grow its frontier; the buffer uses it to predict what a reply left
+    unexplored."""
+    holes: List[object] = []
+
+    def walk(fragment: Fragment) -> None:
+        if isinstance(fragment, FragHole):
+            holes.append(fragment.hole_id)
+        else:
+            for child in fragment.children:
+                walk(child)
+
+    for fragment in fragments:
+        walk(fragment)
+    return holes
 
 
 class LXPServer:
@@ -59,6 +90,53 @@ class LXPServer:
         """Explore the part of the source the hole represents."""
         raise NotImplementedError
 
+    def fill_batch(self, hole_ids: Sequence[object],
+                   speculate: int = 0
+                   ) -> List[Tuple[object, List[Fragment]]]:
+        """Answer a *batch* of fill commands in one exchange.
+
+        The pipelined form of LXP: the client ships every outstanding
+        hole id it wants resolved and receives one multi-fragment
+        reply -- a list of ``(hole_id, fragments)`` pairs, the
+        requested ids first, in request order.
+
+        ``speculate`` additionally lets the server keep going on its
+        own: after answering the requested ids it may fill up to
+        ``speculate`` of the holes *its own replies* introduced
+        (frontier order, i.e. document order of discovery).  That
+        collapses a forward scan's chain of dependent round trips --
+        the reply to chunk *n* names the hole for chunk *n+1*, which
+        the server resolves before the client ever asks.
+
+        Each answered hole still counts as one LXP command in
+        :class:`LXPStats` (via :func:`measure_fragment` inside
+        ``fill``); what batching saves is *round trips*, accounted by
+        the transport.  The default implementation is expressed in
+        terms of :meth:`fill`, so every wrapper speaks the batched
+        protocol for free.
+        """
+        if speculate < 0:
+            raise LXPProtocolError("speculate must be >= 0")
+        replies: List[Tuple[object, List[Fragment]]] = []
+        frontier: "deque" = deque()
+        answered = set()
+        for hole_id in hole_ids:
+            reply = self.fill(hole_id)
+            replies.append((hole_id, reply))
+            answered.add(hole_id)
+            frontier.extend(reply_holes(reply))
+        budget = speculate
+        while budget > 0 and frontier:
+            hole_id = frontier.popleft()
+            if hole_id in answered:
+                continue
+            reply = self.fill(hole_id)
+            replies.append((hole_id, reply))
+            answered.add(hole_id)
+            frontier.extend(reply_holes(reply))
+            budget -= 1
+        return replies
+
 
 def measure_fragment(stats: LXPStats,
                      fragments: Sequence[Fragment]) -> None:
@@ -66,15 +144,19 @@ def measure_fragment(stats: LXPStats,
     and tally shipped elements/holes across the whole reply.  Every
     LXP server (source wrappers and the remote channel exporter) calls
     this on each reply it returns."""
-    stats.fills += 1
+    elements = holes = 0
     stack = list(fragments)
     while stack:
         fragment = stack.pop()
         if isinstance(fragment, FragHole):
-            stats.holes_shipped += 1
+            holes += 1
         else:
-            stats.elements_shipped += 1
+            elements += 1
             stack.extend(fragment.children)
+    with stats.lock:
+        stats.fills += 1
+        stats.elements_shipped += elements
+        stats.holes_shipped += holes
 
 
 #: deprecated private alias, kept for one release for old importers

@@ -5,30 +5,56 @@
 source ('push from below') based on an asynchronous prefetching
 strategy."
 
-We model the asynchrony's *effect* deterministically: between
-client-issued navigations the prefetcher fills up to ``lookahead``
-outstanding holes (leftmost-first -- the direction a forward-browsing
-client will need next).  The stats separate demand fills (the client
-waited for these) from prefetch fills (overlapped with client think
-time), so experiment E5 can report stall counts rather than pretend
-wall-clock concurrency.
+Two realizations of that strategy share the :class:`PrefetchStats`
+accounting:
+
+:class:`PrefetchingBuffer`
+    Models the asynchrony's *effect* deterministically: between
+    client-issued navigations the prefetcher fills up to ``lookahead``
+    outstanding holes (leftmost-first -- the direction a
+    forward-browsing client will need next).  The stats separate
+    demand fills (the client waited for these) from prefetch fills
+    (overlapped with client think time), so experiment E5 can report
+    stall counts rather than pretend wall-clock concurrency.
+
+:class:`AsyncPrefetchingBuffer`
+    The real thing: a small thread pool fills outstanding holes
+    *during* client think time.  Workers only perform the source I/O
+    (``server.fill``); completed fragments are handed over and spliced
+    into the open tree on the client thread, under the buffer lock, so
+    the open tree stays single-writer.  A navigation that reaches a
+    hole whose fill is still in flight *stalls* (counted) and waits
+    for that one future -- never issuing a duplicate fill.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .component import BufferComponent
 from .holes import OpenElem, OpenHole
 
-__all__ = ["PrefetchingBuffer", "PrefetchStats"]
+__all__ = ["PrefetchingBuffer", "AsyncPrefetchingBuffer",
+           "PrefetchStats"]
 
 
 @dataclass
 class PrefetchStats:
+    """Demand/prefetch fill split, plus stall accounting.
+
+    ``stalls`` counts navigations that reached a hole whose prefetch
+    was issued but not yet complete -- the client had to wait.  The
+    deterministic prefetcher never stalls (its fills are synchronous);
+    the thread-backed one reports its overlap quality through the
+    ``stalls : prefetch_fills`` ratio.
+    """
+
     demand_fills: int = 0
     prefetch_fills: int = 0
+    stalls: int = 0
 
     @property
     def total_fills(self) -> int:
@@ -68,30 +94,13 @@ class PrefetchingBuffer(BufferComponent):
             self.prefetch_stats.demand_fills += 1
             self._ahead = 0
 
-    def _leftmost_holes(self, limit: int) -> List[OpenHole]:
-        """Up to ``limit`` holes in document order from the open root."""
-        found: List[OpenHole] = []
-        start = self._root if self._root is not None else self._top
-
-        def walk(node: OpenElem) -> None:
-            for child in node.children:
-                if len(found) >= limit:
-                    return
-                if isinstance(child, OpenHole):
-                    found.append(child)
-                else:
-                    walk(child)
-
-        walk(start)
-        return found
-
     def _prefetch(self) -> None:
         if self.lookahead <= 0 or self._ahead >= self.lookahead:
             return
         budget = self.lookahead - self._ahead
         self._in_prefetch = True
         try:
-            for hole in self._leftmost_holes(budget):
+            for hole in self.leftmost_holes(budget):
                 # The hole may have been detached by a previous splice
                 # in this round; skip stale ones.
                 if hole.parent is not None \
@@ -110,3 +119,97 @@ class PrefetchingBuffer(BufferComponent):
         result = super().right(pointer)
         self._prefetch()
         return result
+
+
+class AsyncPrefetchingBuffer(BufferComponent):
+    """A BufferComponent whose prefetcher is a real thread pool.
+
+    After each client navigation, up to ``lookahead`` leftmost
+    outstanding holes are dispatched to ``workers`` threads.  Workers
+    run *only* the source I/O -- ``server.fill(hole_id)`` -- so the
+    layers below must merely keep their counters thread-safe (they
+    do); the open tree itself is touched exclusively on the client
+    thread, which collects completed futures at the moment their hole
+    is demanded and splices under the buffer lock.
+
+    Determinism note: the *resulting* open tree and answer are
+    identical to the sequential path (the same holes get the same
+    replies); only the timing and the demand/prefetch classification
+    of fills differ.  A prefetched fill that *failed* re-raises its
+    error when (and only when) the client actually demands that hole,
+    so the resilience seams keep their sequential semantics.
+    """
+
+    def __init__(self, server, lookahead: int = 2, workers: int = 1):
+        super().__init__(server)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if lookahead < 0:
+            raise ValueError("lookahead must be >= 0")
+        self.lookahead = lookahead
+        self.workers = workers
+        self.prefetch_stats = PrefetchStats()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: holes with a fill in flight (or complete, not yet spliced)
+        self._inflight: Dict[OpenHole, Future] = {}
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="mix-prefetch")
+        return self._executor
+
+    # -- demand path -------------------------------------------------------
+    def _fill_hole(self, hole: OpenHole) -> None:
+        with self._lock:
+            future = self._inflight.pop(hole, None)
+        if future is None:
+            self._splice(hole, self.server.fill(hole.hole_id))
+            self.prefetch_stats.demand_fills += 1
+            return
+        if not future.done():
+            self.prefetch_stats.stalls += 1
+        fragments = future.result()  # re-raises a worker's failure
+        self._splice(hole, fragments)
+        self.prefetch_stats.prefetch_fills += 1
+
+    # -- prefetch scheduling ----------------------------------------------
+    def _schedule(self) -> None:
+        if self.lookahead <= 0:
+            return
+        with self._lock:
+            budget = self.lookahead - len(self._inflight)
+            if budget <= 0:
+                return
+            executor = self._ensure_executor()
+            for hole in self.leftmost_holes(self.lookahead):
+                if budget <= 0:
+                    break
+                if hole in self._inflight:
+                    continue
+                self._inflight[hole] = executor.submit(
+                    self.server.fill, hole.hole_id)
+                budget -= 1
+
+    def down(self, pointer):
+        result = super().down(pointer)
+        self._schedule()
+        return result
+
+    def right(self, pointer):
+        result = super().right(pointer)
+        self._schedule()
+        return result
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Stop the pool; in-flight results are abandoned (their holes
+        stay open and will be demand-filled if ever reached)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            inflight, self._inflight = dict(self._inflight), {}
+        for future in inflight.values():
+            future.cancel()
+        if executor is not None:
+            executor.shutdown(wait=True)

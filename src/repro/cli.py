@@ -86,6 +86,25 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="on exhausted source failure, splice a "
                           "<mix:error> placeholder into the answer "
                           "instead of aborting the query")
+    run.add_argument("--prefetch", type=int, default=0, metavar="K",
+                     help="buffer lookahead: fill up to K upcoming "
+                          "holes per navigation (with "
+                          "--batch-navigations: server-side "
+                          "speculation depth)")
+    run.add_argument("--prefetch-workers", type=int, default=0,
+                     metavar="N",
+                     help="fill prefetched holes on N background "
+                          "threads (default 0 = synchronous, "
+                          "deterministic)")
+    run.add_argument("--batch-navigations", action="store_true",
+                     help="pipeline LXP: ship batched fill commands "
+                          "in one round trip and accept speculative "
+                          "multi-fragment replies")
+    run.add_argument("--fanout-workers", type=int, default=0,
+                     metavar="N",
+                     help="probe independent operator inputs (union, "
+                          "difference, join, concatenate) on up to N "
+                          "threads (default 0 = sequential)")
 
     plan = sub.add_parser("plan", help="show the algebraic plan")
     add_query_arguments(plan, with_sources=False)
@@ -127,6 +146,10 @@ def _cmd_query(args) -> int:
         retry_max_attempts=args.retries,
         retry_deadline_ms=args.retry_deadline,
         on_source_failure="degrade" if args.degrade else "fail",
+        prefetch=args.prefetch,
+        prefetch_workers=args.prefetch_workers,
+        batch_navigations=args.batch_navigations,
+        fanout_workers=args.fanout_workers,
     )
     mediator = MIXMediator(config)
     for name, path in _parse_sources(args.source).items():

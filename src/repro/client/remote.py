@@ -23,10 +23,10 @@ fragment protocol's advantage.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..buffer.component import BufferComponent
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
 from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..navigation.interface import NavigableDocument
@@ -124,14 +124,23 @@ def fragment_wire_size(fragment: Fragment) -> int:
 
 @dataclass
 class ChannelStats:
-    """Traffic accounting for one client connection."""
+    """Traffic accounting for one client connection.
+
+    ``messages`` counts request/reply round trips; ``commands`` counts
+    the navigation/fill commands those round trips carried.  Without
+    batching the two are equal; a pipelined channel ships many
+    commands per message, so ``messages <= commands`` always and the
+    gap is exactly what batching saved.
+    """
 
     messages: int = 0          # request/reply round trips
+    commands: int = 0          # commands carried by those round trips
     bytes_transferred: int = 0
     virtual_ms: float = 0.0
 
     def reset(self) -> None:
         self.messages = 0
+        self.commands = 0
         self.bytes_transferred = 0
         self.virtual_ms = 0.0
 
@@ -140,6 +149,10 @@ class MeteredTransport:
     """Shared cost-charging core of every simulated remote transport
     (:class:`MessageChannel`, :class:`RPCDocument`): one
     :class:`ChannelStats` object, one charging rule, one reset path.
+
+    Charging is lock-guarded: with a thread-backed prefetcher the
+    channel is driven from worker threads and the client thread at
+    once.
     """
 
     def __init__(self, latency_ms: float = 20.0,
@@ -149,14 +162,18 @@ class MeteredTransport:
         self.ms_per_kb = ms_per_kb
         self.stats = ChannelStats()
         self.tracer = tracer
+        self._stats_lock = threading.Lock()
 
-    def _charge(self, size: int) -> None:
-        self.stats.messages += 1
-        self.stats.bytes_transferred += size
-        self.stats.virtual_ms += self.latency_ms \
-            + self.ms_per_kb * (size / 1024.0)
+    def _charge(self, size: int, commands: int = 1) -> None:
+        with self._stats_lock:
+            self.stats.messages += 1
+            self.stats.commands += commands
+            self.stats.bytes_transferred += size
+            self.stats.virtual_ms += self.latency_ms \
+                + self.ms_per_kb * (size / 1024.0)
         if self.tracer is not None and self.tracer.active:
-            self.tracer.emit("channel", "round_trip", bytes=size)
+            self.tracer.emit("channel", "round_trip", bytes=size,
+                             commands=commands)
 
     def reset_stats(self) -> None:
         """Zero the traffic counters (shared by every transport)."""
@@ -167,7 +184,9 @@ class MessageChannel(MeteredTransport, LXPServer):
     """An LXP server proxied over a simulated network.
 
     Each ``fill`` is one round trip: fixed ``latency_ms`` plus
-    ``ms_per_kb`` transfer cost on the serialized reply.
+    ``ms_per_kb`` transfer cost on the serialized reply.  A
+    ``fill_batch`` is *also* one round trip -- that is the point of
+    the pipelined protocol -- carrying one command per answered hole.
     """
 
     def __init__(self, server: LXPServer, latency_ms: float = 20.0,
@@ -185,6 +204,16 @@ class MessageChannel(MeteredTransport, LXPServer):
         self._charge(sum(fragment_wire_size(f) for f in reply)
                      + len(repr(hole_id)))
         return reply
+
+    def fill_batch(self, hole_ids, speculate: int = 0
+                   ) -> List[Tuple[object, List[Fragment]]]:
+        replies = self.server.fill_batch(hole_ids, speculate)
+        size = len(repr(list(hole_ids)))
+        for hole_id, fragments in replies:
+            size += len(repr(hole_id)) \
+                + sum(fragment_wire_size(f) for f in fragments)
+        self._charge(size, commands=max(len(replies), 1))
+        return replies
 
 
 class RPCDocument(MeteredTransport, NavigableDocument):
@@ -245,9 +274,18 @@ def connect_remote(document: NavigableDocument,
     placeholder into the client's view instead of aborting.  ``clock``
     injects a time source for the backoff/breaker (tests use a fake).
 
+    The client-side buffer honours the config's concurrency knobs:
+    ``batch_navigations`` demands fills through pipelined
+    ``fill_batch`` round trips (with ``prefetch`` as the speculation
+    budget), ``prefetch_workers`` backs the lookahead with a thread
+    pool, and plain ``prefetch`` keeps the deterministic prefetcher.
+    All off (the defaults) yields the plain buffer, byte-for-byte.
+
     Returns the client-side root XMLElement (backed by a client-local
     buffer over the fragment channel) and the channel's stats object.
     """
+    from ..wrappers.base import buffered
+
     if context is None:
         context = ExecutionContext.create()
     config = context.config
@@ -260,12 +298,12 @@ def connect_remote(document: NavigableDocument,
         latency_ms=config.latency_ms if latency_ms is None else latency_ms,
         ms_per_kb=config.ms_per_kb if ms_per_kb is None else ms_per_kb,
         tracer=context.tracer)
-    name = "remote#%d" % (len(context.channels) + 1)
+    name = context.register_channel_auto(channel.stats)
     transport = resilient_server(channel, config, name=name,
                                  clock=clock, tracer=context.tracer,
                                  context=context)
-    buffer = BufferComponent(transport)
-    context.register_channel(name, channel.stats)
-    context.register_buffer(
-        "client-buffer#%d" % (len(context.buffers) + 1), buffer.stats)
+    buffer = buffered(transport, prefetch=config.prefetch,
+                      workers=config.prefetch_workers,
+                      batch=config.batch_navigations)
+    context.register_buffer_auto(buffer.stats)
     return XMLElement(buffer, buffer.root()), channel.stats

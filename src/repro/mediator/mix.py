@@ -30,6 +30,7 @@ deprecation shim.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Dict, Optional, Union
 
@@ -240,6 +241,10 @@ class MIXMediator:
         self._documents: Dict[str, NavigableDocument] = {}
         self._meters: Dict[str, CountingDocument] = {}
         self._views: Dict[str, TupleDestroy] = {}
+        #: serializes catalog registration: concurrent sessions may
+        #: register sources on a shared mediator, and the name-clash
+        #: check must be atomic with the insert
+        self._catalog_lock = threading.Lock()
 
     # -- config compatibility views ----------------------------------------
     @property
@@ -280,13 +285,16 @@ class MIXMediator:
         With ``meter=True`` a counting proxy is interposed so per-source
         navigation statistics are available from :attr:`meters`.
         """
-        self._check_free(name)
+        counted: Optional[CountingDocument] = None
         if meter:
             counted = CountingDocument(document, name=name,
                                        tracer=self.tracer)
-            self._meters[name] = counted
             document = counted
-        self._documents[name] = document
+        with self._catalog_lock:
+            self._check_free(name)
+            if counted is not None:
+                self._meters[name] = counted
+            self._documents[name] = document
         self.tracer.emit("mediator", "register_source", name=name)
 
     def register_wrapper(self, name: str, server: LXPServer,
@@ -309,7 +317,9 @@ class MIXMediator:
                                   clock=self.clock,
                                   tracer=self.tracer,
                                   context=self.runtime)
-        buffer = buffered(server, prefetch)
+        buffer = buffered(server, prefetch,
+                          workers=self.config.prefetch_workers,
+                          batch=self.config.batch_navigations)
         if hasattr(buffer, "stats"):
             self.runtime.register_buffer(name, buffer.stats)
         self.register_source(name, buffer, meter)
@@ -325,14 +335,17 @@ class MIXMediator:
         mediator tower and exposed like a wrapped source (Figure 1
         stacking).
         """
-        self._check_free(name)
         plan = self._plan_of(query)
         if as_source:
             document = build_virtual_document(
                 plan, self._resolver(), self._new_context())
-            self._documents[name] = document
+            with self._catalog_lock:
+                self._check_free(name)
+                self._documents[name] = document
         else:
-            self._views[name] = plan
+            with self._catalog_lock:
+                self._check_free(name)
+                self._views[name] = plan
 
     def _check_free(self, name: str) -> None:
         if name in self._documents or name in self._views:

@@ -9,6 +9,7 @@ yields exactly the measurements the browsability experiments need.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -95,6 +96,10 @@ class CountingDocument(NavigableDocument):
         self.log = log
         self.tracer = tracer
         self.trace: List[Tuple[str, object]] = []
+        #: guards counters and the command log: with fan-out and
+        #: prefetch workers, one meter is crossed by several threads.
+        #: Re-entrant because a tracer callback may itself navigate.
+        self._lock = threading.RLock()
 
     def _note(self, command: str, pointer) -> None:
         if self.log:
@@ -109,23 +114,27 @@ class CountingDocument(NavigableDocument):
         return self.inner.root()
 
     def down(self, pointer):
-        self.counters.down += 1
-        self._note("d", pointer)
+        with self._lock:
+            self.counters.down += 1
+            self._note("d", pointer)
         return self.inner.down(pointer)
 
     def right(self, pointer):
-        self.counters.right += 1
-        self._note("r", pointer)
+        with self._lock:
+            self.counters.right += 1
+            self._note("r", pointer)
         return self.inner.right(pointer)
 
     def fetch(self, pointer) -> str:
-        self.counters.fetch += 1
-        self._note("f", pointer)
+        with self._lock:
+            self.counters.fetch += 1
+            self._note("f", pointer)
         return self.inner.fetch(pointer)
 
     def select(self, pointer, predicate: LabelPredicate):
-        self.counters.select += 1
-        self._note("select", pointer)
+        with self._lock:
+            self.counters.select += 1
+            self._note("select", pointer)
         return self.inner.select(pointer, predicate)
 
     # -- measurement helpers ----------------------------------------------

@@ -19,6 +19,7 @@ Everything cross-cutting in the evaluation tower lives here:
 from .cache import MISS, CacheManager, CacheStats, ManagedCache
 from .config import ConfigError, EngineConfig, validate_granularity
 from .context import ExecutionContext, TraceEvent, Tracer
+from .parallel import FanoutDispatcher
 from .resilience import (
     ERROR_LABEL,
     SYSTEM_CLOCK,
@@ -41,6 +42,7 @@ __all__ = [
     "EngineConfig", "ConfigError", "validate_granularity",
     "MISS", "CacheStats", "ManagedCache", "CacheManager",
     "ExecutionContext", "Tracer", "TraceEvent",
+    "FanoutDispatcher",
     "Clock", "MonotonicClock", "SYSTEM_CLOCK",
     "RetryPolicy", "BreakerOpenError", "CircuitBreaker",
     "ResilienceStats", "ResilientCaller",

@@ -27,6 +27,7 @@ Two cache kinds exist:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
@@ -114,29 +115,34 @@ class ManagedCache:
         """The cached value for ``key``, else ``default`` (counted)."""
         if not self.active:
             return default
-        if key in self._data:
-            self.stats.hits += 1
-            self.manager._touch(self, key)
-            return self._data[key]
-        self.stats.misses += 1
-        return default
+        with self.manager._lock:
+            if key in self._data:
+                self.stats.hits += 1
+                self.manager._touch(self, key)
+                return self._data[key]
+            self.stats.misses += 1
+            return default
 
     def peek(self, key: Hashable, default=MISS):
         """Like :meth:`get` but without touching the counters."""
-        if not self.active or key not in self._data:
+        if not self.active:
             return default
-        self.manager._touch(self, key)
-        return self._data[key]
+        with self.manager._lock:
+            if key not in self._data:
+                return default
+            self.manager._touch(self, key)
+            return self._data[key]
 
     def put(self, key: Hashable, value) -> None:
         """Store ``key`` -> ``value`` (may trigger evictions)."""
         if not self.active:
             return
-        fresh = key not in self._data
-        self._data[key] = value
-        if fresh:
-            self.stats.entries += 1
-        self.manager._on_insert(self, key)
+        with self.manager._lock:
+            fresh = key not in self._data
+            self._data[key] = value
+            if fresh:
+                self.stats.entries += 1
+            self.manager._on_insert(self, key)
 
     def _evict(self, key: Hashable) -> None:
         del self._data[key]
@@ -152,6 +158,11 @@ class CacheManager:
     least-recently-used memo entry.  ``enabled=False`` turns every
     memo cache into a bypass (state caches keep working -- they are
     semantics, not optimization).
+
+    One re-entrant lock serializes all lookups, inserts, LRU motion
+    and evictions: prefetch workers and fan-out threads hit the same
+    registry as the client thread, and an eviction decision must see
+    a consistent LRU.
     """
 
     def __init__(self, budget: Optional[int] = None,
@@ -164,6 +175,7 @@ class CacheManager:
         #: global LRU over memo entries: (cache id, key) -> None
         self._lru: "OrderedDict" = OrderedDict()
         self.evictions = 0
+        self._lock = threading.RLock()
 
     # -- registration -----------------------------------------------------
     def cache(self, name: str, kind: str = "memo") -> ManagedCache:
@@ -172,9 +184,10 @@ class CacheManager:
         Multiple registrations may share a name (one per operator
         instance); :meth:`report` aggregates them by name.
         """
-        managed = ManagedCache(self, name, kind, len(self._caches))
-        self._caches.append(managed)
-        return managed
+        with self._lock:
+            managed = ManagedCache(self, name, kind, len(self._caches))
+            self._caches.append(managed)
+            return managed
 
     # -- LRU bookkeeping ---------------------------------------------------
     def _touch(self, cache: ManagedCache, key: Hashable) -> None:
@@ -211,20 +224,23 @@ class CacheManager:
 
     def report(self) -> "Dict[str, CacheStats]":
         """Counters aggregated by cache name."""
-        merged: Dict[str, CacheStats] = {}
-        for cache in self._caches:
-            if cache.name in merged:
-                merged[cache.name] = merged[cache.name].merge(cache.stats)
-            else:
-                merged[cache.name] = cache.stats.merge(CacheStats())
-        return merged
+        with self._lock:
+            merged: Dict[str, CacheStats] = {}
+            for cache in self._caches:
+                if cache.name in merged:
+                    merged[cache.name] = merged[cache.name].merge(
+                        cache.stats)
+                else:
+                    merged[cache.name] = cache.stats.merge(CacheStats())
+            return merged
 
     def totals(self) -> CacheStats:
         """All counters summed over every registered cache."""
-        total = CacheStats()
-        for cache in self._caches:
-            total = total.merge(cache.stats)
-        return total
+        with self._lock:
+            total = CacheStats()
+            for cache in self._caches:
+                total = total.merge(cache.stats)
+            return total
 
     def as_dict(self) -> dict:
         """The full registry report as plain dicts (for stats/JSON)."""

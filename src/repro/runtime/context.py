@@ -18,12 +18,14 @@ remote sessions -- channel messages/bytes.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .cache import CacheManager
 from .config import EngineConfig
+from .parallel import FanoutDispatcher
 
 __all__ = ["TraceEvent", "Tracer", "ExecutionContext"]
 
@@ -49,12 +51,20 @@ class Tracer:
     kept in :attr:`events`.  An idle tracer (no subscribers, not
     recording) is near-free: instrumented layers check :attr:`active`
     before building events.
+
+    The tracer is safe under concurrent emitters and subscribers:
+    prefetch workers and fan-out threads emit through the same
+    instance the client thread reads, so the subscriber list and the
+    event record are guarded by a lock.  Callbacks are invoked
+    *outside* the lock (a callback may itself navigate, which may
+    emit).
     """
 
     def __init__(self, record: bool = False):
         self._callbacks: List[Callable[[TraceEvent], None]] = []
         self.record = record
         self.events: List[TraceEvent] = []
+        self._lock = threading.Lock()
 
     @property
     def active(self) -> bool:
@@ -63,16 +73,35 @@ class Tracer:
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Register a callback invoked on every event."""
-        self._callbacks.append(callback)
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def unsubscribe(self,
+                    callback: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously subscribed callback.
+
+        Raises ``ValueError`` when the callback was never subscribed
+        (or was already removed) -- a silent no-op would mask the
+        double-unsubscribe bugs this method exists to prevent.
+        """
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                raise ValueError(
+                    "callback %r is not subscribed" % (callback,)
+                ) from None
 
     def emit(self, layer: str, event: str, **data) -> None:
         """Publish one event to subscribers (and the record)."""
         if not self.active:
             return
         record = TraceEvent(layer, event, data)
-        if self.record:
-            self.events.append(record)
-        for callback in self._callbacks:
+        with self._lock:
+            if self.record:
+                self.events.append(record)
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
             callback(record)
 
     @contextmanager
@@ -109,6 +138,11 @@ class ExecutionContext:
         self.channels: Dict[str, object] = {}
         #: resilience stats registered by name (retry/breaker seams)
         self.resilience: Dict[str, object] = {}
+        #: guards the registries: buffers and channels register from
+        #: whichever thread opens them (fan-out tasks, prefetch
+        #: workers), and names are minted from registry sizes
+        self._registry_lock = threading.Lock()
+        self._fanout: Optional[FanoutDispatcher] = None
 
     @classmethod
     def create(cls, config: Optional[EngineConfig] = None,
@@ -132,27 +166,73 @@ class ExecutionContext:
         """A tracing span (contextmanager) through the tracer."""
         return self.tracer.span(layer, name, **data)
 
+    # -- concurrency -------------------------------------------------------
+    @property
+    def fanout(self) -> FanoutDispatcher:
+        """The query's shared :class:`FanoutDispatcher` (created on
+        first use from ``config.fanout_workers``; inert when 0)."""
+        dispatcher = self._fanout
+        if dispatcher is None:
+            with self._registry_lock:
+                if self._fanout is None:
+                    self._fanout = FanoutDispatcher(
+                        self.config.fanout_workers)
+                dispatcher = self._fanout
+        return dispatcher
+
+    def close(self) -> None:
+        """Release pooled resources (the fan-out executor)."""
+        dispatcher = self._fanout
+        if dispatcher is not None:
+            dispatcher.close()
+
     # -- registries --------------------------------------------------------
     def register_buffer(self, name: str, stats) -> None:
         """Attach a buffer's stats object for aggregated reporting."""
-        self.buffers[name] = stats
+        with self._registry_lock:
+            self.buffers[name] = stats
+
+    def register_buffer_auto(self, stats) -> str:
+        """Register a client-side buffer under a freshly minted
+        ``client-buffer#N`` name and return the name (see
+        :meth:`register_channel_auto`)."""
+        with self._registry_lock:
+            name = "client-buffer#%d" % (len(self.buffers) + 1)
+            self.buffers[name] = stats
+            return name
 
     def register_channel(self, name: str, stats) -> None:
         """Attach a remote channel's stats for aggregated reporting."""
-        self.channels[name] = stats
+        with self._registry_lock:
+            self.channels[name] = stats
+
+    def register_channel_auto(self, stats) -> str:
+        """Register a channel under a freshly minted ``remote#N`` name
+        and return the name.  Mint and insert happen under one lock,
+        so concurrent sessions opening channels never collide."""
+        with self._registry_lock:
+            name = "remote#%d" % (len(self.channels) + 1)
+            self.channels[name] = stats
+            return name
 
     def register_resilience(self, name: str, stats) -> None:
         """Attach a resilient seam's retry/breaker/degradation stats
         for aggregated reporting."""
-        self.resilience[name] = stats
+        with self._registry_lock:
+            self.resilience[name] = stats
 
     def adopt_registries(self, other: "ExecutionContext") -> None:
         """Share another context's registered stats objects (the
         mediator seeds each per-query context with the session-level
         wrapper registrations)."""
-        self.buffers.update(other.buffers)
-        self.channels.update(other.channels)
-        self.resilience.update(other.resilience)
+        with other._registry_lock:
+            buffers = dict(other.buffers)
+            channels = dict(other.channels)
+            resilience = dict(other.resilience)
+        with self._registry_lock:
+            self.buffers.update(buffers)
+            self.channels.update(channels)
+            self.resilience.update(resilience)
 
     # -- reporting ---------------------------------------------------------
     def stats_report(self) -> dict:

@@ -31,6 +31,7 @@ a fake clock without ever sleeping for real (see
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -155,6 +156,11 @@ class CircuitBreaker:
       retry schedule) until ``reset_timeout_ms`` has elapsed.
     * **half-open** -- exactly one probe call passes; its success
       closes the breaker, its failure re-opens it for another window.
+
+    The automaton is shared by every thread navigating the source
+    (prefetch workers, fan-out tasks, concurrent client sessions), so
+    all state transitions happen under one re-entrant lock -- in
+    particular the half-open probe slot is claimed atomically.
     """
 
     CLOSED = "closed"
@@ -177,6 +183,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self._probing = False
+        self._lock = threading.RLock()
         #: lifetime transition counters (reported through stats)
         self.opens = 0
         self.short_circuits = 0
@@ -184,45 +191,51 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """The current state, applying the open -> half-open timeout."""
-        if self._state == self.OPEN and self._opened_at is not None \
-                and self.clock.now_ms() - self._opened_at \
-                >= self.reset_timeout_ms:
-            self._state = self.HALF_OPEN
-            self._probing = False
-        return self._state
+        with self._lock:
+            if self._state == self.OPEN \
+                    and self._opened_at is not None \
+                    and self.clock.now_ms() - self._opened_at \
+                    >= self.reset_timeout_ms:
+                self._state = self.HALF_OPEN
+                self._probing = False
+            return self._state
 
     def allow(self) -> bool:
         """Whether a call may proceed right now (claims the half-open
         probe slot when in half-open state)."""
-        state = self.state
-        if state == self.CLOSED:
-            return True
-        if state == self.HALF_OPEN and not self._probing:
-            self._probing = True
-            return True
-        self.short_circuits += 1
-        return False
+        with self._lock:
+            state = self.state
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.short_circuits += 1
+            return False
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._probing = False
-        self._state = self.CLOSED
-        self._opened_at = None
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            self._state = self.CLOSED
+            self._opened_at = None
 
     def record_failure(self) -> None:
-        if self.state == self.HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
 
     def _trip(self) -> None:
-        self._state = self.OPEN
-        self._opened_at = self.clock.now_ms()
-        self._consecutive_failures = 0
-        self._probing = False
-        self.opens += 1
+        with self._lock:
+            self._state = self.OPEN
+            self._opened_at = self.clock.now_ms()
+            self._consecutive_failures = 0
+            self._probing = False
+            self.opens += 1
 
     def __repr__(self) -> str:
         return "CircuitBreaker(%r, %s)" % (self.name, self.state)
@@ -234,7 +247,13 @@ class CircuitBreaker:
 
 @dataclass
 class ResilienceStats:
-    """Retry/breaker/degradation accounting for one wrapped peer."""
+    """Retry/breaker/degradation accounting for one wrapped peer.
+
+    A single peer may be exercised by many threads at once (prefetch
+    workers, fan-out tasks, concurrent sessions over a shared
+    source), so counter updates go through :attr:`lock` -- not a
+    dataclass field, so equality and repr stay value-based.
+    """
 
     calls: int = 0
     failures: int = 0              # individual failed tries
@@ -244,6 +263,9 @@ class ResilienceStats:
     breaker_opens: int = 0
     breaker_short_circuits: int = 0
     retry_wait_ms: float = 0.0     # cumulative backoff waited
+
+    def __post_init__(self) -> None:
+        self.lock = threading.Lock()
 
     def as_dict(self) -> dict:
         return {
@@ -303,14 +325,17 @@ class ResilientCaller:
     def call(self, fn: Callable, *args, key: object = None):
         """Run ``fn(*args)`` under the policy; return its result or
         raise the final failure."""
-        self.stats.calls += 1
+        stats = self.stats
+        with stats.lock:
+            stats.calls += 1
         policy = self.policy
         started = self.clock.now_ms()
         attempt = 0
         while True:
             attempt += 1
             if self.breaker is not None and not self.breaker.allow():
-                self.stats.breaker_short_circuits += 1
+                with stats.lock:
+                    stats.breaker_short_circuits += 1
                 self._trace("short_circuit",
                             state=self.breaker.state)
                 raise BreakerOpenError(
@@ -319,31 +344,36 @@ class ResilientCaller:
             try:
                 result = fn(*args)
             except FAILURE_TYPES as err:
-                self.stats.failures += 1
                 transient = is_transient(err)
+                opened = 0
                 if self.breaker is not None:
                     opens_before = self.breaker.opens
                     self.breaker.record_failure()
                     opened = self.breaker.opens - opens_before
-                    if opened:
-                        self.stats.breaker_opens += opened
-                        self._trace("breaker_open")
+                with stats.lock:
+                    stats.failures += 1
+                    stats.breaker_opens += opened
+                if opened:
+                    self._trace("breaker_open")
                 self._trace("failure", attempt=attempt,
                             transient=transient,
                             error=type(err).__name__)
                 if not transient or attempt >= policy.max_attempts:
-                    self.stats.giveups += 1
+                    with stats.lock:
+                        stats.giveups += 1
                     raise
                 delay = policy.delay_ms(attempt, key=(self.name, key))
                 if policy.deadline_ms is not None:
                     elapsed = self.clock.now_ms() - started
                     if elapsed + delay > policy.deadline_ms:
-                        self.stats.giveups += 1
+                        with stats.lock:
+                            stats.giveups += 1
                         self._trace("deadline_exceeded",
                                     elapsed_ms=elapsed)
                         raise
-                self.stats.retries += 1
-                self.stats.retry_wait_ms += delay
+                with stats.lock:
+                    stats.retries += 1
+                    stats.retry_wait_ms += delay
                 self._trace("retry", attempt=attempt, delay_ms=delay)
                 self.clock.sleep_ms(delay)
             else:
@@ -422,7 +452,8 @@ class ResilientLXPServer:
         return self.caller.breaker
 
     def _degrade(self, err: BaseException):
-        self.resilience.degraded += 1
+        with self.resilience.lock:
+            self.resilience.degraded += 1
         self.caller._trace("degraded", error=type(err).__name__)
         return [error_placeholder(self.name, str(err))]
 
@@ -436,7 +467,8 @@ class ResilientLXPServer:
                 raise
             # Degrade via a synthetic hole: get_root must return a
             # hole, so the placeholder ships on its first fill.
-            self.resilience.degraded += 1
+            with self.resilience.lock:
+                self.resilience.degraded += 1
             return FragHole((_ERROR_HOLE, str(err)))
 
     def fill(self, hole_id):
@@ -450,6 +482,38 @@ class ResilientLXPServer:
             if self.on_failure != "degrade":
                 raise
             return self._degrade(err)
+
+    def fill_batch(self, hole_ids, speculate: int = 0):
+        """Batched fill through the same retry/breaker/degrade seam.
+
+        One batch is one retriable operation (the whole round trip is
+        retried, matching the channel's all-or-nothing framing).  On
+        exhausted failure in degrade mode every *requested* hole gets
+        its own placeholder reply -- speculative fills are simply
+        absent, exactly as if the server declined to speculate.
+        """
+        hole_ids = list(hole_ids)
+        synthetic = [hid for hid in hole_ids
+                     if isinstance(hid, tuple) and hid
+                     and hid[0] == _ERROR_HOLE]
+        if synthetic:
+            # Error holes never reach the wrapped server; answer them
+            # (and any healthy ids) via per-hole fills instead.
+            return [(hid, self.fill(hid)) for hid in hole_ids]
+        try:
+            return self.caller.call(self.server.fill_batch, hole_ids,
+                                    speculate,
+                                    key=("fill_batch",
+                                         tuple(hole_ids)))
+        except FAILURE_TYPES as err:
+            if self.on_failure != "degrade":
+                raise
+            with self.resilience.lock:
+                self.resilience.degraded += len(hole_ids)
+            self.caller._trace("degraded", error=type(err).__name__,
+                               batch=len(hole_ids))
+            return [(hid, [error_placeholder(self.name, str(err))])
+                    for hid in hole_ids]
 
     def __getattr__(self, attr):
         # Transparent proxy for everything else (stats, chunk_size...)

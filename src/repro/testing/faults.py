@@ -18,6 +18,7 @@ be reproduced exactly, with zero real sleeps:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Union
 
 from ..errors import TransientSourceError
@@ -35,24 +36,31 @@ class FakeClock(Clock):
 
     ``sleeps`` records every requested sleep, so tests can assert the
     exact backoff schedule a retry policy produced.
+
+    Concurrent sessions share one fake clock in the stress tests, so
+    hand movement is lock-guarded.
     """
 
     def __init__(self, start_ms: float = 0.0):
         self._now = start_ms
         self.sleeps: List[float] = []
+        self._lock = threading.Lock()
 
     def now_ms(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep_ms(self, ms: float) -> None:
-        self.sleeps.append(ms)
-        self._now += ms
+        with self._lock:
+            self.sleeps.append(ms)
+            self._now += ms
 
     def advance(self, ms: float) -> None:
         """Move time forward without recording a sleep (models the
         world moving on between calls, e.g. a breaker reset window
         elapsing)."""
-        self._now += ms
+        with self._lock:
+            self._now += ms
 
 
 #: a schedule step: False/None = succeed, True = fail with the default
@@ -89,6 +97,10 @@ class FailureSchedule:
         self.calls = 0
         #: how many failures it has injected
         self.failures = 0
+        #: one schedule may be consumed by several concurrent
+        #: sessions; step consumption must be atomic so exactly the
+        #: scripted number of failures is injected overall
+        self._lock = threading.Lock()
 
     @classmethod
     def first(cls, n: int, error=None) -> "FailureSchedule":
@@ -107,15 +119,16 @@ class FailureSchedule:
 
     def next_failure(self) -> Optional[BaseException]:
         """The exception to raise for this call, or None to succeed."""
-        index = self.calls
-        self.calls += 1
-        if index < len(self.steps):
-            step = self.steps[index]
-        else:
-            step = self.exhausted == "fail"
-        if step is False or step is None:
-            return None
-        self.failures += 1
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            if index < len(self.steps):
+                step = self.steps[index]
+            else:
+                step = self.exhausted == "fail"
+            if step is False or step is None:
+                return None
+            self.failures += 1
         if step is True:
             return self.error()
         if isinstance(step, BaseException):
@@ -146,6 +159,14 @@ class FlakyLXPServer:
         if err is not None:
             raise err
         return self.server.fill(hole_id)
+
+    def fill_batch(self, hole_ids, speculate: int = 0):
+        """One schedule step per *batch*: the whole round trip either
+        arrives or fails, matching the channel's framing."""
+        err = self.schedule.next_failure()
+        if err is not None:
+            raise err
+        return self.server.fill_batch(hole_ids, speculate)
 
     def __getattr__(self, attr):
         return getattr(self.server, attr)

@@ -5,25 +5,44 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..buffer.batch import BatchingBuffer
 from ..buffer.component import BufferComponent
 from ..buffer.lxp import LXPServer
-from ..buffer.prefetch import PrefetchingBuffer
+from ..buffer.prefetch import AsyncPrefetchingBuffer, PrefetchingBuffer
 from ..navigation.counting import CountingDocument
 from ..navigation.interface import NavigableDocument
 
 __all__ = ["buffered", "buffered_counting"]
 
 
-def buffered(server: LXPServer, prefetch: int = 0) -> BufferComponent:
+def buffered(server: LXPServer, prefetch: int = 0,
+             workers: int = 0, batch: bool = False) -> BufferComponent:
     """Stack the generic buffer component on top of an LXP wrapper
-    (the refined VXD architecture of Figure 7)."""
+    (the refined VXD architecture of Figure 7).
+
+    ``prefetch`` is the lookahead budget; ``workers`` backs it with a
+    thread pool (:class:`AsyncPrefetchingBuffer`); ``batch`` switches
+    the demand path to pipelined ``fill_batch`` exchanges
+    (:class:`BatchingBuffer`), with ``prefetch`` as the server-side
+    speculation budget.  Batching subsumes the lookahead -- the
+    speculative fills travel *inside* the demand round trip -- so it
+    takes precedence when both are requested.  All defaults off
+    reproduce the plain buffer byte-for-byte.
+    """
+    if batch:
+        return BatchingBuffer(server, speculate=prefetch)
+    if workers > 0:
+        return AsyncPrefetchingBuffer(server, lookahead=prefetch,
+                                      workers=workers)
     if prefetch > 0:
         return PrefetchingBuffer(server, lookahead=prefetch)
     return BufferComponent(server)
 
 
 def buffered_counting(server: LXPServer, name: str = "",
-                      prefetch: int = 0) -> CountingDocument:
+                      prefetch: int = 0, workers: int = 0,
+                      batch: bool = False) -> CountingDocument:
     """A buffered wrapper with a navigation meter on top -- the
     standard experiment rig: mediator -> meter -> buffer -> wrapper."""
-    return CountingDocument(buffered(server, prefetch), name=name)
+    return CountingDocument(buffered(server, prefetch, workers, batch),
+                            name=name)

@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.buffer import (
+    AsyncPrefetchingBuffer,
+    BatchingBuffer,
     BufferComponent,
     FragElem,
     FragHole,
@@ -16,6 +18,7 @@ from repro.buffer import (
     count_holes,
     fragment_of_tree,
     open_tree_to_tree,
+    reply_holes,
     validate_fill_reply,
 )
 from repro.navigation import materialize
@@ -336,3 +339,174 @@ class TestAdaptiveGranularity:
         with pytest.raises(ValueError):
             AdaptiveTreeLXPServer(self._tree(5), initial_chunk=8,
                                   max_chunk=4)
+
+
+# ----------------------------------------------------------------------
+# Batched LXP: fill_batch protocol and the batching buffer
+# ----------------------------------------------------------------------
+
+class TestFillBatchProtocol:
+    def _server(self, n=10, chunk=2, depth=1):
+        tree = Tree("r", [elem("x", str(i)) for i in range(n)])
+        return TreeLXPServer(tree, chunk_size=chunk, depth=depth)
+
+    def test_requested_ids_first_in_request_order(self):
+        server = self._server()
+        root_id = server.get_root().hole_id
+        replies = server.fill_batch([root_id])
+        assert [hid for hid, _ in replies] == [root_id]
+        validate_fill_reply(replies[0][1])
+
+    def test_speculation_follows_reply_frontier(self):
+        server = self._server()
+        root_id = server.get_root().hole_id
+        replies = server.fill_batch([root_id], speculate=2)
+        ids = [hid for hid, _ in replies]
+        assert ids[0] == root_id and len(ids) == 3
+        # Every speculative id was introduced by an earlier reply in
+        # this same batch, in document (frontier) order.
+        introduced = []
+        for _, fragments in replies:
+            introduced.extend(reply_holes(fragments))
+        assert ids[1:] == introduced[:2]
+
+    def test_speculation_never_reanswers(self):
+        server = self._server(n=20, chunk=2)
+        root_id = server.get_root().hole_id
+        replies = server.fill_batch([root_id], speculate=50)
+        ids = [hid for hid, _ in replies]
+        assert len(ids) == len(set(ids))
+
+    def test_zero_speculation_answers_exactly_the_request(self):
+        server = self._server()
+        root_id = server.get_root().hole_id
+        assert len(server.fill_batch([root_id], speculate=0)) == 1
+
+    def test_negative_speculation_rejected(self):
+        server = self._server()
+        with pytest.raises(LXPProtocolError):
+            server.fill_batch([server.get_root().hole_id], speculate=-1)
+
+    def test_each_answered_hole_counts_as_one_command(self):
+        server = self._server()
+        root_id = server.get_root().hole_id
+        before = server.stats.fills
+        replies = server.fill_batch([root_id], speculate=3)
+        assert server.stats.fills - before == len(replies)
+
+    def test_reply_holes_document_order(self):
+        fragments = [
+            FragElem("a", [FragHole("h1"), FragElem("b", [FragHole("h2")])]),
+            FragHole("h3"),
+        ]
+        assert reply_holes(fragments) == ["h1", "h2", "h3"]
+
+
+class TestBatchingBuffer:
+    def _tree(self, n=12):
+        return Tree("r", [elem("x", str(i)) for i in range(n)])
+
+    def test_materializes_identically_to_plain_buffer(self):
+        tree = self._tree()
+        plain = materialize(BufferComponent(
+            TreeLXPServer(tree, chunk_size=2, depth=1)))
+        batched = materialize(BatchingBuffer(
+            TreeLXPServer(tree, chunk_size=2, depth=1), speculate=4))
+        assert batched == plain
+
+    def test_speculative_fills_reduce_batches(self):
+        tree = self._tree(20)
+
+        def batches(speculate):
+            buffer = BatchingBuffer(
+                TreeLXPServer(tree, chunk_size=2, depth=1),
+                speculate=speculate)
+            materialize(buffer)
+            return buffer.batch_stats.batches
+
+        assert batches(4) < batches(0)
+
+    def test_commands_equal_batches_plus_speculation(self):
+        buffer = BatchingBuffer(
+            TreeLXPServer(self._tree(), chunk_size=2, depth=1),
+            speculate=3)
+        materialize(buffer)
+        stats = buffer.batch_stats
+        assert stats.commands \
+            == stats.batches + stats.speculative_fills
+        assert stats.commands == buffer.stats.fills \
+            + stats.dropped_replies
+
+    def test_omitted_demand_reply_is_protocol_error(self):
+        class RudeServer(TreeLXPServer):
+            def fill_batch(self, hole_ids, speculate=0):
+                return []  # never answers what was asked
+
+        buffer = BatchingBuffer(RudeServer(self._tree(), chunk_size=2),
+                                speculate=0)
+        with pytest.raises(LXPProtocolError, match="omitted"):
+            buffer.root()
+
+    def test_stale_speculative_replies_are_dropped(self):
+        class EchoTwiceServer(TreeLXPServer):
+            """Answers the demand, then 'speculates' the same hole
+            again -- the duplicate must be dropped, not spliced."""
+
+            def fill_batch(self, hole_ids, speculate=0):
+                replies = [(hid, self.fill(hid)) for hid in hole_ids]
+                return replies + [(hole_ids[0],
+                                   self.fill(hole_ids[0]))]
+
+        tree = self._tree()
+        buffer = BatchingBuffer(EchoTwiceServer(tree, chunk_size=2,
+                                                depth=1))
+        plain = materialize(BufferComponent(
+            TreeLXPServer(tree, chunk_size=2, depth=1)))
+        assert materialize(buffer) == plain
+        assert buffer.batch_stats.dropped_replies > 0
+
+
+class TestAsyncPrefetchingBuffer:
+    def _tree(self, n=30):
+        return Tree("r", [elem("x", str(i)) for i in range(n)])
+
+    def test_materializes_identically_to_plain_buffer(self):
+        tree = self._tree()
+        plain = materialize(BufferComponent(
+            TreeLXPServer(tree, chunk_size=3, depth=1)))
+        buffer = AsyncPrefetchingBuffer(
+            TreeLXPServer(tree, chunk_size=3, depth=1),
+            lookahead=3, workers=2)
+        try:
+            assert materialize(buffer) == plain
+        finally:
+            buffer.close()
+
+    def test_fill_accounting_balances(self):
+        buffer = AsyncPrefetchingBuffer(
+            TreeLXPServer(self._tree(), chunk_size=2, depth=1),
+            lookahead=2, workers=2)
+        try:
+            materialize(buffer)
+        finally:
+            buffer.close()
+        stats = buffer.prefetch_stats
+        assert stats.demand_fills + stats.prefetch_fills \
+            == buffer.stats.fills
+
+    def test_invalid_parameters_rejected(self):
+        server = TreeLXPServer(self._tree(), chunk_size=2)
+        with pytest.raises(ValueError):
+            AsyncPrefetchingBuffer(server, workers=0)
+        with pytest.raises(ValueError):
+            AsyncPrefetchingBuffer(server, lookahead=-1)
+
+    def test_close_is_idempotent_and_buffer_survives(self):
+        buffer = AsyncPrefetchingBuffer(
+            TreeLXPServer(self._tree(8), chunk_size=2, depth=1),
+            lookahead=2, workers=1)
+        root = buffer.root()
+        buffer.close()
+        buffer.close()
+        # Demand path still works after close (no more prefetching).
+        assert buffer.down(root) is not None

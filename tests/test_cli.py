@@ -92,6 +92,17 @@ class TestResilienceFlags:
         answer = parse_xml(capsys.readouterr().out)
         assert answer.label == "answer"
 
+    def test_concurrency_flags_leave_answer_unchanged(self,
+                                                      source_files,
+                                                      capsys):
+        main(_query_argv(source_files))
+        baseline = parse_xml(capsys.readouterr().out)
+        for extra in (["--batch-navigations", "--prefetch", "4"],
+                      ["--prefetch-workers", "2", "--prefetch", "2"],
+                      ["--fanout-workers", "2"]):
+            assert main(_query_argv(source_files, *extra)) == 0
+            assert parse_xml(capsys.readouterr().out) == baseline
+
 
 class TestPlanCommand:
     def test_shows_plan_and_class(self, capsys):

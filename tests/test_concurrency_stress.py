@@ -1,0 +1,242 @@
+"""Deterministic concurrency stress tests.
+
+Several client sessions browse shared sources at once, with scripted
+transient failures and a shared fake clock, exercising every lock
+added for batched/concurrent navigation:
+
+* no deadlock -- every worker joins within a hard wall-clock bound
+  (enforced in-test with ``Thread.join(timeout)`` so the guard works
+  even where pytest-timeout is not installed; CI adds a belt-and-
+  braces ``@pytest.mark.timeout``);
+* no duplicate hole fills -- each spliced hole id lands in an open
+  tree exactly once per session;
+* stats invariants -- ``demand_fills + prefetch_fills`` equals the
+  buffer's fill count, and a channel never uses more round trips than
+  navigation commands.
+
+Failures are injected through :class:`FailureSchedule`, whose step
+consumption is atomic: exactly the scripted number of faults is
+injected no matter how the threads interleave.
+"""
+
+import threading
+
+import pytest
+
+from repro.buffer import BufferComponent, TreeLXPServer
+from repro.runtime import RetryPolicy
+from repro.runtime.resilience import ResilientLXPServer
+from repro.testing import FailureSchedule, FakeClock, FlakyLXPServer
+from repro.wrappers.base import buffered
+from repro.xtree import Tree, elem
+
+from .fixtures import homes_of_size
+
+JOIN_TIMEOUT_S = 30.0
+SESSIONS = 4
+
+
+def _homes_tree(n_homes):
+    return homes_of_size(n_homes)["homesSrc"]
+
+
+def _run_sessions(worker, n=SESSIONS):
+    """Run ``worker(index)`` in ``n`` threads; fail on deadlock or any
+    worker exception."""
+    errors = []
+    barrier = threading.Barrier(n)
+
+    def body(index):
+        try:
+            barrier.wait(timeout=JOIN_TIMEOUT_S)
+            worker(index)
+        except BaseException as err:  # noqa: BLE001 - reported below
+            errors.append(err)
+
+    threads = [threading.Thread(target=body, args=(i,), daemon=True)
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=JOIN_TIMEOUT_S)
+    stuck = [t for t in threads if t.is_alive()]
+    assert not stuck, "deadlock: %d session(s) still running" % len(stuck)
+    if errors:
+        raise errors[0]
+    return errors
+
+
+def _scan_all(buffer):
+    """Depth-first scan of the whole buffered document, label list."""
+    labels = []
+
+    def walk(pointer):
+        labels.append(buffer.fetch(pointer))
+        child = buffer.down(pointer)
+        while child is not None:
+            walk(child)
+            child = buffer.right(child)
+
+    walk(buffer.root())
+    return labels
+
+
+class _SpliceAudit:
+    """Record every splice of a buffer; duplicate hole ids are the
+    'double fill' bug the prefetcher's in-flight table must prevent."""
+
+    def __init__(self, buffer):
+        self.seen = []
+        self._lock = threading.Lock()
+        original = buffer._splice
+
+        def audited(hole, fragments):
+            with self._lock:
+                self.seen.append(hole.hole_id)
+            original(hole, fragments)
+
+        buffer._splice = audited
+
+    def assert_no_duplicates(self):
+        assert len(self.seen) == len(set(self.seen)), (
+            "hole filled twice: %r"
+            % [h for h in set(self.seen) if self.seen.count(h) > 1])
+
+
+@pytest.mark.timeout(60)
+class TestSharedSourceStress:
+    def _expected_labels(self):
+        server = TreeLXPServer(_homes_tree(12), chunk_size=3, depth=2)
+        return _scan_all(BufferComponent(server))
+
+    def test_concurrent_sessions_with_flaky_shared_source(self):
+        """Each session owns a buffer; all share one flaky LXP server,
+        one failure schedule and one fake clock."""
+        expected = self._expected_labels()
+        clock = FakeClock()
+        schedule = FailureSchedule.first(SESSIONS * 3)
+        tree = _homes_tree(12)
+        flaky = FlakyLXPServer(
+            TreeLXPServer(tree, chunk_size=3, depth=2), schedule)
+        # The schedule is shared: under an adversarial interleaving a
+        # single operation may absorb every scripted failure, so the
+        # per-operation retry budget must exceed the total.
+        policy = RetryPolicy(max_attempts=SESSIONS * 3 + 2,
+                             base_delay_ms=1.0)
+        audits = []
+        results = [None] * SESSIONS
+
+        def session(index):
+            resilient = ResilientLXPServer(
+                flaky, name="shared#%d" % index,
+                policy=policy, clock=clock)
+            buffer = buffered(resilient, workers=2)
+            audits.append(_SpliceAudit(buffer))
+            try:
+                results[index] = _scan_all(buffer)
+            finally:
+                buffer.close()
+
+        _run_sessions(session)
+        assert results == [expected] * SESSIONS
+        for audit in audits:
+            audit.assert_no_duplicates()
+        assert schedule.failures == SESSIONS * 3
+
+    def test_prefetch_fill_accounting_balances(self):
+        """demand_fills + prefetch_fills == buffer fills, per session,
+        under concurrent prefetch workers."""
+        tree = _homes_tree(16)
+        buffers = []
+
+        def session(index):
+            server = TreeLXPServer(tree, chunk_size=2, depth=1)
+            buffer = buffered(server, prefetch=3, workers=2)
+            buffers.append(buffer)
+            _scan_all(buffer)
+
+        _run_sessions(session)
+        for buffer in buffers:
+            buffer.close()
+            pf = buffer.prefetch_stats
+            assert pf.demand_fills + pf.prefetch_fills \
+                == buffer.stats.fills
+            assert pf.stalls <= buffer.stats.fills
+
+    def test_batched_sessions_never_exceed_one_message_per_command(self):
+        """Round trips <= commands for every concurrent batched
+        session (shared metered channel semantics)."""
+        from repro.mediator import MIXMediator
+        from repro.navigation import MaterializedDocument
+        from repro.runtime import EngineConfig
+
+        tree = _homes_tree(10)
+        stats_list = []
+        lock = threading.Lock()
+
+        def session(index):
+            med = MIXMediator(EngineConfig(batch_navigations=True,
+                                           prefetch=4))
+            med.register_source("homesSrc", MaterializedDocument(tree))
+            result = med.prepare(
+                "CONSTRUCT <answer> $H {$H} </answer> {}"
+                " WHERE homesSrc homes.home $H")
+            root, stats = result.connect_remote(chunk_size=2, depth=2)
+            for child in root.children():
+                for grandchild in child.children():
+                    grandchild.tag
+            with lock:
+                stats_list.append(stats)
+
+        _run_sessions(session)
+        assert len(stats_list) == SESSIONS
+        for stats in stats_list:
+            assert 0 < stats.messages <= stats.commands
+
+    def test_shared_mediator_concurrent_queries(self):
+        """One mediator, many sessions preparing and materializing the
+        same query concurrently (catalog and context registries are
+        shared state)."""
+        from repro.mediator import MIXMediator
+        from repro.navigation import MaterializedDocument
+        from repro.runtime import EngineConfig
+
+        from .fixtures import (
+            expected_fig4_answer,
+            fig4_plan,
+            homes_source,
+            schools_source,
+        )
+
+        med = MIXMediator(EngineConfig(fanout_workers=2))
+        med.register_source("homesSrc",
+                            MaterializedDocument(homes_source()))
+        med.register_source("schoolsSrc",
+                            MaterializedDocument(schools_source()))
+        expected = expected_fig4_answer()
+        answers = [None] * SESSIONS
+
+        def session(index):
+            answers[index] = med.prepare(fig4_plan()).materialize()
+
+        _run_sessions(session)
+        assert answers == [expected] * SESSIONS
+
+
+def _tiny_tree():
+    return Tree("srcdoc", [elem("a", elem("b", "1"), elem("c", "2"))])
+
+
+@pytest.mark.timeout(60)
+def test_worker_failure_is_raised_on_demand_not_swallowed():
+    """A prefetch worker that hits a hard failure must surface it at
+    the demanding navigation, not lose it in the pool."""
+    schedule = FailureSchedule.always()
+    flaky = FlakyLXPServer(TreeLXPServer(_tiny_tree(), chunk_size=1,
+                                         depth=1), schedule)
+    buffer = buffered(flaky, workers=2)
+    try:
+        with pytest.raises(Exception, match="injected transient fault"):
+            _scan_all(buffer)
+    finally:
+        buffer.close()

@@ -197,6 +197,86 @@ class TestTracer:
         assert [e.event for e in tracer.events] \
             == ["prepare.begin", "prepare.end"]
 
+    def test_unsubscribe_stops_delivery(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit("x", "one")
+        tracer.unsubscribe(seen.append)
+        tracer.emit("x", "two")
+        assert [e.event for e in seen] == ["one"]
+        assert not tracer.active
+
+    def test_unsubscribe_unknown_callback_raises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="not subscribed"):
+            tracer.unsubscribe(lambda event: None)
+
+    def test_double_unsubscribe_raises(self):
+        tracer = Tracer()
+        callback = lambda event: None  # noqa: E731
+        tracer.subscribe(callback)
+        tracer.unsubscribe(callback)
+        with pytest.raises(ValueError, match="not subscribed"):
+            tracer.unsubscribe(callback)
+
+    def test_reentrant_callback_may_emit(self):
+        """A subscriber may navigate, which may emit again -- the
+        tracer must not hold its lock across callbacks."""
+        tracer = Tracer(record=True)
+
+        def echo(event):
+            if event.layer != "echo":
+                tracer.emit("echo", event.event)
+
+        tracer.subscribe(echo)
+        tracer.emit("source", "down")
+        assert [(e.layer, e.event) for e in tracer.events] \
+            == [("source", "down"), ("echo", "down")]
+
+    def test_concurrent_emitters_lose_no_events(self):
+        import threading
+
+        tracer = Tracer(record=True)
+        seen = []
+        tracer.subscribe(seen.append)
+        n, per = 8, 200
+
+        def emitter(index):
+            for i in range(per):
+                tracer.emit("worker", "tick", worker=index, i=i)
+
+        threads = [threading.Thread(target=emitter, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(tracer.events) == n * per
+        assert len(seen) == n * per
+
+    def test_concurrent_subscribe_unsubscribe_during_emit(self):
+        import threading
+
+        tracer = Tracer(record=True)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                callback = lambda event: None  # noqa: E731
+                tracer.subscribe(callback)
+                tracer.unsubscribe(callback)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for i in range(2000):
+                tracer.emit("x", "tick", i=i)
+        finally:
+            stop.set()
+            churner.join(timeout=30)
+        assert len(tracer.events) == 2000
+
 
 class TestExecutionContext:
     def test_create_with_overrides(self):

@@ -1,0 +1,148 @@
+"""Navigation-trace conformance: golden Tracer event sequences.
+
+The central quantity of the paper is *which source navigations a
+client navigation triggers* (navigational complexity, Definition 2).
+These tests replay three canonical walkthroughs and compare the full
+Tracer event stream against checked-in golden files, so any operator
+change that silently alters the navigation pattern fails loudly:
+
+* ``fig5``  -- the running example (Fig. 4/5): a client materializes
+  the whole virtual ``answer`` over the homes/schools sources; the
+  golden trace is the exact source-command sequence.
+* ``fig9``  -- the laziness walkthrough (Fig. 9): the client touches
+  only the root handle and the first ``med_home``; the golden trace
+  proves the constant-size prefix property.
+* ``fig10`` -- the mediator/client split (Fig. 10 / Section 5): a
+  remote forward scan, traced at the channel layer -- once with the
+  plain one-fill-per-round-trip protocol and once with batched
+  navigation (LXP pipelining), locking the batched framing down to
+  the exact round-trip sequence.
+
+Regenerate after an *intentional* change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace_conformance.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument
+from repro.runtime import EngineConfig, Tracer
+
+from .fixtures import fig4_plan, homes_source, schools_source
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+REGEN = os.environ.get("REGEN_GOLDEN") == "1"
+
+
+def _assert_matches_golden(name: str, lines):
+    """Compare ``lines`` against tests/golden/<name>.trace."""
+    golden_path = GOLDEN_DIR / (name + ".trace")
+    text = "\n".join(lines) + "\n"
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(text)
+        return
+    if not golden_path.exists():
+        pytest.fail("golden file %s missing -- run with REGEN_GOLDEN=1"
+                    % golden_path)
+    expected = golden_path.read_text().splitlines()
+    assert lines == expected, (
+        "navigation trace diverged from %s -- if the change is "
+        "intentional, regenerate with REGEN_GOLDEN=1" % golden_path.name)
+
+
+def _event_lines(tracer, layer=None):
+    events = tracer.events
+    if layer is not None:
+        events = [e for e in events if e.layer == layer]
+    return [str(e) for e in events]
+
+
+def _running_example(tracer):
+    med = MIXMediator(tracer=tracer)
+    med.register_source("homesSrc",
+                        MaterializedDocument(homes_source()))
+    med.register_source("schoolsSrc",
+                        MaterializedDocument(schools_source()))
+    return med
+
+
+class TestRunningExampleTraces:
+    def test_fig5_full_materialization_trace(self):
+        tracer = Tracer(record=True)
+        med = _running_example(tracer)
+        result = med.prepare(fig4_plan())
+        result.materialize()
+        _assert_matches_golden(
+            "fig5_running_example",
+            _event_lines(tracer, layer="source"))
+
+    def test_fig9_partial_exploration_trace(self):
+        tracer = Tracer(record=True)
+        med = _running_example(tracer)
+        result = med.prepare(fig4_plan())
+        root = result.root
+        assert root.tag == "answer"
+        first = root.first_child()
+        assert first.tag == "med_home"
+        home = first.first_child()
+        assert home.tag == "home"
+        _assert_matches_golden(
+            "fig9_partial_prefix",
+            _event_lines(tracer, layer="source"))
+
+    def test_fig9_prefix_is_strictly_shorter_than_fig5(self):
+        """The partial walk must cost a strict prefix of the full
+        walk's budget -- the laziness claim behind Figure 9."""
+        full, partial = [], []
+        for record in (full, partial):
+            tracer = Tracer(record=True)
+            med = _running_example(tracer)
+            result = med.prepare(fig4_plan())
+            if record is full:
+                result.materialize()
+            else:
+                result.root.first_child().first_child()
+            record.extend(_event_lines(tracer, layer="source"))
+        assert len(partial) < len(full) / 2
+
+
+class TestRemoteChannelTraces:
+    def _scan_remote(self, config):
+        tracer = Tracer(record=True)
+        med = MIXMediator(config, tracer=tracer)
+        med.register_source("homesSrc",
+                            MaterializedDocument(homes_source()))
+        med.register_source("schoolsSrc",
+                            MaterializedDocument(schools_source()))
+        result = med.prepare(fig4_plan())
+        root, stats = result.connect_remote(chunk_size=2, depth=2)
+        labels = [[grandchild.tag for grandchild in child.children()]
+                  for child in root.children()]
+        return tracer, stats, labels
+
+    def test_fig10_plain_round_trip_trace(self):
+        tracer, stats, labels = self._scan_remote(EngineConfig())
+        assert stats.messages == stats.commands
+        _assert_matches_golden(
+            "fig10_remote_plain",
+            _event_lines(tracer, layer="channel"))
+
+    def test_fig10_batched_round_trip_trace(self):
+        config = EngineConfig(batch_navigations=True, prefetch=4)
+        tracer, stats, labels = self._scan_remote(config)
+        assert stats.messages < stats.commands
+        _assert_matches_golden(
+            "fig10_remote_batched",
+            _event_lines(tracer, layer="channel"))
+
+    def test_batched_scan_sees_identical_answer(self):
+        _, plain_stats, plain = self._scan_remote(EngineConfig())
+        _, batched_stats, batched = self._scan_remote(
+            EngineConfig(batch_navigations=True, prefetch=4))
+        assert plain == batched
+        assert batched_stats.messages < plain_stats.messages
