@@ -56,14 +56,22 @@ class BatchingBuffer(BufferComponent):
     the plain buffer, same replies, useful as a protocol smoke test).
     """
 
-    def __init__(self, server, speculate: int = 0):
-        super().__init__(server)
+    def __init__(self, server, speculate: int = 0, **kwargs):
+        super().__init__(server, **kwargs)
         if speculate < 0:
             raise ValueError("speculate must be >= 0")
         self.speculate = speculate
         self.batch_stats = BatchStats()
 
     def _fill_hole(self, hole: OpenHole) -> None:
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            self._batched_fill(hole)
+            return
+        with tracer.span("buffer", "fill", buffer=self.name):
+            self._batched_fill(hole)
+
+    def _batched_fill(self, hole: OpenHole) -> None:
         replies = self.server.fill_batch([hole.hole_id],
                                          self.speculate)
         with self._lock:

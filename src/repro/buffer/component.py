@@ -64,9 +64,14 @@ class BufferComponent(NavigableDocument):
     tree only ever grows/refines; handed-out pointers stay valid.
     """
 
-    def __init__(self, server: LXPServer):
+    def __init__(self, server: LXPServer, tracer=None, name: str = ""):
         self.server = server
         self.stats = BufferStats()
+        #: optional tracer + buffer name: demand fills become
+        #: ``buffer.fill`` spans in the causal trace, so the source
+        #: commands and round trips a fill provokes nest under it
+        self.tracer = tracer
+        self.name = name
         self._root: Optional[OpenElem] = None
         #: a virtual super-root whose single child list holds the root
         #: element (or its hole before the first fill)
@@ -97,7 +102,12 @@ class BufferComponent(NavigableDocument):
 
     def _fill_hole(self, hole: OpenHole) -> None:
         """Replace ``hole`` by the wrapper's fill reply."""
-        self._splice(hole, self.server.fill(hole.hole_id))
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            self._splice(hole, self.server.fill(hole.hole_id))
+            return
+        with tracer.span("buffer", "fill", buffer=self.name):
+            self._splice(hole, self.server.fill(hole.hole_id))
 
     def _chase_elem_at(self, parent: OpenElem,
                        index: int) -> Optional[OpenElem]:

@@ -29,7 +29,7 @@ from ..xtree.tree import Tree
 __all__ = [
     "OpenElem", "OpenHole", "FragElem", "FragHole", "Fragment",
     "LXPProtocolError", "validate_fill_reply", "fragment_of_tree",
-    "open_tree_to_tree", "count_holes",
+    "fragment_wire_size", "open_tree_to_tree", "count_holes",
 ]
 
 
@@ -124,6 +124,20 @@ def fragment_of_tree(tree: Tree) -> FragElem:
     """A fully closed fragment mirroring ``tree`` (no holes)."""
     return FragElem(tree.label,
                     tuple(fragment_of_tree(c) for c in tree.children))
+
+
+def fragment_wire_size(fragment: Fragment) -> int:
+    """Estimated serialized size of a fragment in bytes (tags + text +
+    hole markers), used for transfer-cost accounting by the metered
+    transports and the ``lxp_fragment_bytes`` metric.  (Historically
+    defined in :mod:`repro.client.remote`, which still re-exports it.)
+    """
+    if isinstance(fragment, FragHole):
+        return len("<hole id=''/>") + len(repr(fragment.hole_id))
+    size = 2 * len(fragment.label) + len("<></>")
+    for child in fragment.children:
+        size += fragment_wire_size(child)
+    return size
 
 
 # ----------------------------------------------------------------------

@@ -51,6 +51,12 @@ class LXPStats:
     def __post_init__(self) -> None:
         # Not a dataclass field: equality/repr stay value-based.
         self.lock = threading.Lock()
+        # Optional observability hookup (not dataclass fields for the
+        # same reason): when a MetricsRegistry is attached, every
+        # measured reply also feeds the lxp_* metric series, labelled
+        # with this connection's source name.
+        self.metrics = None
+        self.source = ""
 
     def reset(self) -> None:
         with self.lock:
@@ -157,6 +163,18 @@ def measure_fragment(stats: LXPStats,
         stats.fills += 1
         stats.elements_shipped += elements
         stats.holes_shipped += holes
+        metrics = getattr(stats, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        source = getattr(stats, "source", "") or "unnamed"
+        metrics.counter("lxp_fills_total").inc(source=source)
+        metrics.counter("lxp_elements_shipped_total").inc(
+            elements, source=source)
+        metrics.counter("lxp_holes_shipped_total").inc(
+            holes, source=source)
+        from .holes import fragment_wire_size
+        metrics.histogram("lxp_fragment_bytes").observe(
+            sum(fragment_wire_size(f) for f in fragments),
+            source=source)
 
 
 #: deprecated private alias, kept for one release for old importers

@@ -74,8 +74,8 @@ class PrefetchingBuffer(BufferComponent):
         buffer behaviour).
     """
 
-    def __init__(self, server, lookahead: int = 2):
-        super().__init__(server)
+    def __init__(self, server, lookahead: int = 2, **kwargs):
+        super().__init__(server, **kwargs)
         self.lookahead = lookahead
         self.prefetch_stats = PrefetchStats()
         self._in_prefetch = False
@@ -140,8 +140,9 @@ class AsyncPrefetchingBuffer(BufferComponent):
     so the resilience seams keep their sequential semantics.
     """
 
-    def __init__(self, server, lookahead: int = 2, workers: int = 1):
-        super().__init__(server)
+    def __init__(self, server, lookahead: int = 2, workers: int = 1,
+                 **kwargs):
+        super().__init__(server, **kwargs)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if lookahead < 0:
@@ -165,7 +166,7 @@ class AsyncPrefetchingBuffer(BufferComponent):
         with self._lock:
             future = self._inflight.pop(hole, None)
         if future is None:
-            self._splice(hole, self.server.fill(hole.hole_id))
+            super()._fill_hole(hole)  # spans like any demand fill
             self.prefetch_stats.demand_fills += 1
             return
         if not future.done():
@@ -175,9 +176,25 @@ class AsyncPrefetchingBuffer(BufferComponent):
         self.prefetch_stats.prefetch_fills += 1
 
     # -- prefetch scheduling ----------------------------------------------
+    def _traced_fill(self, hole_id, parent):
+        """The worker-thread task: the source I/O, bracketed (when the
+        tracer is live) by span adoption so the ``prefetch_fill`` span
+        and everything the source emits stay children of the client
+        navigation that scheduled the prefetch."""
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            return self.server.fill(hole_id)
+        with tracer.attach(parent):
+            with tracer.span("buffer", "prefetch_fill",
+                             buffer=self.name):
+                return self.server.fill(hole_id)
+
     def _schedule(self) -> None:
         if self.lookahead <= 0:
             return
+        tracer = self.tracer
+        parent = (tracer.capture()
+                  if tracer is not None and tracer.active else None)
         with self._lock:
             budget = self.lookahead - len(self._inflight)
             if budget <= 0:
@@ -189,7 +206,7 @@ class AsyncPrefetchingBuffer(BufferComponent):
                 if hole in self._inflight:
                     continue
                 self._inflight[hole] = executor.submit(
-                    self.server.fill, hole.hole_id)
+                    self._traced_fill, hole.hole_id, parent)
                 budget -= 1
 
     def down(self, pointer):

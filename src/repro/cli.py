@@ -6,6 +6,12 @@ Usage::
                            -q "CONSTRUCT ... WHERE ..."        # or -f q.xmas
     python -m repro plan   -q "..."      # show initial + rewritten plan
     python -m repro classify -q "..."    # per-node browsability report
+    python -m repro profile -s ... -q "..."  # observed amplification
+
+``query`` also exports observability data: ``--trace-out FILE``
+(with ``--trace-format jsonl|chrome``) dumps the causal span stream,
+``--metrics-out FILE`` writes the metrics registry in Prometheus text
+exposition format.
 
 ``query`` builds a MIX mediator over the given files (each behind the
 XML wrapper and the generic buffer), evaluates the query lazily, and
@@ -23,6 +29,8 @@ from .mediator.mix import MIXMediator
 from .rewriter.analyzer import classify_plan, explain_plan
 from .rewriter.optimizer import optimize
 from .runtime.config import EngineConfig
+from .runtime.context import Tracer
+from .runtime.observability import export_chrome_trace, export_jsonl
 from .wrappers.xmlfile import XMLFileWrapper
 from .xmas.parser import parse_xmas
 from .xmas.translate import translate
@@ -105,6 +113,32 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="probe independent operator inputs (union, "
                           "difference, join, concatenate) on up to N "
                           "threads (default 0 = sequential)")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="record the causal span stream and write it "
+                          "to FILE (enables tracing and per-operator "
+                          "spans)")
+    run.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                     default="jsonl",
+                     help="trace dump format: jsonl (one event per "
+                          "line) or chrome (trace_event JSON, "
+                          "Perfetto-loadable; default jsonl)")
+    run.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="enable the metrics registry and write it "
+                          "to FILE in Prometheus text exposition "
+                          "format")
+
+    profile = sub.add_parser(
+        "profile",
+        help="empirical browsability profile: run the query under "
+             "full observation and report the observed client->source "
+             "navigation amplification per operator")
+    add_query_arguments(profile, with_sources=True)
+    profile.add_argument("--chunk-size", type=int, default=10,
+                         help="wrapper fill granularity (default 10)")
+    profile.add_argument("--no-optimize", action="store_true",
+                         help="skip the rewriting phase")
+    profile.add_argument("--sigma", action="store_true",
+                         help="push sibling selection to the sources")
 
     plan = sub.add_parser("plan", help="show the algebraic plan")
     add_query_arguments(plan, with_sources=False)
@@ -136,6 +170,7 @@ def _parse_sources(specs: List[str]) -> Dict[str, str]:
 
 
 def _cmd_query(args) -> int:
+    tracing = args.trace_out is not None
     config = EngineConfig(
         optimize_plans=not args.no_optimize,
         cache_enabled=not args.no_cache,
@@ -150,8 +185,11 @@ def _cmd_query(args) -> int:
         prefetch_workers=args.prefetch_workers,
         batch_navigations=args.batch_navigations,
         fanout_workers=args.fanout_workers,
+        metrics_enabled=args.metrics_out is not None,
+        observe_operators=tracing,
     )
-    mediator = MIXMediator(config)
+    tracer = Tracer(record=True) if tracing else None
+    mediator = MIXMediator(config, tracer=tracer)
     for name, path in _parse_sources(args.source).items():
         with open(path) as handle:
             xml_text = handle.read()
@@ -166,6 +204,20 @@ def _cmd_query(args) -> int:
         result = mediator.prepare(text)
         answer = result.materialize()
     print(to_xml(answer, pretty=args.pretty))
+    if tracing:
+        exporter = (export_chrome_trace
+                    if args.trace_format == "chrome" else export_jsonl)
+        written = exporter(mediator.tracer.events, args.trace_out)
+        print("-- trace: %d events -> %s (%s) --"
+              % (written, args.trace_out, args.trace_format),
+              file=sys.stderr)
+    if args.metrics_out is not None:
+        context = result.context if result is not None \
+            else mediator.runtime
+        with open(args.metrics_out, "w") as handle:
+            handle.write(context.metrics_prometheus())
+        print("-- metrics -> %s --" % args.metrics_out,
+              file=sys.stderr)
     if args.stats:
         print("-- source navigations --", file=sys.stderr)
         for name, meter in sorted(mediator.meters.items()):
@@ -193,6 +245,24 @@ def _cmd_query(args) -> int:
                              counts["giveups"], counts["degraded"],
                              counts["breaker_opens"]),
                           file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    config = EngineConfig(
+        optimize_plans=not args.no_optimize,
+        use_sigma=args.sigma,
+        chunk_size=args.chunk_size,
+    )
+    mediator = MIXMediator(config)
+    for name, path in _parse_sources(args.source).items():
+        with open(path) as handle:
+            xml_text = handle.read()
+        mediator.register_wrapper(
+            name, XMLFileWrapper(name, xml_text,
+                                 chunk_size=args.chunk_size))
+    result = mediator.prepare(_query_text(args))
+    print(result.explain(analyze=True))
     return 0
 
 
@@ -224,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "classify":

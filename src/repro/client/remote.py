@@ -27,7 +27,13 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
+from ..buffer.holes import (
+    FragElem,
+    FragHole,
+    Fragment,
+    LXPProtocolError,
+    fragment_wire_size,
+)
 from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..navigation.interface import NavigableDocument
 from ..runtime.config import validate_granularity
@@ -111,17 +117,6 @@ class NavigableLXPServer(LXPServer):
         return reply
 
 
-def fragment_wire_size(fragment: Fragment) -> int:
-    """Estimated serialized size of a fragment in bytes (tags + text +
-    hole markers), used for transfer-cost accounting."""
-    if isinstance(fragment, FragHole):
-        return len("<hole id=''/>") + len(repr(fragment.hole_id))
-    size = 2 * len(fragment.label) + len("<></>")
-    for child in fragment.children:
-        size += fragment_wire_size(child)
-    return size
-
-
 @dataclass
 class ChannelStats:
     """Traffic accounting for one client connection.
@@ -157,11 +152,16 @@ class MeteredTransport:
 
     def __init__(self, latency_ms: float = 20.0,
                  ms_per_kb: float = 2.0,
-                 tracer=None):
+                 tracer=None, metrics=None, name: str = ""):
         self.latency_ms = latency_ms
         self.ms_per_kb = ms_per_kb
         self.stats = ChannelStats()
         self.tracer = tracer
+        #: optional MetricsRegistry + channel name: charges also feed
+        #: the channel_* metric series (``name`` is assigned by the
+        #: context when the channel registers)
+        self.metrics = metrics
+        self.name = name
         self._stats_lock = threading.Lock()
 
     def _charge(self, size: int, commands: int = 1) -> None:
@@ -174,6 +174,15 @@ class MeteredTransport:
         if self.tracer is not None and self.tracer.active:
             self.tracer.emit("channel", "round_trip", bytes=size,
                              commands=commands)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            channel = self.name or "unnamed"
+            metrics.counter("channel_round_trips_total").inc(
+                channel=channel)
+            metrics.counter("channel_commands_total").inc(
+                commands, channel=channel)
+            metrics.histogram("channel_message_bytes").observe(
+                size, channel=channel)
 
     def reset_stats(self) -> None:
         """Zero the traffic counters (shared by every transport)."""
@@ -190,8 +199,9 @@ class MessageChannel(MeteredTransport, LXPServer):
     """
 
     def __init__(self, server: LXPServer, latency_ms: float = 20.0,
-                 ms_per_kb: float = 2.0, tracer=None):
-        super().__init__(latency_ms, ms_per_kb, tracer)
+                 ms_per_kb: float = 2.0, tracer=None, metrics=None,
+                 name: str = ""):
+        super().__init__(latency_ms, ms_per_kb, tracer, metrics, name)
         self.server = server
 
     def get_root(self) -> FragHole:
@@ -227,8 +237,8 @@ class RPCDocument(MeteredTransport, NavigableDocument):
 
     def __init__(self, document: NavigableDocument,
                  latency_ms: float = 20.0, ms_per_kb: float = 2.0,
-                 tracer=None):
-        super().__init__(latency_ms, ms_per_kb, tracer)
+                 tracer=None, metrics=None, name: str = ""):
+        super().__init__(latency_ms, ms_per_kb, tracer, metrics, name)
         self.document = document
 
     def root(self):
@@ -297,13 +307,17 @@ def connect_remote(document: NavigableDocument,
         server,
         latency_ms=config.latency_ms if latency_ms is None else latency_ms,
         ms_per_kb=config.ms_per_kb if ms_per_kb is None else ms_per_kb,
-        tracer=context.tracer)
+        tracer=context.tracer, metrics=context.metrics)
     name = context.register_channel_auto(channel.stats)
+    channel.name = name
+    server.stats.metrics = context.metrics
+    server.stats.source = name
     transport = resilient_server(channel, config, name=name,
                                  clock=clock, tracer=context.tracer,
                                  context=context)
     buffer = buffered(transport, prefetch=config.prefetch,
                       workers=config.prefetch_workers,
-                      batch=config.batch_navigations)
+                      batch=config.batch_navigations,
+                      tracer=context.tracer, name=name)
     context.register_buffer_auto(buffer.stats)
     return XMLElement(buffer, buffer.root()), channel.stats

@@ -18,6 +18,7 @@ from .getdesc import LazyGetDescendants
 from .groupby import LazyGroupBy
 from .join import LazyJoin
 from .materialize_op import LazyMaterialize
+from .observe import SpannedOperator
 from .orderby import LazyOrderBy
 from .select import LazyConstant, LazyProject, LazyRename, LazySelect
 from .setops import LazyDifference, LazyDistinct, LazyUnion
@@ -30,6 +31,6 @@ __all__ = [
     "LazyConstant", "LazyRename", "LazyJoin", "LazyGroupBy", "LazyConcatenate",
     "LazyCreateElement", "LazyOrderBy", "LazyMaterialize",
     "LazyUnion", "LazyDifference",
-    "LazyDistinct",
+    "LazyDistinct", "SpannedOperator",
     "VirtualDocument", "build_lazy_plan", "build_virtual_document",
 ]

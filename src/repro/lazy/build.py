@@ -67,13 +67,28 @@ def build_lazy_plan(plan: ops.Operator, documents: DocumentResolver,
     ``use_sigma`` pushdown, ...) and the query's cache registry; when
     omitted, a fresh default context is created and shared by the
     whole operator tree.
+
+    With ``config.observe_operators`` every built operator is wrapped
+    in a :class:`~repro.lazy.observe.SpannedOperator`, so each
+    protocol call crossing an operator boundary becomes an
+    ``operator`` span in the trace (names minted deterministically in
+    build order).
     """
     if isinstance(plan, ops.TupleDestroy):
         raise LazyError(
             "build_virtual_document() handles TupleDestroy roots")
     if context is None:
         context = ExecutionContext.create()
+    built = _build_lazy_node(plan, documents, context)
+    if context.config.observe_operators:
+        from .observe import SpannedOperator
+        built = SpannedOperator(
+            built, context.mint_operator_name(type(plan).__name__))
+    return built
 
+
+def _build_lazy_node(plan: ops.Operator, documents: DocumentResolver,
+                     context: ExecutionContext) -> LazyOperator:
     def rec(node: ops.Operator) -> LazyOperator:
         return build_lazy_plan(node, documents, context)
 

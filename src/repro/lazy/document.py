@@ -61,13 +61,38 @@ class VirtualDocument(NavigableDocument):
             return self._resolve_root()
         return pointer[1]
 
+    # Client navigations are the roots of the causal span tree: each
+    # one opens a ``client`` span (when the tracer is live) under
+    # which every operator call, buffer fill, round trip, and source
+    # command it provokes is recorded.
     def down(self, pointer):
-        child = self.op.v_down(self._vid(pointer))
-        return ("v", child) if child is not None else None
+        tracer = self.op.ctx.tracer
+        if not tracer.active:
+            child = self.op.v_down(self._vid(pointer))
+            return ("v", child) if child is not None else None
+        with tracer.span("client", "down"):
+            child = self.op.v_down(self._vid(pointer))
+            return ("v", child) if child is not None else None
 
     def right(self, pointer):
-        sibling = self.op.v_right(self._vid(pointer))
-        return ("v", sibling) if sibling is not None else None
+        tracer = self.op.ctx.tracer
+        if not tracer.active:
+            sibling = self.op.v_right(self._vid(pointer))
+            return ("v", sibling) if sibling is not None else None
+        with tracer.span("client", "right"):
+            sibling = self.op.v_right(self._vid(pointer))
+            return ("v", sibling) if sibling is not None else None
 
     def fetch(self, pointer):
-        return self.op.v_fetch(self._vid(pointer))
+        tracer = self.op.ctx.tracer
+        if not tracer.active:
+            return self.op.v_fetch(self._vid(pointer))
+        with tracer.span("client", "fetch"):
+            return self.op.v_fetch(self._vid(pointer))
+
+    def select(self, pointer, predicate):
+        tracer = self.op.ctx.tracer
+        if not tracer.active:
+            return super().select(pointer, predicate)
+        with tracer.span("client", "select"):
+            return super().select(pointer, predicate)

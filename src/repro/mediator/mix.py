@@ -147,11 +147,42 @@ class QueryResult:
         }
         return report
 
-    def explain(self) -> str:
+    def profile(self):
+        """Re-execute this query's plan once under full observation
+        and return the :class:`~repro.navigation.profiler.
+        NavigationProfile`.
+
+        Builds a second virtual document over the same catalog with
+        ``observe_operators`` forced on (the original document -- and
+        its caches -- stay untouched), subscribes a collector to the
+        session tracer, and materializes the whole answer.  The
+        profile reports per-operator and whole-view client->source
+        navigation amplification from the resulting span tree.
+        """
+        from ..navigation.profiler import NavigationProfile
+        events = []
+        tracer = self.mediator.tracer
+        config = self.mediator.config.replace(observe_operators=True)
+        context = ExecutionContext(config, tracer=tracer,
+                                   metrics=self.mediator.runtime.metrics)
+        context.adopt_registries(self.mediator.runtime)
+        document = build_virtual_document(
+            self.plan, self.mediator._resolver(), context)
+        with tracer.subscribed(events.append):
+            materialize(document)
+        return NavigationProfile.from_events(events)
+
+    def explain(self, analyze: bool = False) -> str:
         """A human-readable report: rewritten plan, rules fired,
         per-node browsability classification, and the aggregated
         runtime view (source navigations, cache behavior, wire
-        traffic)."""
+        traffic).
+
+        With ``analyze=True``, additionally runs the query once under
+        full observation (see :meth:`profile`) and appends the
+        empirical browsability profile -- observed client->source
+        amplification per operator and for the whole view.
+        """
         from ..rewriter.analyzer import classify_plan, explain_plan
         lines = ["plan:"]
         lines.append(self.plan.pretty())
@@ -166,6 +197,12 @@ class QueryResult:
         lines.append(explain_plan(self.plan))
         lines.append("")
         lines.extend(self._stats_lines())
+        if analyze:
+            profile = self.profile()
+            lines.append("")
+            lines.append("browsability profile (observed):")
+            lines.extend("  " + line
+                         for line in profile.summary().splitlines())
         return "\n".join(lines)
 
     def _stats_lines(self) -> list:
@@ -272,7 +309,8 @@ class MIXMediator:
         """A fresh per-query execution context (shared tracer), seeded
         with the session-level wrapper registrations so per-query
         ``stats()`` reports cover buffer and resilience counters."""
-        context = ExecutionContext(self.config, tracer=self.tracer)
+        context = ExecutionContext(self.config, tracer=self.tracer,
+                                   metrics=self.runtime.metrics)
         context.adopt_registries(self.runtime)
         return context
 
@@ -288,7 +326,8 @@ class MIXMediator:
         counted: Optional[CountingDocument] = None
         if meter:
             counted = CountingDocument(document, name=name,
-                                       tracer=self.tracer)
+                                       tracer=self.tracer,
+                                       metrics=self.runtime.metrics)
             document = counted
         with self._catalog_lock:
             self._check_free(name)
@@ -313,13 +352,20 @@ class MIXMediator:
         """
         if prefetch is None:
             prefetch = self.config.prefetch
+        stats = getattr(server, "stats", None)
+        if stats is not None and hasattr(stats, "metrics"):
+            # Wire the LXP fragment meter into the session metrics so
+            # fills/bytes shipped by this wrapper land in the registry.
+            stats.metrics = self.runtime.metrics
+            stats.source = name
         server = resilient_server(server, self.config, name=name,
                                   clock=self.clock,
                                   tracer=self.tracer,
                                   context=self.runtime)
         buffer = buffered(server, prefetch,
                           workers=self.config.prefetch_workers,
-                          batch=self.config.batch_navigations)
+                          batch=self.config.batch_navigations,
+                          tracer=self.tracer, name=name)
         if hasattr(buffer, "stats"):
             self.runtime.register_buffer(name, buffer.stats)
         self.register_source(name, buffer, meter)

@@ -34,6 +34,13 @@ from .interface import (
     run_navigation,
 )
 from .materialized import MaterializedDocument, TreePointer
+from .profiler import (
+    NavigationProfile,
+    OperatorProfile,
+    expected_verdict,
+    profile_classify,
+    profiled_cost,
+)
 
 __all__ = [
     "Down", "Right", "Fetch", "Select", "DOWN", "RIGHT", "FETCH",
@@ -46,4 +53,6 @@ __all__ = [
     "ExploredPart", "explored_part", "UNFETCHED_LABEL",
     "Browsability", "CostCurve", "ComplexityReport", "classify",
     "measure_cost",
+    "NavigationProfile", "OperatorProfile", "profiled_cost",
+    "profile_classify", "expected_verdict",
 ]

@@ -89,12 +89,16 @@ class CountingDocument(NavigableDocument):
     """
 
     def __init__(self, inner: NavigableDocument, name: str = "",
-                 log: bool = False, tracer: "Optional[Tracer]" = None):
+                 log: bool = False, tracer: "Optional[Tracer]" = None,
+                 metrics=None):
         self.inner = inner
         self.name = name
         self.counters = NavCounters()
         self.log = log
         self.tracer = tracer
+        #: optional MetricsRegistry; every command also increments
+        #: ``source_navigations_total{source=,command=}``
+        self.metrics = metrics
         self.trace: List[Tuple[str, object]] = []
         #: guards counters and the command log: with fan-out and
         #: prefetch workers, one meter is crossed by several threads.
@@ -106,6 +110,10 @@ class CountingDocument(NavigableDocument):
             self.trace.append((command, pointer))
         if self.tracer is not None and self.tracer.active:
             self.tracer.emit("source", command, source=self.name)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter("source_navigations_total").inc(
+                source=self.name or "unnamed", command=command)
 
     # -- NavigableDocument ----------------------------------------------
     def root(self):

@@ -13,12 +13,30 @@ Everything cross-cutting in the evaluation tower lives here:
 * :class:`RetryPolicy`/:class:`CircuitBreaker`/
   :class:`ResilientLXPServer` -- fault tolerance at the I/O seams:
   bounded retries with deterministic backoff, per-source breakers,
-  and ``<mix:error>`` partial-answer degradation.
+  and ``<mix:error>`` partial-answer degradation;
+* :class:`MetricsRegistry` + the span/exporter toolkit
+  (:mod:`repro.runtime.observability`) -- counters/gauges/histograms,
+  causal span trees over the tracer's event stream, and JSONL /
+  Chrome-trace / Prometheus exporters.
 """
 
 from .cache import MISS, CacheManager, CacheStats, ManagedCache
 from .config import ConfigError, EngineConfig, validate_granularity
 from .context import ExecutionContext, TraceEvent, Tracer
+from .observability import (
+    EVENT_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanForest,
+    SpanNode,
+    build_span_tree,
+    contract_violations,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+)
 from .parallel import FanoutDispatcher
 from .resilience import (
     ERROR_LABEL,
@@ -49,4 +67,8 @@ __all__ = [
     "ERROR_LABEL", "error_placeholder", "is_error_label",
     "ResilientLXPServer", "ResilientDocument",
     "resilient_server", "resilient_document",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "SpanNode", "SpanForest", "build_span_tree",
+    "export_jsonl", "export_chrome_trace", "export_prometheus",
+    "EVENT_NAMES", "contract_violations",
 ]

@@ -120,6 +120,16 @@ class EngineConfig:
         continue.  Resilience wrapping only engages when
         :attr:`resilience_active` is true, so the default healthy path
         is byte-for-byte the PR 1 code path.
+
+    Observability
+        ``metrics_enabled`` arms the context's
+        :class:`~repro.runtime.observability.MetricsRegistry`
+        (counters/gauges/histograms; off by default so instrumented
+        hot paths cost one attribute read).  ``observe_operators``
+        wraps every lazy operator in a span-emitting proxy so traces
+        show per-operator navigation amplification -- the expensive
+        half of tracing, and the input to the browsability profiler;
+        off by default.
     """
 
     optimize_plans: bool = True
@@ -143,6 +153,8 @@ class EngineConfig:
     breaker_threshold: int = 5
     breaker_reset_ms: float = 30000.0
     on_source_failure: str = "fail"
+    metrics_enabled: bool = False
+    observe_operators: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:

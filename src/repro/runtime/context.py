@@ -3,13 +3,17 @@
 One :class:`ExecutionContext` is created per :meth:`MIXMediator.
 prepare` and handed down through plan building into every lazy
 operator; buffers and remote channels register their stats objects
-with it.  It carries exactly three things:
+with it.  It carries exactly four things:
 
 * the frozen :class:`~repro.runtime.config.EngineConfig`,
 * the :class:`~repro.runtime.cache.CacheManager` holding every
   operator cache of the query under one budget,
 * a :class:`Tracer` whose span/event callbacks see each navigation
-  crossing the layers (mediator, lazy operators, sources, channel).
+  crossing the layers (mediator, lazy operators, sources, channel),
+  now with causal span ids linking the crossings into one tree,
+* a :class:`~repro.runtime.observability.MetricsRegistry` of
+  counters, gauges, and histograms (disabled by default; enable with
+  ``EngineConfig(metrics_enabled=True)``).
 
 ``QueryResult.stats()`` aggregates the context into a single report:
 source navigations, per-cache hit/miss/eviction counts, and -- for
@@ -18,6 +22,7 @@ remote sessions -- channel messages/bytes.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -25,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 
 from .cache import CacheManager
 from .config import EngineConfig
+from .observability import MetricsRegistry
 from .parallel import FanoutDispatcher
 
 __all__ = ["TraceEvent", "Tracer", "ExecutionContext"]
@@ -32,15 +38,51 @@ __all__ = ["TraceEvent", "Tracer", "ExecutionContext"]
 
 @dataclass
 class TraceEvent:
-    """One crossing of a layer boundary."""
+    """One crossing of a layer boundary.
+
+    ``span_id``/``parent_id`` place the event in the causal span tree
+    of the navigation that produced it: ``*.begin``/``*.end`` pairs
+    carry their span's id, point events carry the enclosing span in
+    ``parent_id``.  ``ts_ms`` is the tracer clock's reading (a
+    :class:`~repro.testing.faults.FakeClock` in tests makes it
+    deterministic) and ``thread`` the emitting thread's identity.
+
+    The span fields deliberately stay out of :meth:`__str__`: the
+    golden navigation traces under ``tests/golden/`` compare the
+    string form, which remains exactly ``layer.event key=value ...``.
+    """
 
     layer: str
     event: str
     data: dict = field(default_factory=dict)
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    ts_ms: Optional[float] = None
+    thread: Optional[int] = None
 
     def __str__(self) -> str:
-        detail = " ".join("%s=%r" % kv for kv in sorted(self.data.items()))
+        # Keyed on str(key): heterogeneous data dicts (int and str
+        # keys mixed) must render, not raise -- sorting the raw items
+        # compares unlike types on Python 3.9.  All-string dicts sort
+        # exactly as before, keeping the golden traces stable.
+        detail = " ".join(
+            "%s=%r" % kv
+            for kv in sorted(self.data.items(),
+                             key=lambda kv: str(kv[0])))
         return ("%s.%s %s" % (self.layer, self.event, detail)).rstrip()
+
+    def to_dict(self) -> dict:
+        """The stable serialization shape of one event (what the JSONL
+        exporter writes, one object per line)."""
+        return {
+            "layer": self.layer,
+            "event": self.event,
+            "data": {str(k): v for k, v in self.data.items()},
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts_ms": self.ts_ms,
+            "thread": self.thread,
+        }
 
 
 class Tracer:
@@ -58,23 +100,101 @@ class Tracer:
     event record are guarded by a lock.  Callbacks are invoked
     *outside* the lock (a callback may itself navigate, which may
     emit).
+
+    **Causal spans.**  :meth:`span` mints a span id, remembers the
+    enclosing span on a thread-local stack, and stamps both onto the
+    begin/end events; :meth:`emit` stamps the current span as the
+    point event's ``parent_id``.  One client navigation therefore
+    yields a *tree* of spans down through mediator -> lazy operators
+    -> buffer -> channel -> source (reconstructable with
+    :func:`~repro.runtime.observability.build_span_tree`).  Work that
+    hops threads keeps the tree connected through :meth:`capture` /
+    :meth:`attach`: the dispatching side captures the current span,
+    the worker attaches it before running (the fan-out dispatcher and
+    the async prefetcher do this automatically).
+
+    ``clock`` supplies the event timestamps; tests inject a
+    :class:`~repro.testing.faults.FakeClock` so traces are
+    deterministic.  The default reads the system monotonic clock.
     """
 
-    def __init__(self, record: bool = False):
+    def __init__(self, record: bool = False, clock=None):
         self._callbacks: List[Callable[[TraceEvent], None]] = []
         self.record = record
         self.events: List[TraceEvent] = []
         self._lock = threading.Lock()
+        self._clock = clock
+        self._span_ids = itertools.count(1)
+        self._tls = threading.local()
 
     @property
     def active(self) -> bool:
         """Whether emitting is observable at all."""
         return self.record or bool(self._callbacks)
 
+    def _now(self) -> float:
+        clock = self._clock
+        if clock is None:
+            from .resilience import SYSTEM_CLOCK
+            clock = self._clock = SYSTEM_CLOCK
+        return clock.now_ms()
+
+    # -- span context ------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_span(self) -> Optional[int]:
+        """The innermost open span on this thread (None outside)."""
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    def capture(self) -> Optional[int]:
+        """The current span id, for handing to another thread."""
+        return self.current_span()
+
+    @contextmanager
+    def attach(self, span_id: Optional[int]):
+        """Adopt a captured span as this thread's current span.
+
+        Worker threads bracket their task with this so the spans and
+        events they emit stay children of the navigation that
+        scheduled the work -- one connected tree, no orphans.
+        Attaching ``None`` is a no-op (the dispatching side had no
+        open span).
+        """
+        if span_id is None:
+            yield self
+            return
+        stack = self._stack()
+        stack.append(span_id)
+        try:
+            yield self
+        finally:
+            stack.pop()
+
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Register a callback invoked on every event."""
         with self._lock:
             self._callbacks.append(callback)
+
+    @contextmanager
+    def subscribed(self, callback: Callable[[TraceEvent], None]):
+        """Subscribe ``callback`` for the duration of a block.
+
+        The exception-safe pairing of :meth:`subscribe` and
+        :meth:`unsubscribe`: the callback is removed on the way out
+        even when the block raises, so a failing test or exporter can
+        never leak its subscription (and then trip the strict
+        double-unsubscribe check elsewhere).
+        """
+        self.subscribe(callback)
+        try:
+            yield callback
+        finally:
+            self.unsubscribe(callback)
 
     def unsubscribe(self,
                     callback: Callable[[TraceEvent], None]) -> None:
@@ -93,10 +213,20 @@ class Tracer:
                 ) from None
 
     def emit(self, layer: str, event: str, **data) -> None:
-        """Publish one event to subscribers (and the record)."""
+        """Publish one point event to subscribers (and the record).
+
+        The event is stamped with the enclosing span (``parent_id``),
+        the clock reading, and the emitting thread.
+        """
         if not self.active:
             return
-        record = TraceEvent(layer, event, data)
+        self._publish(TraceEvent(
+            layer, event, data,
+            parent_id=self.current_span(),
+            ts_ms=self._now(),
+            thread=threading.get_ident()))
+
+    def _publish(self, record: TraceEvent) -> None:
         with self._lock:
             if self.record:
                 self.events.append(record)
@@ -106,12 +236,35 @@ class Tracer:
 
     @contextmanager
     def span(self, layer: str, name: str, **data):
-        """A begin/end event pair around a block."""
-        self.emit(layer, name + ".begin", **data)
+        """A begin/end event pair around a block.
+
+        Mints a span id, stamps it (plus the enclosing span as
+        ``parent_id``) on the ``<name>.begin``/``<name>.end`` events,
+        and makes it the current span for the block so nested spans
+        and point events become its children.  The ``.end`` event is
+        emitted even when the block raises.  Idle tracers skip all of
+        it -- no id is minted, nothing is pushed.
+        """
+        if not self.active:
+            yield self
+            return
+        parent = self.current_span()
+        span_id = next(self._span_ids)
+        thread = threading.get_ident()
+        self._publish(TraceEvent(
+            layer, name + ".begin", dict(data),
+            span_id=span_id, parent_id=parent,
+            ts_ms=self._now(), thread=thread))
+        stack = self._stack()
+        stack.append(span_id)
         try:
             yield self
         finally:
-            self.emit(layer, name + ".end", **data)
+            stack.pop()
+            self._publish(TraceEvent(
+                layer, name + ".end", dict(data),
+                span_id=span_id, parent_id=parent,
+                ts_ms=self._now(), thread=thread))
 
 
 class ExecutionContext:
@@ -125,13 +278,23 @@ class ExecutionContext:
 
     def __init__(self, config: Optional[EngineConfig] = None,
                  caches: Optional[CacheManager] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.config = config if config is not None else EngineConfig()
         if caches is None:
             caches = CacheManager(budget=self.config.cache_budget,
                                   enabled=self.config.cache_enabled)
         self.caches = caches
         self.tracer = tracer if tracer is not None else Tracer()
+        if metrics is None:
+            metrics = MetricsRegistry(
+                enabled=self.config.metrics_enabled)
+        #: the query's metric instruments (counters, gauges,
+        #: histograms) -- the fourth registry next to caches, buffers,
+        #: and resilience.  Disabled registries short-circuit in the
+        #: instruments themselves, so instrumentation costs one
+        #: attribute read when metrics are off.
+        self.metrics = metrics
         #: buffer stats registered by name (generic buffer components)
         self.buffers: Dict[str, object] = {}
         #: channel stats registered by name (remote sessions)
@@ -143,6 +306,8 @@ class ExecutionContext:
         #: workers), and names are minted from registry sizes
         self._registry_lock = threading.Lock()
         self._fanout: Optional[FanoutDispatcher] = None
+        #: per-kind serial numbers behind :meth:`mint_operator_name`
+        self._operator_serials: Dict[str, int] = {}
 
     @classmethod
     def create(cls, config: Optional[EngineConfig] = None,
@@ -166,6 +331,15 @@ class ExecutionContext:
         """A tracing span (contextmanager) through the tracer."""
         return self.tracer.span(layer, name, **data)
 
+    def mint_operator_name(self, kind: str) -> str:
+        """A fresh ``Kind#N`` label for one observed operator --
+        serials are per kind and per context, so names are
+        deterministic in plan-build order."""
+        with self._registry_lock:
+            serial = self._operator_serials.get(kind, 0) + 1
+            self._operator_serials[kind] = serial
+            return "%s#%d" % (kind, serial)
+
     # -- concurrency -------------------------------------------------------
     @property
     def fanout(self) -> FanoutDispatcher:
@@ -176,7 +350,8 @@ class ExecutionContext:
             with self._registry_lock:
                 if self._fanout is None:
                     self._fanout = FanoutDispatcher(
-                        self.config.fanout_workers)
+                        self.config.fanout_workers,
+                        tracer=self.tracer)
                 dispatcher = self._fanout
         return dispatcher
 
@@ -234,6 +409,63 @@ class ExecutionContext:
             self.channels.update(channels)
             self.resilience.update(resilience)
 
+    # -- metrics -----------------------------------------------------------
+    def _collect_metrics(self) -> None:
+        """Fold the registered stats objects into gauges.
+
+        Pull-based: instead of every cache/buffer/channel pushing on
+        each operation, the snapshot reads the registries it already
+        has.  Keeps the hot paths free of double accounting and the
+        gauges consistent with ``stats_report()``.
+        """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        cache_dict = self.caches.as_dict()
+        hits = metrics.gauge("cache_hits")
+        misses = metrics.gauge("cache_misses")
+        evictions = metrics.gauge("cache_evictions")
+        for name, counts in cache_dict.get("caches", {}).items():
+            hits.set(counts["hits"], cache=name)
+            misses.set(counts["misses"], cache=name)
+            evictions.set(counts["evictions"], cache=name)
+        with self._registry_lock:
+            buffers = dict(self.buffers)
+            channels = dict(self.channels)
+            resilience = dict(self.resilience)
+        buf_nav = metrics.gauge("buffer_navigations")
+        buf_hits = metrics.gauge("buffer_hits")
+        buf_fills = metrics.gauge("buffer_hole_fills")
+        for name, stats in buffers.items():
+            buf_nav.set(stats.navigations, buffer=name)
+            buf_hits.set(stats.hits, buffer=name)
+            buf_fills.set(stats.fills, buffer=name)
+        chan_msgs = metrics.gauge("channel_messages")
+        chan_bytes = metrics.gauge("channel_bytes")
+        for name, stats in channels.items():
+            chan_msgs.set(stats.messages, channel=name)
+            chan_bytes.set(stats.bytes_transferred, channel=name)
+        res_retries = metrics.gauge("resilience_retries")
+        res_giveups = metrics.gauge("resilience_giveups")
+        res_degraded = metrics.gauge("resilience_degraded")
+        for name, stats in resilience.items():
+            counts = stats.as_dict()
+            res_retries.set(counts["retries"], source=name)
+            res_giveups.set(counts["giveups"], source=name)
+            res_degraded.set(counts["degraded"], source=name)
+
+    def metrics_snapshot(self) -> dict:
+        """The full metric state as plain dicts (see
+        :meth:`MetricsRegistry.snapshot`), with the registry-backed
+        gauges refreshed first."""
+        self._collect_metrics()
+        return self.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The metric state in Prometheus text exposition format."""
+        self._collect_metrics()
+        return self.metrics.to_prometheus()
+
     # -- reporting ---------------------------------------------------------
     def stats_report(self) -> dict:
         """Caches, buffers, and channels in one plain-dict view."""
@@ -269,4 +501,6 @@ class ExecutionContext:
                            "virtual_ms": stats.virtual_ms}
                     for name, stats in sorted(self.channels.items())},
             }
+        if self.metrics.enabled:
+            report["metrics"] = self.metrics_snapshot()
         return report

@@ -1,0 +1,561 @@
+"""The observability layer: metrics, span trees, and exporters.
+
+The paper's central claims are quantitative -- a lazy mediator
+translates each client navigation into a bounded (or unbounded) number
+of source navigations (Definition 2), and the buffer/LXP layer trades
+round trips for fragment granularity.  This module turns every run
+into evidence for (or against) those claims:
+
+* :class:`MetricsRegistry` -- counters, gauges, and fixed-bucket
+  histograms with Prometheus-style labels, registered on the
+  :class:`~repro.runtime.context.ExecutionContext` next to the cache
+  and resilience registries and folded into ``QueryResult.stats()``.
+  A disabled registry (the default) short-circuits every instrument
+  call on one attribute check, keeping the idle path within noise.
+* :class:`SpanNode` / :func:`build_span_tree` -- reconstruct the
+  causal tree of one (or many) client navigations from a
+  :class:`~repro.runtime.context.Tracer` event stream: client span ->
+  operator spans -> buffer fills -> channel round trips -> source
+  commands.  The tree is what the browsability profiler
+  (:mod:`repro.navigation.profiler`) consumes.
+* Exporters -- newline-delimited JSON (:func:`export_jsonl`), the
+  Chrome ``trace_event`` format loadable in ``chrome://tracing`` and
+  Perfetto (:func:`export_chrome_trace`), and a Prometheus text
+  exposition snapshot (:func:`export_prometheus`).
+* :data:`EVENT_NAMES` -- the stable event-name contract.  The golden
+  navigation traces and the documented span taxonomy in
+  ``docs/PROTOCOLS.md`` both key off these names; a tier-1 test
+  asserts code, docs, and goldens agree, so a rename cannot land
+  silently.
+
+Nothing here imports the tracer: exporters and the tree builder are
+duck-typed over :class:`~repro.runtime.context.TraceEvent`'s public
+fields (``layer``, ``event``, ``data``, ``span_id``, ``parent_id``,
+``ts_ms``, ``thread``), which keeps the module free of import cycles
+with :mod:`repro.runtime.context`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "SpanNode", "SpanForest", "build_span_tree",
+    "export_jsonl", "export_chrome_trace", "export_prometheus",
+    "EVENT_NAMES", "contract_violations", "span_name_of",
+]
+
+
+# ----------------------------------------------------------------------
+# The event-name contract
+# ----------------------------------------------------------------------
+
+#: Every event name each layer may emit, as a stable contract.  Span
+#: layers list the *span* names (the wire events are ``<name>.begin``
+#: and ``<name>.end``); point layers list the event names verbatim.
+#: ``docs/PROTOCOLS.md`` documents this same table and
+#: ``tests/test_event_contract.py`` asserts the two never diverge --
+#: the golden traces under ``tests/golden/`` depend on these names.
+EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "spans": {
+        "client": ("down", "right", "fetch", "select"),
+        "operator": ("first_binding", "next_binding", "attribute",
+                     "v_down", "v_right", "v_fetch", "v_select"),
+        "buffer": ("fill", "prefetch_fill"),
+        "mediator": ("prepare",),
+    },
+    "events": {
+        "mediator": ("register_source", "prepare.begin", "prepare.end",
+                     "optimize", "optimizer.discarded_result"),
+        "source": ("d", "r", "f", "select"),
+        "channel": ("round_trip",),
+        "resilience": ("failure", "retry", "short_circuit",
+                       "breaker_open", "deadline_exceeded",
+                       "degraded"),
+    },
+}
+
+
+def _contracted_names() -> Dict[str, set]:
+    """layer -> full set of legal wire event names."""
+    names: Dict[str, set] = {}
+    for layer, spans in EVENT_NAMES["spans"].items():
+        bucket = names.setdefault(layer, set())
+        for span in spans:
+            bucket.add(span + ".begin")
+            bucket.add(span + ".end")
+    for layer, events in EVENT_NAMES["events"].items():
+        names.setdefault(layer, set()).update(events)
+    return names
+
+
+def contract_violations(events: Iterable) -> List[str]:
+    """Event names outside :data:`EVENT_NAMES`, as ``layer.event``
+    strings (empty when the stream conforms)."""
+    contract = _contracted_names()
+    violations = []
+    for event in events:
+        legal = contract.get(event.layer)
+        if legal is None or event.event not in legal:
+            name = "%s.%s" % (event.layer, event.event)
+            if name not in violations:
+                violations.append(name)
+    return violations
+
+
+def span_name_of(event) -> Optional[str]:
+    """The span name of a ``*.begin``/``*.end`` event, else None."""
+    if event.span_id is None:
+        return None
+    base, _, suffix = event.event.rpartition(".")
+    if suffix in ("begin", "end") and base:
+        return base
+    return None
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared series storage of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self._registry = registry
+        self._series: Dict[LabelKey, object] = {}
+
+    def _labels_of(self, key: LabelKey) -> str:
+        return ",".join("%s=%s" % kv for kv in key)
+
+    def series(self) -> Dict[str, object]:
+        """label-string -> value snapshot (plain data)."""
+        with self._registry._lock:
+            return {self._labels_of(key): self._value_of(raw)
+                    for key, raw in sorted(self._series.items())}
+
+    def _value_of(self, raw):
+        return raw
+
+
+class Counter(_Instrument):
+    """A monotonically increasing sum, per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        with self._registry._lock:
+            return self._series.get(_label_key(labels), 0)
+
+
+class Gauge(_Instrument):
+    """A last-write-wins point-in-time value, per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        with self._registry._lock:
+            self._series[_label_key(labels)] = value
+
+    def value(self, **labels) -> float:
+        with self._registry._lock:
+            return self._series.get(_label_key(labels), 0)
+
+
+#: default histogram buckets: byte-ish powers of four
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+@dataclass
+class _HistogramSeries:
+    counts: List[int]
+    total: float = 0.0
+    observations: int = 0
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket histogram (cumulative on export), per label set.
+
+    ``buckets`` are the inclusive upper bounds of the finite buckets;
+    an implicit ``+Inf`` bucket catches the rest.  Bounds are fixed at
+    creation -- there is no dynamic resizing, so concurrent observers
+    never contend on anything but the counter increments.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, registry: "MetricsRegistry",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, registry)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        if not self._registry.enabled:
+            return
+        key = _label_key(labels)
+        with self._registry._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries([0] * (len(self.buckets) + 1))
+                self._series[key] = series
+            index = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = i
+                    break
+            series.counts[index] += 1
+            series.total += value
+            series.observations += 1
+
+    def _value_of(self, raw: _HistogramSeries) -> dict:
+        return {"buckets": dict(zip([str(b) for b in self.buckets]
+                                    + ["+Inf"], raw.counts)),
+                "sum": raw.total, "count": raw.observations}
+
+
+class MetricsRegistry:
+    """Named instruments under one lock, with an enable switch.
+
+    A *disabled* registry is the default on every
+    :class:`~repro.runtime.context.ExecutionContext`: instruments can
+    still be fetched and called, but every mutation short-circuits on
+    the ``enabled`` check, so instrumented hot paths cost one
+    attribute read when observability is off.  Enable it through
+    ``EngineConfig(metrics_enabled=True)`` (or flip
+    :attr:`enabled` directly on a context's registry).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.RLock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory: Callable) -> _Instrument:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        instrument = self._get(name, lambda: Counter(name, self))
+        if not isinstance(instrument, Counter):
+            raise TypeError("%r is a %s, not a counter"
+                            % (name, instrument.kind))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        instrument = self._get(name, lambda: Gauge(name, self))
+        if not isinstance(instrument, Gauge):
+            raise TypeError("%r is a %s, not a gauge"
+                            % (name, instrument.kind))
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        """Get-or-create the histogram called ``name``."""
+        instrument = self._get(
+            name, lambda: Histogram(name, self, buckets))
+        if not isinstance(instrument, Histogram):
+            raise TypeError("%r is a %s, not a histogram"
+                            % (name, instrument.kind))
+        return instrument
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every instrument's series as plain data, sorted by name."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: {"type": instrument.kind,
+                       "series": instrument.series()}
+                for name, instrument in instruments}
+
+    def to_prometheus(self) -> str:
+        """A Prometheus text-exposition snapshot of the registry."""
+        lines: List[str] = []
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        for name, instrument in instruments:
+            metric = _prometheus_name(name)
+            lines.append("# TYPE %s %s" % (metric, instrument.kind))
+            with self._lock:
+                series = sorted(instrument._series.items())
+            for key, raw in series:
+                if isinstance(instrument, Histogram):
+                    lines.extend(_prometheus_histogram(
+                        metric, instrument.buckets, key, raw))
+                else:
+                    lines.append("%s%s %s"
+                                 % (metric, _prometheus_labels(key),
+                                    _format_number(raw)))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prometheus_name(name: str) -> str:
+    cleaned = "".join(c if (c.isalnum() or c == "_") else "_"
+                      for c in name)
+    return "repro_" + cleaned
+
+
+def _format_number(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _prometheus_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()
+                       ) -> str:
+    pairs = tuple(key) + tuple(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % kv for kv in pairs)
+
+
+def _prometheus_histogram(metric: str, buckets: Tuple[float, ...],
+                          key: LabelKey,
+                          raw: _HistogramSeries) -> List[str]:
+    lines = []
+    cumulative = 0
+    bounds = [_format_number(b) for b in buckets] + ["+Inf"]
+    for bound, count in zip(bounds, raw.counts):
+        cumulative += count
+        lines.append("%s_bucket%s %d"
+                     % (metric, _prometheus_labels(key, (("le", bound),)),
+                        cumulative))
+    lines.append("%s_sum%s %s" % (metric, _prometheus_labels(key),
+                                  _format_number(raw.total)))
+    lines.append("%s_count%s %d" % (metric, _prometheus_labels(key),
+                                    raw.observations))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Span trees
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: a begin/end pair plus everything that
+    happened causally inside it."""
+
+    span_id: int
+    parent_id: Optional[int]
+    layer: str
+    name: str
+    data: dict = field(default_factory=dict)
+    begin_ms: Optional[float] = None
+    end_ms: Optional[float] = None
+    thread: Optional[int] = None
+    children: List["SpanNode"] = field(default_factory=list)
+    #: point events (source commands, channel round trips, ...) whose
+    #: causal parent is this span
+    events: List[object] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.begin_ms is None or self.end_ms is None:
+            return None
+        return self.end_ms - self.begin_ms
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This span and every descendant span, preorder."""
+        yield self
+        for child in self.children:
+            for node in child.walk():
+                yield node
+
+    def leaf_events(self, layer: Optional[str] = None) -> List[object]:
+        """Point events in this subtree, optionally layer-filtered."""
+        found = []
+        for node in self.walk():
+            for event in node.events:
+                if layer is None or event.layer == layer:
+                    found.append(event)
+        return found
+
+
+@dataclass
+class SpanForest:
+    """The reconstructed span trees of one trace.
+
+    ``roots`` are spans with no parent (one per client navigation in a
+    typical run); ``orphans`` are spans whose ``parent_id`` never
+    appeared in the stream -- a propagation bug when non-empty;
+    ``stray_events`` are point events emitted outside any span (the
+    mediator's registration/prepare events are the legitimate case).
+    """
+
+    roots: List[SpanNode] = field(default_factory=list)
+    orphans: List[SpanNode] = field(default_factory=list)
+    spans: Dict[int, SpanNode] = field(default_factory=dict)
+    stray_events: List[object] = field(default_factory=list)
+
+    def events(self, layer: Optional[str] = None) -> List[object]:
+        """Every in-tree point event, optionally layer-filtered."""
+        found = []
+        for root in self.roots + self.orphans:
+            found.extend(root.leaf_events(layer))
+        return found
+
+
+def build_span_tree(events: Iterable) -> SpanForest:
+    """Reconstruct the causal span forest from a trace event stream.
+
+    ``*.begin`` events open spans, ``*.end`` events close them, and
+    every other event is attached as a point event to the span named
+    by its ``parent_id``.  The input order only matters for the
+    ordering of children; parentage is carried entirely by ids, so
+    interleaved streams from worker threads reconstruct correctly.
+    """
+    forest = SpanForest()
+    for event in events:
+        name = span_name_of(event)
+        if name is not None and event.event.endswith(".begin"):
+            node = SpanNode(event.span_id, event.parent_id,
+                            event.layer, name, dict(event.data),
+                            begin_ms=event.ts_ms,
+                            thread=event.thread)
+            forest.spans[event.span_id] = node
+        elif name is not None:
+            node = forest.spans.get(event.span_id)
+            if node is not None:
+                node.end_ms = event.ts_ms
+        else:
+            parent = (forest.spans.get(event.parent_id)
+                      if event.parent_id is not None else None)
+            if parent is not None:
+                parent.events.append(event)
+            else:
+                forest.stray_events.append(event)
+    for node in forest.spans.values():
+        if node.parent_id is None:
+            forest.roots.append(node)
+        else:
+            parent = forest.spans.get(node.parent_id)
+            if parent is None:
+                forest.orphans.append(node)
+            else:
+                parent.children.append(node)
+    return forest
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def _open_sink(sink, mode="w"):
+    if hasattr(sink, "write"):
+        return sink, False
+    return open(sink, mode), True
+
+
+def export_jsonl(events: Iterable, sink) -> int:
+    """Dump a trace as newline-delimited JSON, one event per line.
+
+    ``sink`` is a path or a writable file object.  Events serialize
+    through their stable ``to_dict()`` shape; non-JSON-native data
+    values are stringified rather than dropped.  Returns the number of
+    events written.
+    """
+    handle, owned = _open_sink(sink)
+    written = 0
+    try:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True,
+                                    default=repr))
+            handle.write("\n")
+            written += 1
+    finally:
+        if owned:
+            handle.close()
+    return written
+
+
+def export_chrome_trace(events: Sequence, sink) -> int:
+    """Dump a trace in Chrome ``trace_event`` JSON (the array-of-events
+    object form), loadable in ``chrome://tracing`` and Perfetto.
+
+    Span begin/end events become ``B``/``E`` duration events; point
+    events become ``i`` instants.  Thread identities are remapped to
+    small integers in first-seen order, so exports are deterministic
+    for deterministic runs.  Timestamps are microseconds as the format
+    requires (the tracer records milliseconds).  Returns the number of
+    trace records written.
+    """
+    tids: Dict[object, int] = {}
+
+    def tid_of(event) -> int:
+        return tids.setdefault(event.thread, len(tids) + 1)
+
+    records = []
+    for event in events:
+        ts_us = round((event.ts_ms or 0.0) * 1000.0, 3)
+        args = {str(k): (v if isinstance(v, (str, int, float, bool,
+                                             type(None))) else repr(v))
+                for k, v in sorted(event.data.items(),
+                                   key=lambda kv: str(kv[0]))}
+        name = span_name_of(event)
+        base = {"cat": event.layer, "pid": 1, "tid": tid_of(event),
+                "ts": ts_us, "args": args}
+        if name is not None:
+            base["name"] = "%s.%s" % (event.layer, name)
+            base["ph"] = "B" if event.event.endswith(".begin") else "E"
+            base["args"]["span_id"] = event.span_id
+            if event.parent_id is not None:
+                base["args"]["parent_id"] = event.parent_id
+        else:
+            base["name"] = "%s.%s" % (event.layer, event.event)
+            base["ph"] = "i"
+            base["s"] = "t"
+            if event.parent_id is not None:
+                base["args"]["parent_id"] = event.parent_id
+        records.append(base)
+    payload = {"traceEvents": records, "displayTimeUnit": "ms"}
+    handle, owned = _open_sink(sink)
+    try:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    finally:
+        if owned:
+            handle.close()
+    return len(records)
+
+
+def export_prometheus(registry: MetricsRegistry, sink) -> str:
+    """Write the registry's Prometheus text exposition to ``sink``
+    (path or file object) and return it."""
+    text = registry.to_prometheus()
+    handle, owned = _open_sink(sink)
+    try:
+        handle.write(text)
+    finally:
+        if owned:
+            handle.close()
+    return text

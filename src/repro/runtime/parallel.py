@@ -46,10 +46,14 @@ class FanoutDispatcher:
     exit).
     """
 
-    def __init__(self, workers: int = 0):
+    def __init__(self, workers: int = 0, tracer=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
+        #: optional tracer whose current span is propagated onto
+        #: worker threads, keeping pooled sub-navigations inside the
+        #: causal span tree of the navigation that dispatched them
+        self.tracer = tracer
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -80,6 +84,22 @@ class FanoutDispatcher:
         finally:
             self._local.in_worker = False
 
+    def _propagate(self, thunk: Callable) -> Callable:
+        """Wrap ``thunk`` to adopt the dispatching thread's current
+        span on the worker thread (no-op for idle tracers: nothing is
+        captured, nothing is attached)."""
+        tracer = self.tracer
+        if tracer is None or not tracer.active:
+            return thunk
+        parent = tracer.capture()
+        if parent is None:
+            return thunk
+
+        def attached():
+            with tracer.attach(parent):
+                return thunk()
+        return attached
+
     # -- public API --------------------------------------------------------
     def submit(self, thunk: Callable[[], object]) -> Future:
         """Start ``thunk`` concurrently; returns a Future.
@@ -95,8 +115,8 @@ class FanoutDispatcher:
             except BaseException as err:  # delivered at .result()
                 future.set_exception(err)
             return future
-        return self._ensure_executor().submit(self._run_in_worker,
-                                              thunk)
+        return self._ensure_executor().submit(
+            self._run_in_worker, self._propagate(thunk))
 
     def run(self, *thunks: Callable[[], object]) -> List[object]:
         """Run all thunks to completion, results in argument order.
@@ -110,7 +130,8 @@ class FanoutDispatcher:
         if self._inline() or len(thunks) <= 1:
             return [thunk() for thunk in thunks]
         executor = self._ensure_executor()
-        futures = [executor.submit(self._run_in_worker, thunk)
+        futures = [executor.submit(self._run_in_worker,
+                                   self._propagate(thunk))
                    for thunk in thunks[1:]]
         first_error: Optional[BaseException] = None
         try:

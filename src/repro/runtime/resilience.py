@@ -309,18 +309,26 @@ class ResilientCaller:
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
                  tracer=None,
-                 stats: Optional[ResilienceStats] = None):
+                 stats: Optional[ResilienceStats] = None,
+                 metrics=None):
         self.name = name
         self.policy = policy if policy is not None else RetryPolicy()
         self.breaker = breaker
         self.clock = clock
         self.tracer = tracer
         self.stats = stats if stats is not None else ResilienceStats()
+        #: optional MetricsRegistry: every traced transition also
+        #: increments ``resilience_events_total{source=,event=}``
+        self.metrics = metrics
 
     def _trace(self, event: str, **data) -> None:
         if self.tracer is not None and self.tracer.active:
             self.tracer.emit("resilience", event, source=self.name,
                              **data)
+        metrics = self.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter("resilience_events_total").inc(
+                source=self.name, event=event)
 
     def call(self, fn: Callable, *args, key: object = None):
         """Run ``fn(*args)`` under the policy; return its result or
@@ -434,7 +442,7 @@ class ResilientLXPServer:
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
                  on_failure: str = "fail",
-                 tracer=None):
+                 tracer=None, metrics=None):
         if on_failure not in ("fail", "degrade"):
             raise ConfigError(
                 "on_failure must be 'fail' or 'degrade', not %r"
@@ -444,7 +452,7 @@ class ResilientLXPServer:
         self.on_failure = on_failure
         self.caller = ResilientCaller(name, policy=policy,
                                       breaker=breaker, clock=clock,
-                                      tracer=tracer)
+                                      tracer=tracer, metrics=metrics)
         self.resilience = self.caller.stats
 
     @property
@@ -534,12 +542,12 @@ class ResilientDocument:
                  policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
-                 tracer=None):
+                 tracer=None, metrics=None):
         self.document = document
         self.name = name
         self.caller = ResilientCaller(name, policy=policy,
                                       breaker=breaker, clock=clock,
-                                      tracer=tracer)
+                                      tracer=tracer, metrics=metrics)
         self.resilience = self.caller.stats
 
     def root(self):
@@ -601,7 +609,8 @@ def resilient_server(server, config, name: str = "source",
     wrapped = ResilientLXPServer(
         server, name=name, policy=policy, breaker=breaker,
         clock=clock, on_failure=config.on_source_failure,
-        tracer=tracer)
+        tracer=tracer,
+        metrics=getattr(context, "metrics", None))
     if context is not None:
         context.register_resilience(name, wrapped.resilience)
     return wrapped
@@ -618,7 +627,9 @@ def resilient_document(document, config, name: str = "channel",
     policy, breaker = _build(config, name, clock, tracer)
     wrapped = ResilientDocument(document, name=name, policy=policy,
                                 breaker=breaker, clock=clock,
-                                tracer=tracer)
+                                tracer=tracer,
+                                metrics=getattr(context, "metrics",
+                                                None))
     if context is not None:
         context.register_resilience(name, wrapped.resilience)
     return wrapped

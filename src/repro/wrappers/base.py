@@ -16,7 +16,8 @@ __all__ = ["buffered", "buffered_counting"]
 
 
 def buffered(server: LXPServer, prefetch: int = 0,
-             workers: int = 0, batch: bool = False) -> BufferComponent:
+             workers: int = 0, batch: bool = False,
+             tracer=None, name: str = "") -> BufferComponent:
     """Stack the generic buffer component on top of an LXP wrapper
     (the refined VXD architecture of Figure 7).
 
@@ -28,15 +29,22 @@ def buffered(server: LXPServer, prefetch: int = 0,
     speculative fills travel *inside* the demand round trip -- so it
     takes precedence when both are requested.  All defaults off
     reproduce the plain buffer byte-for-byte.
+
+    ``tracer``/``name`` make the buffer's fills show up as
+    ``buffer.fill`` / ``buffer.prefetch_fill`` spans in the causal
+    trace (idle tracers cost nothing).
     """
     if batch:
-        return BatchingBuffer(server, speculate=prefetch)
+        return BatchingBuffer(server, speculate=prefetch,
+                              tracer=tracer, name=name)
     if workers > 0:
         return AsyncPrefetchingBuffer(server, lookahead=prefetch,
-                                      workers=workers)
+                                      workers=workers,
+                                      tracer=tracer, name=name)
     if prefetch > 0:
-        return PrefetchingBuffer(server, lookahead=prefetch)
-    return BufferComponent(server)
+        return PrefetchingBuffer(server, lookahead=prefetch,
+                                 tracer=tracer, name=name)
+    return BufferComponent(server, tracer=tracer, name=name)
 
 
 def buffered_counting(server: LXPServer, name: str = "",

@@ -142,3 +142,64 @@ class TestClassifyCommand:
         # upgrades the label extraction itself.
         assert "bounded" not in line_of(without, "getDescendants")
         assert "bounded" in line_of(with_sigma, "getDescendants")
+
+
+class TestObservabilityFlags:
+    def test_trace_out_jsonl(self, source_files, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        assert main(_query_argv(source_files, "--trace-out",
+                                str(trace))) == 0
+        captured = capsys.readouterr()
+        assert parse_xml(captured.out).label == "answer"
+        assert "trace:" in captured.err
+        lines = trace.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert any(e["event"].endswith(".begin") for e in events)
+        assert any(e["layer"] == "source" for e in events)
+
+    def test_trace_out_chrome(self, source_files, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        assert main(_query_argv(source_files, "--trace-out",
+                                str(trace), "--trace-format",
+                                "chrome")) == 0
+        capsys.readouterr()
+        payload = json.loads(trace.read_text())
+        assert {e["ph"] for e in payload["traceEvents"]} \
+            <= {"B", "E", "i"}
+
+    def test_metrics_out_prometheus(self, source_files, tmp_path,
+                                    capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(_query_argv(source_files, "--metrics-out",
+                                str(metrics))) == 0
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "# TYPE repro_source_navigations_total counter" in text
+        assert 'source="homesSrc"' in text
+
+    def test_answer_unchanged_under_observation(self, source_files,
+                                                tmp_path, capsys):
+        main(_query_argv(source_files))
+        baseline = parse_xml(capsys.readouterr().out)
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        main(_query_argv(source_files, "--trace-out", str(trace),
+                         "--metrics-out", str(metrics)))
+        assert parse_xml(capsys.readouterr().out) == baseline
+
+
+class TestProfileCommand:
+    def test_profile_subcommand(self, source_files, capsys):
+        argv = ["profile"]
+        for name, path in source_files.items():
+            argv += ["-s", "%s=%s" % (name, path)]
+        argv += ["-q", QUERY]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "browsability profile (observed):" in out
+        assert "client navigations:" in out
+        assert "verdict:" in out
+        assert "Join#1" in out

@@ -1,0 +1,182 @@
+"""The event-name contract: code, docs, and goldens must agree.
+
+``EVENT_NAMES`` in :mod:`repro.runtime.observability` is the stable
+contract for every span and event name the tower may emit.  Three
+parties depend on it:
+
+* the golden navigation traces under ``tests/golden/*.trace`` compare
+  rendered event names verbatim;
+* ``docs/PROTOCOLS.md`` documents the span taxonomy table;
+* external trace consumers (Perfetto, the JSONL dumps) key off
+  ``layer.name``.
+
+These tests assert that live emissions stay inside the contract, that
+the checked-in goldens only use contracted names, and that the
+documentation lists every contracted name -- so a rename cannot land
+silently in any of the three places.
+
+The Chrome-trace golden is regenerated like the navigation traces::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_event_contract.py
+"""
+
+import io
+import json
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument
+from repro.runtime import (
+    EVENT_NAMES,
+    EngineConfig,
+    Tracer,
+    contract_violations,
+    export_chrome_trace,
+)
+from repro.testing import FakeClock
+
+from .fixtures import fig4_plan, homes_source, schools_source
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+REGEN = os.environ.get("REGEN_GOLDEN") == "1"
+PROTOCOLS = pathlib.Path(__file__).parent.parent \
+    / "docs" / "PROTOCOLS.md"
+
+
+def _observed_fig4_events(full=True):
+    """An observed remote run of the Fig. 4 plan: client spans,
+    operator spans, buffer fills, channel round trips, source
+    commands, mediator events.  ``full=False`` touches only the root
+    handle and the first ``med_home`` (the Fig. 9 partial prefix) --
+    small enough to check in as the Chrome-trace golden."""
+    tracer = Tracer(record=True, clock=FakeClock())
+    config = EngineConfig(observe_operators=True)
+    med = MIXMediator(config, tracer=tracer)
+    med.register_source("homesSrc",
+                        MaterializedDocument(homes_source()))
+    med.register_source("schoolsSrc",
+                        MaterializedDocument(schools_source()))
+    result = med.prepare(fig4_plan())
+    root, _ = result.connect_remote(chunk_size=1, depth=1)
+    if full:
+        for child in root.children():
+            child.to_tree()
+    else:
+        assert root.first_child().tag == "med_home"
+    return tracer.events
+
+
+class TestLiveEmissions:
+    def test_full_stack_run_conforms(self):
+        events = _observed_fig4_events()
+        assert contract_violations(events) == []
+        # the run exercises every layer of the contract except
+        # resilience (no faults injected here)
+        layers = {e.layer for e in events}
+        assert {"client", "operator", "buffer", "mediator",
+                "channel", "source"} <= layers
+
+    def test_resilience_layer_conforms(self):
+        from repro.runtime import RetryPolicy, ResilientCaller
+        from repro.testing import FailureSchedule
+        tracer = Tracer(record=True, clock=FakeClock())
+        schedule = FailureSchedule([True, False])
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            error = schedule.next_failure()
+            if error is not None:
+                raise error
+            return "ok"
+
+        caller = ResilientCaller(
+            "s", RetryPolicy(max_attempts=3, base_delay_ms=1),
+            clock=FakeClock(), tracer=tracer)
+        assert caller.call(flaky) == "ok"
+        resilience_events = [e for e in tracer.events
+                             if e.layer == "resilience"]
+        assert resilience_events, "no resilience events emitted"
+        assert contract_violations(resilience_events) == []
+
+    def test_violation_detection_works(self):
+        tracer = Tracer(record=True)
+        tracer.emit("source", "teleport")
+        tracer.emit("warp", "d")
+        assert contract_violations(tracer.events) \
+            == ["source.teleport", "warp.d"]
+
+
+class TestGoldenTraces:
+    def test_goldens_use_only_contracted_names(self):
+        traces = sorted(GOLDEN_DIR.glob("*.trace"))
+        assert traces, "no golden traces found"
+        pattern = re.compile(r"^([a-z_]+)\.([a-z_.]+)(?:\s|$)")
+        for path in traces:
+            for line in path.read_text().splitlines():
+                match = pattern.match(line)
+                assert match, "unparseable golden line %r in %s" \
+                    % (line, path.name)
+                layer, event = match.groups()
+
+                class _Shim:
+                    pass
+
+                shim = _Shim()
+                shim.layer, shim.event = layer, event
+                assert contract_violations([shim]) == [], (
+                    "golden %s uses uncontracted event %s.%s"
+                    % (path.name, layer, event))
+
+    def test_chrome_trace_golden(self):
+        """One canonical Chrome trace_event artifact, checked in: the
+        Fig. 4 remote session under a fake clock.  Guards the exporter
+        format (Perfetto-loadable) and the span taxonomy at once."""
+        events = _observed_fig4_events(full=False)
+        sink = io.StringIO()
+        export_chrome_trace(events, sink)
+        text = sink.getvalue()
+        golden_path = GOLDEN_DIR / "fig4_remote.chrome-trace.json"
+        if REGEN:
+            golden_path.write_text(text)
+            return
+        if not golden_path.exists():
+            pytest.fail("golden %s missing -- run with REGEN_GOLDEN=1"
+                        % golden_path)
+        assert text == golden_path.read_text(), (
+            "Chrome trace diverged from the golden -- if intentional, "
+            "regenerate with REGEN_GOLDEN=1")
+        payload = json.loads(text)
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] in ("B", "E")}
+        contracted = {"%s.%s" % (layer, span)
+                      for layer, spans in EVENT_NAMES["spans"].items()
+                      for span in spans}
+        assert names <= contracted
+
+
+class TestDocumentation:
+    def test_protocols_documents_every_contracted_name(self):
+        text = PROTOCOLS.read_text()
+        assert "## Observability" in text
+        for layer, spans in EVENT_NAMES["spans"].items():
+            for span in spans:
+                assert "`%s.%s`" % (layer, span) in text, (
+                    "PROTOCOLS.md does not document span %s.%s"
+                    % (layer, span))
+        for layer, events in EVENT_NAMES["events"].items():
+            for event in events:
+                assert "`%s.%s`" % (layer, event) in text, (
+                    "PROTOCOLS.md does not document event %s.%s"
+                    % (layer, event))
+
+    def test_contract_structure(self):
+        assert set(EVENT_NAMES) == {"spans", "events"}
+        for section in EVENT_NAMES.values():
+            for layer, names in section.items():
+                assert isinstance(names, tuple)
+                assert names, "empty contract bucket %r" % layer

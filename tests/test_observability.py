@@ -1,0 +1,452 @@
+"""Tests for the observability layer: causal spans, the metrics
+registry, the exporters, and cross-thread span propagation.
+
+The acceptance anchor: one client ``fetch`` on the Fig. 9 join view
+must yield a span tree whose leaf events reconcile *exactly* with the
+``CountingDocument`` meters and the channel stats -- the trace is a
+faithful, not approximate, account of the navigation cascade.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.mediator import MIXMediator
+from repro.navigation import MaterializedDocument, materialize
+from repro.runtime import (
+    EngineConfig,
+    ExecutionContext,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    build_span_tree,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+)
+from repro.testing import FakeClock
+from repro.wrappers import XMLFileWrapper, buffered
+
+from .fixtures import fig4_plan, homes_source, schools_source
+
+HOMES_XML = ("<homes>"
+             "<home><addr>La Jolla</addr><zip>91220</zip></home>"
+             "<home><addr>El Cajon</addr><zip>91223</zip></home>"
+             "</homes>")
+SCHOOLS_XML = ("<schools>"
+               "<school><dir>Smith</dir><zip>91220</zip></school>"
+               "<school><dir>Bar</dir><zip>91220</zip></school>"
+               "<school><dir>Hart</dir><zip>91223</zip></school>"
+               "</schools>")
+
+
+class TestTracerSpans:
+    def test_span_mints_ids_and_links_parents(self):
+        tracer = Tracer(record=True, clock=FakeClock())
+        with tracer.span("client", "fetch"):
+            with tracer.span("operator", "v_fetch", op="Join#1"):
+                tracer.emit("source", "f", source="homesSrc")
+        begin_outer, begin_inner, point, end_inner, end_outer = \
+            tracer.events
+        assert begin_outer.event == "fetch.begin"
+        assert begin_outer.parent_id is None
+        assert begin_inner.parent_id == begin_outer.span_id
+        assert point.parent_id == begin_inner.span_id
+        assert end_inner.span_id == begin_inner.span_id
+        assert end_outer.span_id == begin_outer.span_id
+
+    def test_span_timestamps_come_from_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(record=True, clock=clock)
+        with tracer.span("client", "down"):
+            clock.sleep_ms(7)
+        begin, end = tracer.events
+        assert begin.ts_ms == 0.0
+        assert end.ts_ms == 7.0
+        forest = build_span_tree(tracer.events)
+        (root,) = forest.roots
+        assert root.duration_ms == 7.0
+
+    def test_inactive_tracer_emits_nothing(self):
+        tracer = Tracer()
+        with tracer.span("client", "down"):
+            tracer.emit("source", "d")
+        assert tracer.events == []
+        assert tracer.current_span() is None
+
+    def test_capture_attach_connects_worker_thread(self):
+        tracer = Tracer(record=True, clock=FakeClock())
+        results = []
+
+        def worker(parent):
+            with tracer.attach(parent):
+                with tracer.span("buffer", "prefetch_fill"):
+                    tracer.emit("source", "f")
+            results.append(tracer.current_span())
+
+        with tracer.span("client", "fetch"):
+            parent = tracer.capture()
+            thread = threading.Thread(target=worker, args=(parent,))
+            thread.start()
+            thread.join()
+        forest = build_span_tree(tracer.events)
+        assert forest.orphans == []
+        (root,) = forest.roots
+        (child,) = root.children
+        assert (child.layer, child.name) == ("buffer", "prefetch_fill")
+        assert child.thread != root.thread
+        assert len(child.leaf_events("source")) == 1
+        # the worker's stack is clean after detaching
+        assert results == [None]
+
+    def test_attach_none_is_noop(self):
+        tracer = Tracer(record=True)
+        with tracer.attach(None):
+            tracer.emit("source", "d")
+        assert tracer.events[0].parent_id is None
+
+
+class TestSubscribed:
+    """Satellite: the leak-proof subscription context manager."""
+
+    def test_subscribed_sees_events_then_detaches(self):
+        tracer = Tracer()
+        seen = []
+        with tracer.subscribed(seen.append):
+            assert tracer.active
+            tracer.emit("source", "d")
+        assert not tracer.active
+        tracer.emit("source", "r")  # dropped: no subscribers
+        assert [e.event for e in seen] == ["d"]
+
+    def test_subscribed_detaches_on_exception(self):
+        tracer = Tracer()
+        seen = []
+        with pytest.raises(RuntimeError):
+            with tracer.subscribed(seen.append):
+                raise RuntimeError("boom")
+        assert not tracer.active
+        # ... and the strict unsubscribe check confirms it is gone:
+        with pytest.raises(ValueError):
+            tracer.unsubscribe(seen.append)
+
+
+class TestTraceEventStr:
+    """Satellite: non-sortable mixed-type data keys (Python 3.9)."""
+
+    def test_mixed_type_keys_render(self):
+        event = TraceEvent("buffer", "fill", {1: "a", "b": 2})
+        assert str(event) == "buffer.fill 1='a' b=2"
+
+    def test_string_keys_sort_as_before(self):
+        event = TraceEvent("source", "d", {"b": 1, "a": 2})
+        assert str(event) == "source.d a=2 b=1"
+
+    def test_to_dict_is_stable_and_json_ready(self):
+        event = TraceEvent("source", "d", {1: "a"}, span_id=3,
+                           parent_id=2, ts_ms=1.5, thread=9)
+        payload = event.to_dict()
+        assert payload == {
+            "layer": "source", "event": "d", "data": {"1": "a"},
+            "span_id": 3, "parent_id": 2, "ts_ms": 1.5, "thread": 9,
+        }
+        json.dumps(payload)  # must not raise
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("navs").inc(source="a")
+        registry.counter("navs").inc(3, source="a")
+        registry.gauge("depth").set(7)
+        hist = registry.histogram("bytes", buckets=(10, 100))
+        hist.observe(5)
+        hist.observe(50)
+        hist.observe(5000)
+        assert registry.counter("navs").value(source="a") == 4
+        assert registry.gauge("depth").value() == 7
+        snap = registry.snapshot()
+        assert snap["navs"]["type"] == "counter"
+        assert snap["bytes"]["type"] == "histogram"
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("navs").inc(100, source="a")
+        registry.histogram("bytes").observe(9)
+        assert registry.counter("navs").value(source="a") == 0
+        assert registry.snapshot()["navs"]["series"] == {}
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("source_navigations_total").inc(
+            2, source="homesSrc", command="d")
+        registry.histogram("channel_message_bytes",
+                           buckets=(64, 256)).observe(100)
+        text = registry.to_prometheus()
+        assert '# TYPE repro_source_navigations_total counter' in text
+        assert ('repro_source_navigations_total{command="d",'
+                'source="homesSrc"} 2' in text)
+        # cumulative buckets + +Inf
+        assert 'le="64"} 0' in text
+        assert 'le="256"} 1' in text
+        assert 'le="+Inf"} 1' in text
+        assert 'repro_channel_message_bytes_sum 100' in text
+        assert 'repro_channel_message_bytes_count 1' in text
+
+    def test_export_prometheus_to_sink(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        sink = io.StringIO()
+        export_prometheus(registry, sink)
+        assert "repro_c 1" in sink.getvalue()
+
+
+class TestExporters:
+    def _traced(self):
+        tracer = Tracer(record=True, clock=FakeClock())
+        with tracer.span("client", "fetch"):
+            tracer.emit("source", "f", source="homesSrc")
+        return tracer.events
+
+    def test_jsonl_round_trip(self):
+        events = self._traced()
+        sink = io.StringIO()
+        written = export_jsonl(events, sink)
+        assert written == len(events)
+        lines = sink.getvalue().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == [e.to_dict() for e in events]
+
+    def test_jsonl_stringifies_unserializable_data(self):
+        events = [TraceEvent("source", "d", {"obj": object()})]
+        sink = io.StringIO()
+        export_jsonl(events, sink)
+        json.loads(sink.getvalue())  # still valid JSON
+
+    def test_chrome_trace_shape(self):
+        events = self._traced()
+        sink = io.StringIO()
+        written = export_chrome_trace(events, sink)
+        payload = json.loads(sink.getvalue())
+        assert payload["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert phases == ["B", "i", "E"]
+        assert written == 3
+        begin = payload["traceEvents"][0]
+        assert begin["name"] == "client.fetch"
+        assert begin["pid"] == 1 and begin["tid"] == 1
+
+    def test_exporters_write_files(self, tmp_path):
+        events = self._traced()
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        export_jsonl(events, str(jsonl))
+        export_chrome_trace(events, str(chrome))
+        assert len(jsonl.read_text().splitlines()) == len(events)
+        json.loads(chrome.read_text())
+
+
+class TestContextMetricsIntegration:
+    def test_stats_report_includes_metrics_when_enabled(self):
+        config = EngineConfig(metrics_enabled=True)
+        context = ExecutionContext(config)
+        context.metrics.counter("x").inc()
+        report = context.stats_report()
+        assert "metrics" in report
+        assert report["metrics"]["x"]["series"] == {"": 1}
+
+    def test_stats_report_omits_metrics_when_disabled(self):
+        context = ExecutionContext(EngineConfig())
+        assert "metrics" not in context.stats_report()
+
+    def test_mediator_source_metrics(self):
+        config = EngineConfig(metrics_enabled=True)
+        med = MIXMediator(config)
+        med.register_source(
+            "homesSrc", MaterializedDocument(homes_source()))
+        doc = med._documents["homesSrc"]
+        doc.fetch(doc.root())
+        doc.down(doc.root())
+        counter = med.runtime.metrics.counter(
+            "source_navigations_total")
+        assert counter.value(source="homesSrc", command="f") == 1
+        assert counter.value(source="homesSrc", command="d") == 1
+
+
+def _observed_mediator(config=None, clock=None):
+    tracer = Tracer(record=True, clock=clock or FakeClock())
+    med = MIXMediator(config or EngineConfig(observe_operators=True),
+                      tracer=tracer)
+    med.register_source("homesSrc",
+                        MaterializedDocument(homes_source()))
+    med.register_source("schoolsSrc",
+                        MaterializedDocument(schools_source()))
+    return med, tracer
+
+
+class TestSpanTreePropagation:
+    """Satellite: one connected span tree across thread boundaries."""
+
+    def test_local_materialize_yields_connected_forest(self):
+        med, tracer = _observed_mediator()
+        result = med.prepare(fig4_plan())
+        result.materialize()
+        forest = build_span_tree(tracer.events)
+        assert forest.orphans == []
+        assert forest.roots, "no spans at all"
+        # every root is a client navigation; operators nest below
+        assert {root.layer for root in forest.roots} == {"client"}
+        layers = {node.layer for root in forest.roots
+                  for node in root.walk()}
+        assert "operator" in layers
+        # every source command is accounted to some client span
+        in_tree = len(forest.events("source"))
+        assert in_tree == med.total_source_navigations()
+
+    def test_fanout_join_produces_single_connected_tree(self):
+        config = EngineConfig(observe_operators=True,
+                              fanout_workers=2)
+        med, tracer = _observed_mediator(config)
+        result = med.prepare(fig4_plan())
+        result.materialize()
+        forest = build_span_tree(tracer.events)
+        assert forest.orphans == []
+        threads = {e.thread for e in tracer.events}
+        assert len(threads) > 1, "fan-out never left the main thread"
+        # all source commands connected despite the thread hops
+        assert len(forest.events("source")) \
+            == med.total_source_navigations()
+
+    def test_async_prefetch_scan_stays_connected(self):
+        tracer = Tracer(record=True, clock=FakeClock())
+        source = MaterializedDocument(schools_source())
+        from repro.client.remote import NavigableLXPServer
+        server = NavigableLXPServer(source, chunk_size=1, depth=2)
+        buffer = buffered(server, prefetch=2, workers=2,
+                          tracer=tracer, name="schoolsSrc")
+        materialize(buffer)
+        buffer.close()
+        forest = build_span_tree(tracer.events)
+        assert forest.orphans == []
+        spans = [s for s in forest.spans.values()
+                 if s.layer == "buffer"]
+        names = {s.name for s in spans}
+        assert "fill" in names
+        # prefetch fills happened on worker threads, demand fills on
+        # the client thread -- and both reconstruct into one forest
+        if "prefetch_fill" in names:
+            prefetch_threads = {s.thread for s in spans
+                                if s.name == "prefetch_fill"}
+            demand_threads = {s.thread for s in spans
+                              if s.name == "fill"}
+            assert prefetch_threads.isdisjoint(demand_threads)
+
+    def test_deterministic_under_fake_clock(self):
+        def run():
+            med, tracer = _observed_mediator()
+            med.prepare(fig4_plan()).materialize()
+            return [(e.layer, e.event, e.span_id, e.parent_id, e.ts_ms)
+                    for e in tracer.events]
+
+        assert run() == run()
+
+
+class TestFig9Reconciliation:
+    """Acceptance: leaf spans reconcile exactly with the meters."""
+
+    def _remote_session(self):
+        tracer = Tracer(record=True, clock=FakeClock())
+        config = EngineConfig(observe_operators=True,
+                              metrics_enabled=True)
+        med = MIXMediator(config, tracer=tracer)
+        med.register_source("homesSrc",
+                            MaterializedDocument(homes_source()))
+        med.register_source("schoolsSrc",
+                            MaterializedDocument(schools_source()))
+        result = med.prepare(fig4_plan())
+        root, channel_stats = result.connect_remote()
+        return med, tracer, root, channel_stats
+
+    def test_one_fetch_reconciles_with_meters_and_channel(self):
+        med, tracer, root, channel_stats = self._remote_session()
+        first = root.first_child()   # descend to the first med_home
+        assert first.tag == "med_home"
+        forest = build_span_tree(tracer.events)
+        assert forest.orphans == []
+        # Every source command -- including the ones the connection's
+        # root fill provoked -- is a leaf event of the span forest;
+        # the counts reconcile exactly with the meters.
+        source_events = forest.events("source")
+        assert len(source_events) == med.total_source_navigations()
+        assert len(source_events) > 0
+        # ... and per source, event counts match each meter.
+        for name, meter in med.meters.items():
+            per_source = [e for e in source_events
+                          if e.data.get("source") == name]
+            assert len(per_source) == meter.total
+        # Channel round trips reconcile with the channel stats.  The
+        # connection handshake (get_root) happens outside any span and
+        # is legitimately stray; every navigation-driven round trip is
+        # in-tree.
+        round_trips = forest.events("channel") + [
+            e for e in forest.stray_events if e.layer == "channel"]
+        assert len(round_trips) == channel_stats.messages
+        assert sum(e.data["bytes"] for e in round_trips) \
+            == channel_stats.bytes_transferred
+        # The metrics registry saw the same traffic.
+        counter = med.runtime.metrics.counter(
+            "channel_round_trips_total")
+        assert sum(counter.series().values()) == channel_stats.messages
+
+    def test_source_metrics_match_meters(self):
+        med, tracer, root, channel_stats = self._remote_session()
+        for child in root.children():
+            child.to_tree()          # navigate the whole answer
+        counter = med.runtime.metrics.counter(
+            "source_navigations_total")
+        for name, meter in med.meters.items():
+            counted = sum(
+                counter.value(source=name, command=command)
+                for command in ("d", "r", "f", "select"))
+            assert counted == meter.total
+            assert meter.total > 0
+
+
+class TestObservabilityOffIsIdentical:
+    """With observability disabled (the defaults), navigation counts
+    must be byte-identical to the un-instrumented engine."""
+
+    def _navigation_counts(self, config):
+        med = MIXMediator(config)
+        med.register_wrapper("homesSrc",
+                             XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper("schoolsSrc",
+                             XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        result = med.prepare(fig4_plan())
+        result.materialize()
+        return {name: meter.counters.as_dict()
+                for name, meter in med.meters.items()}
+
+    def test_observed_run_navigates_identically(self):
+        plain = self._navigation_counts(EngineConfig())
+        observed_med_counts = None
+        tracer = Tracer(record=True, clock=FakeClock())
+        med = MIXMediator(EngineConfig(observe_operators=True,
+                                       metrics_enabled=True),
+                          tracer=tracer)
+        med.register_wrapper("homesSrc",
+                             XMLFileWrapper("homesSrc", HOMES_XML))
+        med.register_wrapper("schoolsSrc",
+                             XMLFileWrapper("schoolsSrc", SCHOOLS_XML))
+        med.prepare(fig4_plan()).materialize()
+        observed = {name: meter.counters.as_dict()
+                    for name, meter in med.meters.items()}
+        assert observed == plain
