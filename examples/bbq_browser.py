@@ -30,6 +30,7 @@ SCHOOLS_XML = """
 </schools>
 """
 
+# lint: allow=B001,B002,C001 -- the reorder demo is deliberately unbrowsable
 QUERY = ("CONSTRUCT <answer><med_home> $H $S {$S} </med_home> {$H}"
          "</answer> {} "
          "WHERE homesSrc homes.home $H AND $H zip._ $V1 "

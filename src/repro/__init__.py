@@ -22,6 +22,7 @@ from .errors import (
     PermanentSourceError,
     ReproError,
     SourceError,
+    StaticAnalysisError,
     TransientSourceError,
     classify_failure,
 )
@@ -72,6 +73,6 @@ __all__ = [
     "XMLFileWrapper", "RelationalLXPWrapper", "WebLXPWrapper",
     "OODBLXPWrapper", "buffered",
     "ReproError", "SourceError", "TransientSourceError",
-    "PermanentSourceError", "classify_failure",
+    "PermanentSourceError", "StaticAnalysisError", "classify_failure",
     "__version__",
 ]

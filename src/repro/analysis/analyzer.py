@@ -1,0 +1,83 @@
+"""The static plan analyzer: orchestrates the four diagnostic passes.
+
+``analyze_plan`` walks a compiled XMAS algebra plan *before any source
+is touched* and returns an :class:`AnalysisReport` combining
+
+1. composed browsability inference   (:mod:`.browsability`, B-codes),
+2. schema-aware path checking        (:mod:`.schema`,       S-codes),
+3. cost / cardinality bounding       (:mod:`.cost`,         C-codes),
+4. rewrite hints                     (:mod:`.rewrites`,     R-codes).
+
+``analyze_query`` is the text-level entry: parse, translate, optionally
+optimize (mirroring what the mediator would execute), then analyze.
+
+The analyzer is pay-for-use: nothing in this package is imported by
+the execution path unless an analysis is requested, so the default
+query path stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from ..algebra import operators as ops
+from ..rewriter.analyzer import classify_plan
+from ..rewriter.optimizer import optimize
+from ..runtime.config import EngineConfig
+from ..xmas.ast import XMASQuery
+from ..xmas.parser import parse_xmas
+from ..xmas.translate import translate
+from .browsability import browsability_pass
+from .cost import cost_pass
+from .findings import AnalysisReport
+from .rewrites import rewrites_pass
+from .schema import SchemaSpec, schema_pass
+
+__all__ = ["analyze_plan", "analyze_query"]
+
+
+def analyze_plan(plan: ops.Operator,
+                 config: Optional[EngineConfig] = None,
+                 schemas: Optional[Mapping[str, SchemaSpec]] = None,
+                 suppress: Sequence[str] = (),
+                 subject: str = "") -> AnalysisReport:
+    """Run all four static passes over a compiled plan."""
+    config = config or EngineConfig()
+    plan.validate()
+    findings: list = []
+    findings.extend(browsability_pass(plan, config))
+    findings.extend(schema_pass(plan, schemas))
+    findings.extend(cost_pass(plan, config))
+    findings.extend(rewrites_pass(plan))
+    verdict = str(classify_plan(
+        plan, sigma_available=config.use_sigma))
+    return AnalysisReport(findings, verdict=verdict,
+                          plan_signature=plan.signature(),
+                          subject=subject, suppressed=suppress)
+
+
+def analyze_query(query: Union[str, XMASQuery, ops.Operator],
+                  config: Optional[EngineConfig] = None,
+                  schemas: Optional[Mapping[str, SchemaSpec]] = None,
+                  suppress: Sequence[str] = (),
+                  subject: str = ""
+                  ) -> Tuple[ops.Operator, AnalysisReport]:
+    """Parse/translate/optimize a query the way the mediator would,
+    then analyze the plan that would actually execute.
+
+    Returns ``(analyzed_plan, report)``.
+    """
+    config = config or EngineConfig()
+    if isinstance(query, str):
+        query = parse_xmas(query)
+    if isinstance(query, XMASQuery):
+        plan: ops.Operator = translate(query)
+    else:
+        plan = query
+    if config.optimize_plans:
+        optimized, _trace = optimize(plan, hybrid=config.hybrid)
+        if isinstance(optimized, ops.TupleDestroy) \
+                or not isinstance(plan, ops.TupleDestroy):
+            plan = optimized
+    return plan, analyze_plan(plan, config=config, schemas=schemas,
+                              suppress=suppress, subject=subject)

@@ -1,0 +1,106 @@
+"""Pass 1: composed browsability inference (B-codes).
+
+Delegates the class algebra to the static classifier
+(:func:`repro.rewriter.analyzer.classify_plan`, which composes
+Definition 2 classes through joins, groupBy collections, and
+getDescendants paths) and turns the verdicts into findings:
+
+* ``B001`` when the whole view is unbrowsable,
+* ``B002`` at each operator that *forces* the full-scan on its own
+  (orderBy, difference, materialize outside the hybrid idiom),
+* ``B003`` informational provenance where a getDescendants navigates a
+  collected list and the composed rule applied,
+* ``B010`` when a labeled path would become bounded under
+  ``use_sigma`` but the configuration has it off.
+
+The whole-view verdict this pass reports is by construction the same
+value ``complexity.classify`` targets and the navigation profiler
+checks empirically; the agreement suite holds the static side to
+"never more optimistic".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..algebra import operators as ops
+from ..navigation.complexity import Browsability
+from ..rewriter.analyzer import classify_path, classify_plan
+from ..runtime.config import EngineConfig
+from .findings import Finding
+from .walk import walk_with_paths
+
+__all__ = ["browsability_pass"]
+
+
+def _collection_vars(plan: ops.Operator) -> Set[str]:
+    """Variables bound to collected lists anywhere below ``plan``."""
+    collected: Set[str] = set()
+    for _, node in walk_with_paths(plan):
+        if isinstance(node, ops.GroupBy):
+            collected.update(out for _, out in node.aggregations)
+        elif isinstance(node, ops.Concatenate):
+            collected.add(node.out_var)
+    return collected
+
+
+def browsability_pass(plan: ops.Operator,
+                      config: Optional[EngineConfig] = None
+                      ) -> List[Finding]:
+    config = config or EngineConfig()
+    sigma = config.use_sigma
+    findings: List[Finding] = []
+
+    overall = classify_plan(plan, sigma_available=sigma)
+    if overall is Browsability.UNBROWSABLE:
+        findings.append(Finding(
+            "B001",
+            "view is %s: at least one client navigation consumes an "
+            "entire source list%s" % (
+                overall,
+                "" if config.hybrid else
+                " (consider hybrid=True to buffer the unbrowsable "
+                "step)"),
+            node_path="", signature=plan.signature(),
+            data={"class": str(overall)}))
+
+    collections = _collection_vars(plan)
+    for path, node in walk_with_paths(plan):
+        if isinstance(node, (ops.OrderBy, ops.Difference,
+                             ops.Materialize)):
+            reason = {
+                ops.OrderBy: "orderBy cannot emit before its input "
+                             "is exhausted",
+                ops.Difference: "difference must read its right "
+                                "input entirely",
+                ops.Materialize: "materialize evaluates its subtree "
+                                 "eagerly on first touch",
+            }[type(node)]
+            findings.append(Finding(
+                "B002", reason, node_path=path,
+                signature=node.signature(),
+                data={"operator": type(node).__name__}))
+        elif isinstance(node, ops.GetDescendants):
+            own = classify_path(node.path, sigma_available=sigma)
+            if node.parent_var in collections:
+                composed = classify_plan(node, sigma_available=sigma)
+                findings.append(Finding(
+                    "B003",
+                    "navigates collected list $%s: composed class is "
+                    "%s (path alone: %s)"
+                    % (node.parent_var, composed, own),
+                    node_path=path, signature=node.signature(),
+                    data={"collection": node.parent_var,
+                          "composed": str(composed),
+                          "path_class": str(own)}))
+            if not sigma and own is Browsability.BROWSABLE \
+                    and classify_path(node.path, sigma_available=True) \
+                    is Browsability.BOUNDED:
+                findings.append(Finding(
+                    "B010",
+                    "path %s is %s here but bounded browsable with "
+                    "select(sigma) pushdown; enable use_sigma for "
+                    "sigma-capable sources" % (node.path, own),
+                    node_path=path, signature=node.signature(),
+                    data={"path": str(node.path)}))
+    return findings

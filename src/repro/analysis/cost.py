@@ -1,0 +1,113 @@
+"""Pass 3: cost and cardinality bounding (C-codes).
+
+Assigns every node a *cardinality degree* -- the exponent ``k`` in the
+``O(n^k)`` bound on the node's output cardinality, ``n`` being the
+total source size -- by structural induction (sources are ``O(1)``
+singletons, each getDescendants multiplies by a data-dependent fan-out,
+join degrees add, groupBy cannot exceed its input).  On top of the
+degrees it reports:
+
+* ``C001`` unbounded navigation amplification: an operator that both
+  forces a full input scan and sits over input whose size grows with
+  the sources -- a single client ``down`` can trigger navigation
+  proportional to an entire source list;
+* ``C010`` unbounded inner-join cache: the join's inner memo is
+  evictable, but the current :class:`EngineConfig` sets no
+  ``cache_budget``, so one query may cache the whole inner input;
+* ``C011`` unbounded operator state: non-evictable evaluation state
+  (orderBy's buffer, distinct's seen-set, groupBy's key table, ...)
+  that no cache budget bounds, growing with the consumed input.
+
+``C010``/``C011`` are advisory (info): unbounded memory is the
+configured default, but the production checklist wants it visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..algebra import operators as ops
+from ..lazy.build import STATEFUL_OPERATORS
+from ..runtime.config import EngineConfig
+from .findings import Finding
+from .walk import walk_with_paths
+
+__all__ = ["cost_pass", "cardinality_degree"]
+
+
+def cardinality_degree(plan: ops.Operator) -> int:
+    """The exponent ``k`` of the ``O(n^k)`` output-cardinality bound."""
+    children = [cardinality_degree(child) for child in plan.inputs]
+    if isinstance(plan, (ops.Source, ops.Constant)):
+        return max(children) if children else 0
+    if isinstance(plan, ops.GetDescendants):
+        # every binding can fan out to a data-dependent number of
+        # descendants: one more factor of n
+        return children[0] + 1
+    if isinstance(plan, ops.Join):
+        return children[0] + children[1]
+    if isinstance(plan, (ops.Union,)):
+        return max(children)
+    if isinstance(plan, ops.Difference):
+        return children[0]
+    if isinstance(plan, ops.GroupBy):
+        # groups cannot outnumber the input; a keyless groupBy emits
+        # exactly one group
+        return 0 if not plan.group_vars else children[0]
+    return children[0] if children else 0
+
+
+def cost_pass(plan: ops.Operator,
+              config: Optional[EngineConfig] = None) -> List[Finding]:
+    config = config or EngineConfig()
+    findings: List[Finding] = []
+    degrees: Dict[int, int] = {}
+    for path, node in walk_with_paths(plan):
+        degrees[id(node)] = cardinality_degree(node)
+
+    for path, node in walk_with_paths(plan):
+        input_degree = max(
+            (degrees[id(child)] for child in node.inputs), default=0)
+        scans_growing_input = input_degree >= 1
+
+        if isinstance(node, (ops.OrderBy, ops.Difference,
+                             ops.Materialize)) \
+                and scans_growing_input:
+            findings.append(Finding(
+                "C001",
+                "%s over O(n^%d) input: one client navigation may "
+                "trigger source navigation proportional to an entire "
+                "source list%s" % (
+                    type(node).__name__.lower(), input_degree,
+                    "" if (config.hybrid
+                           or isinstance(node, ops.Materialize))
+                    else "; hybrid=True would buffer this step"),
+                node_path=path, signature=node.signature(),
+                data={"input_degree": input_degree}))
+
+        if isinstance(node, ops.Join) and config.cache_enabled \
+                and config.cache_budget is None:
+            inner_degree = degrees[id(node.right)]
+            if inner_degree >= 1:
+                findings.append(Finding(
+                    "C010",
+                    "inner input is O(n^%d) and cache_budget is "
+                    "unset: the join.inner memo may cache the whole "
+                    "inner input; set EngineConfig.cache_budget to "
+                    "bound it (eviction is answer-preserving)"
+                    % inner_degree,
+                    node_path=path, signature=node.signature(),
+                    data={"inner_degree": inner_degree,
+                          "cache_enabled": config.cache_enabled}))
+
+        state = STATEFUL_OPERATORS.get(type(node))
+        if state is not None and not isinstance(node, ops.Join) \
+                and scans_growing_input:
+            findings.append(Finding(
+                "C011",
+                "%s keeps %s: non-evictable state grows with its "
+                "O(n^%d) input regardless of cache_budget" % (
+                    type(node).__name__.lower(), state, input_degree),
+                node_path=path, signature=node.signature(),
+                data={"state": state, "input_degree": input_degree}))
+    return findings

@@ -1,0 +1,126 @@
+"""Scan example scripts for XMAS queries and lint each one.
+
+The repository's ``examples/*.py`` keep their queries as module-level
+string constants (``QUERY = \"\"\"CONSTRUCT ... WHERE ...\"\"\"``).
+This module extracts those constants with :mod:`ast` (no example code
+is executed), honors inline suppression comments, and runs the static
+analyzer over every query found -- the machinery behind
+``repro lint --examples`` and the CI lint job.
+
+Suppression syntax
+------------------
+A comment on the assignment line or the line directly above it::
+
+    # lint: allow=B001,B002 -- the reorder demo is deliberately slow
+    QUERY = \"\"\"CONSTRUCT ...\"\"\"
+
+suppresses the listed codes for that query only.  Suppressed findings
+are counted (and listed by code) in the report, never silently gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..runtime.config import EngineConfig
+from .analyzer import analyze_query
+from .findings import AnalysisReport
+
+__all__ = ["extract_queries", "scan_examples", "ExampleQuery"]
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow=([A-Z0-9,\s]+)")
+
+
+class ExampleQuery:
+    """One XMAS query constant found in an example file."""
+
+    def __init__(self, path: Path, name: str, text: str,
+                 line: int, suppress: Tuple[str, ...]) -> None:
+        self.path = path
+        self.name = name
+        self.text = text
+        self.line = line
+        self.suppress = suppress
+
+    @property
+    def subject(self) -> str:
+        return "%s:%s" % (self.path.name, self.name)
+
+
+def _looks_like_query(text: str) -> bool:
+    return "CONSTRUCT" in text and "WHERE" in text
+
+
+def _suppressions(source_lines: Sequence[str], lineno: int
+                  ) -> Tuple[str, ...]:
+    """Codes allowed for an assignment starting at 1-based ``lineno``:
+    from a trailing comment on that line or a comment directly above.
+    """
+    codes: List[str] = []
+    candidates = []
+    if 1 <= lineno <= len(source_lines):
+        candidates.append(source_lines[lineno - 1])
+    if lineno >= 2:
+        candidates.append(source_lines[lineno - 2])
+    for line in candidates:
+        match = _ALLOW_RE.search(line)
+        if match:
+            codes.extend(code.strip()
+                         for code in match.group(1).split(",")
+                         if code.strip())
+    return tuple(dict.fromkeys(codes))
+
+
+def extract_queries(path: Path) -> Iterator[ExampleQuery]:
+    """The XMAS query constants of one example file (not executed)."""
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Constant) \
+                or not isinstance(value.value, str):
+            continue
+        if not _looks_like_query(value.value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                yield ExampleQuery(
+                    path, target.id, value.value, node.lineno,
+                    _suppressions(lines, node.lineno))
+
+
+def scan_examples(directory: Path,
+                  config: Optional[EngineConfig] = None
+                  ) -> List[AnalysisReport]:
+    """Lint every query constant under ``directory`` (sorted order).
+
+    Returns one report per query; queries that fail to parse yield no
+    report (they are not XMAS text despite the keyword heuristic).
+    """
+    config = config or EngineConfig()
+    reports: List[AnalysisReport] = []
+    for path in sorted(directory.glob("*.py")):
+        for query in extract_queries(path):
+            try:
+                _plan, report = analyze_query(
+                    query.text, config=config,
+                    suppress=query.suppress, subject=query.subject)
+            except Exception as error:
+                from .findings import Finding
+                reports.append(AnalysisReport(
+                    [Finding("X001",
+                             "query does not compile: %s" % error,
+                             signature=query.subject)],
+                    verdict="error", subject=query.subject))
+                continue
+            reports.append(report)
+    return reports

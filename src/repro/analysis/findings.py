@@ -1,0 +1,280 @@
+"""Structured findings: codes, severities, and the analysis report.
+
+Every diagnostic the static analyzer can emit has a *stable code*
+(``B001``, ``S010``, ...) registered in :data:`CODES`; the registry is
+the single source of a code's default severity and title, and the
+documentation table in PROTOCOLS.md is tested against it.  A
+:class:`Finding` pins one occurrence to a plan node (provenance path +
+signature); an :class:`AnalysisReport` aggregates the findings of one
+plan together with the whole-view browsability verdict and renders as
+text or machine-readable JSON.
+
+Severity semantics
+------------------
+``error``
+    The plan is wrong or cannot produce what it promises (an
+    unsatisfiable path, a join that can never match).  ``lint`` exits 2.
+``warning``
+    The plan works but can hurt at scale (an unbrowsable view, an
+    unbounded amplification).  ``lint`` exits 1.
+``info``
+    Advisory: rewrite opportunities, configuration suggestions.
+    Never affects the exit code unless ``--fail-on info``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Severity", "CodeInfo", "CODES", "Finding", "AnalysisReport"]
+
+
+class Severity(enum.Enum):
+    """Finding severity, ordered info < warning < error."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        for sev in cls:
+            if sev.value == text:
+                return sev
+        raise ValueError("unknown severity %r (expected %s)"
+                         % (text, "/".join(s.value for s in cls)))
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1,
+                  Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    summary: str
+
+
+def _registry(*entries: CodeInfo) -> Dict[str, CodeInfo]:
+    table: Dict[str, CodeInfo] = {}
+    for entry in entries:
+        if entry.code in table:
+            raise ValueError("duplicate code %s" % entry.code)
+        table[entry.code] = entry
+    return table
+
+
+#: The stable code registry.  B = browsability, S = schema/path,
+#: C = cost/cardinality, R = rewrite hints.  Codes are append-only:
+#: retired codes keep their number reserved.
+CODES: Dict[str, CodeInfo] = _registry(
+    CodeInfo("B001", Severity.WARNING, "unbrowsable-view",
+             "the whole view is unbrowsable: some client navigation "
+             "must consume a source list entirely"),
+    CodeInfo("B002", Severity.WARNING, "unbrowsable-operator",
+             "this operator forces a full input scan before its first "
+             "output"),
+    CodeInfo("B003", Severity.INFO, "composed-collection-navigation",
+             "getDescendants navigates a collected list; its class is "
+             "the composition of path and collection streaming class"),
+    CodeInfo("B010", Severity.INFO, "sigma-upgrade-available",
+             "a labeled path would become bounded browsable with "
+             "select(sigma) pushdown (use_sigma)"),
+    CodeInfo("S010", Severity.ERROR, "unsatisfiable-path",
+             "no path in the source schema can ever match this "
+             "regular path expression"),
+    CodeInfo("S011", Severity.WARNING, "element-name-typo",
+             "a path label does not occur in the source schema but "
+             "closely resembles one that does"),
+    CodeInfo("S020", Severity.WARNING, "dead-select-branch",
+             "a selection predicate is statically false (or true): "
+             "the branch can never fire"),
+    CodeInfo("S021", Severity.ERROR, "join-never-matches",
+             "a join key can never bind: its predicate is statically "
+             "false or a key variable has unsatisfiable provenance"),
+    CodeInfo("C001", Severity.WARNING, "unbounded-amplification",
+             "one client navigation may translate into source "
+             "navigation proportional to an entire source list"),
+    CodeInfo("C010", Severity.INFO, "unbounded-join-cache",
+             "the inner join cache is unbounded under the current "
+             "EngineConfig cache budget"),
+    CodeInfo("C011", Severity.INFO, "unbounded-operator-state",
+             "a stateful operator accumulates non-evictable state "
+             "proportional to its input"),
+    CodeInfo("R001", Severity.INFO, "rewrite-available",
+             "a rewrite rule applies but was not applied (pushdown, "
+             "merge, fusion)"),
+    CodeInfo("R010", Severity.INFO, "redundant-concatenate",
+             "a concatenate of a single variable is collapsible into "
+             "its consumer"),
+    CodeInfo("R011", Severity.INFO, "redundant-project",
+             "a project keeps exactly its input schema"),
+    CodeInfo("R012", Severity.INFO, "redundant-duplicate-operator",
+             "an operator is stacked directly on an identical one "
+             "(distinct over distinct, materialize over materialize)"),
+    CodeInfo("X001", Severity.ERROR, "query-does-not-compile",
+             "the query text fails to parse, translate, or validate"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic occurrence, pinned to a plan node.
+
+    ``node_path`` is the child-index path from the plan root
+    ("0.1.0": first child's second child's first child); together with
+    ``signature`` it identifies the node stably across re-analysis of
+    the same plan.
+    """
+
+    code: str
+    message: str
+    node_path: str = ""
+    signature: str = ""
+    severity: Optional[Severity] = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError("unregistered finding code %r" % self.code)
+        if self.severity is None:
+            object.__setattr__(self, "severity",
+                               CODES[self.code].severity)
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def render(self) -> str:
+        where = " at %s" % self.signature if self.signature else ""
+        return "%s %s [%s]%s: %s" % (
+            str(self.severity).upper(), self.code, self.title, where,
+            self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": str(self.severity),
+            "message": self.message,
+            "node_path": self.node_path,
+            "signature": self.signature,
+            "data": dict(self.data),
+        }
+
+
+class AnalysisReport:
+    """All findings of one analyzed plan, plus the overall verdict."""
+
+    def __init__(self, findings: Iterable[Finding],
+                 verdict: str = "",
+                 plan_signature: str = "",
+                 subject: str = "",
+                 suppressed: Iterable[str] = ()) -> None:
+        self.subject = subject
+        self.verdict = verdict
+        self.plan_signature = plan_signature
+        self.suppressed: Tuple[str, ...] = tuple(suppressed)
+        kept: List[Finding] = []
+        dropped = 0
+        for finding in findings:
+            if finding.code in self.suppressed:
+                dropped += 1
+            else:
+                kept.append(finding)
+        self.findings: List[Finding] = sorted(
+            kept, key=lambda f: (-f.severity.rank, f.code, f.node_path))
+        self.suppressed_count = dropped
+
+    # -- aggregation ----------------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings),
+                   key=lambda s: s.rank)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {s.value: 0 for s in Severity}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        """CI exit code: 0 clean, 1 warnings, 2 errors.
+
+        ``fail_on`` is the lowest severity that makes the exit code
+        non-zero; findings below it still appear in the report but do
+        not fail the build.
+        """
+        if any(f.severity is Severity.ERROR for f in self.findings) \
+                and Severity.ERROR.rank >= fail_on.rank:
+            return 2
+        if any(f.severity.rank >= fail_on.rank
+               for f in self.findings):
+            return 1
+        return 0
+
+    # -- rendering ------------------------------------------------------
+    def summary(self) -> str:
+        counts = self.counts()
+        lines = []
+        if self.subject:
+            lines.append("subject: %s" % self.subject)
+        if self.verdict:
+            lines.append("verdict: %s" % self.verdict)
+        lines.append("findings: %d error(s), %d warning(s), %d hint(s)"
+                     % (counts["error"], counts["warning"],
+                        counts["info"]))
+        if self.suppressed_count:
+            lines.append("suppressed: %d (%s)"
+                         % (self.suppressed_count,
+                            ", ".join(self.suppressed)))
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "verdict": self.verdict,
+            "plan": self.plan_signature,
+            "counts": self.counts(),
+            "suppressed": list(self.suppressed),
+            "suppressed_count": self.suppressed_count,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return "<AnalysisReport %de/%dw/%di>" % (
+            counts["error"], counts["warning"], counts["info"])

@@ -1,0 +1,128 @@
+"""Pass 4: rewrite hints (R-codes) -- surfaced, never applied.
+
+Dry-runs the optimizer's local rule set over every node and reports
+where a rule *would* fire (``R001``); on an optimized plan the rules
+have reached fixpoint and this stays silent, so hints only appear for
+un-optimized plans or rules the fixpoint loop cannot see.  On top of
+the rule set, structural redundancy patterns the optimizer does not
+rewrite yet:
+
+* ``R010`` a ``concatenate`` of a single variable whose output only
+  feeds element construction -- collapsible into the consumer;
+* ``R011`` a ``project`` that keeps exactly its input schema;
+* ``R012`` identical stacked operators (``distinct`` over
+  ``distinct``, ``materialize`` over ``materialize``, ``orderBy``
+  directly under ``orderBy``).
+
+All hints are informational: the analyzer never mutates the plan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algebra import operators as ops
+from ..rewriter.rules import ALL_RULES
+from .findings import Finding
+from .walk import walk_with_paths
+
+__all__ = ["rewrites_pass"]
+
+
+def rewrites_pass(plan: ops.Operator) -> List[Finding]:
+    findings: List[Finding] = []
+    uses = _variable_uses(plan)
+    for path, node in walk_with_paths(plan):
+        for name, rule in ALL_RULES:
+            if rule(node) is not None:
+                findings.append(Finding(
+                    "R001",
+                    "rewrite rule %r applies here but was not "
+                    "applied; run the optimizer (optimize_plans) to "
+                    "pick it up" % name,
+                    node_path=path, signature=node.signature(),
+                    data={"rule": name}))
+
+        if isinstance(node, ops.Concatenate) \
+                and len(node.in_vars) == 1 \
+                and uses.get(node.out_var, 0) <= 1:
+            findings.append(Finding(
+                "R010",
+                "concatenate of the single variable $%s is the "
+                "identity on its value; the consumer can read $%s "
+                "directly" % (node.in_vars[0], node.in_vars[0]),
+                node_path=path, signature=node.signature(),
+                data={"variable": node.in_vars[0]}))
+
+        if isinstance(node, ops.Project) \
+                and node.variables == node.child.output_variables():
+            findings.append(Finding(
+                "R011",
+                "project keeps exactly its input schema (%s); it is "
+                "the identity"
+                % ", ".join("$" + v for v in node.variables),
+                node_path=path, signature=node.signature(),
+                data={"variables": list(node.variables)}))
+
+        if _stacked_duplicate(node):
+            findings.append(Finding(
+                "R012",
+                "%s is stacked directly on an identical %s; the "
+                "outer one is redundant"
+                % (type(node).__name__.lower(),
+                   type(node).__name__.lower()),
+                node_path=path, signature=node.signature(),
+                data={"operator": type(node).__name__}))
+    return findings
+
+
+def _stacked_duplicate(node: ops.Operator) -> bool:
+    if isinstance(node, ops.Distinct):
+        return isinstance(node.child, ops.Distinct)
+    if isinstance(node, ops.Materialize):
+        return isinstance(node.child, ops.Materialize)
+    if isinstance(node, ops.OrderBy):
+        return (isinstance(node.child, ops.OrderBy)
+                and node.child.variables == node.variables
+                and node.child.descending == node.descending)
+    return False
+
+
+def _variable_uses(plan: ops.Operator) -> dict:
+    """How many operators *read* each variable (not counting the
+    binding site)."""
+    uses: dict = {}
+
+    def bump(var: str) -> None:
+        uses[var] = uses.get(var, 0) + 1
+
+    for _, node in walk_with_paths(plan):
+        if isinstance(node, ops.GetDescendants):
+            bump(node.parent_var)
+        elif isinstance(node, (ops.Select, ops.Join)):
+            for var in node.predicate.variables():
+                bump(var)
+        elif isinstance(node, ops.Project):
+            for var in node.variables:
+                bump(var)
+        elif isinstance(node, ops.GroupBy):
+            for var in node.group_vars:
+                bump(var)
+            for var, _out in node.aggregations:
+                bump(var)
+        elif isinstance(node, ops.OrderBy):
+            for var in node.variables:
+                bump(var)
+        elif isinstance(node, ops.Concatenate):
+            for var in node.in_vars:
+                bump(var)
+        elif isinstance(node, ops.CreateElement):
+            bump(node.content_var)
+            if node.label_var:
+                bump(node.label_var)
+        elif isinstance(node, ops.TupleDestroy):
+            bump(node.var)
+        elif isinstance(node, ops.Rename):
+            for var in node.mapping:
+                bump(var)
+    return uses

@@ -7,6 +7,13 @@ Usage::
     python -m repro plan   -q "..."      # show initial + rewritten plan
     python -m repro classify -q "..."    # per-node browsability report
     python -m repro profile -s ... -q "..."  # observed amplification
+    python -m repro lint -q "..." [-s NAME=FILE]  # static diagnostics
+    python -m repro lint --examples examples/     # lint the examples
+
+``lint`` runs the compile-time plan analyzer (browsability, schema
+paths, cost bounds, rewrite hints) and exits 0 (clean), 1 (warnings)
+or 2 (errors) -- ``--fail-on`` moves the threshold, ``--json`` writes
+the findings machine-readably.
 
 ``query`` also exports observability data: ``--trace-out FILE``
 (with ``--trace-format jsonl|chrome``) dumps the causal span stream,
@@ -25,6 +32,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from .errors import ReproError
 from .mediator.mix import MIXMediator
 from .rewriter.analyzer import classify_plan, explain_plan
 from .rewriter.optimizer import optimize
@@ -148,6 +156,46 @@ def _build_parser() -> argparse.ArgumentParser:
     add_query_arguments(classify, with_sources=False)
     classify.add_argument("--sigma", action="store_true",
                           help="assume select(sigma) is available")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static plan diagnostics: browsability, schema/path, "
+             "cost and rewrite findings with CI-friendly exit codes "
+             "(0 clean, 1 warnings, 2 errors)")
+    what = lint.add_mutually_exclusive_group(required=True)
+    what.add_argument("-q", "--query", help="XMAS query text")
+    what.add_argument("-f", "--query-file",
+                      help="file containing the XMAS query")
+    what.add_argument("--examples", metavar="DIR",
+                      help="lint every XMAS query constant found in "
+                           "the python files under DIR (queries are "
+                           "extracted statically, never executed)")
+    lint.add_argument("-s", "--source", action="append", default=[],
+                      metavar="NAME=FILE",
+                      help="use FILE as a sample document of source "
+                           "NAME: enables the schema-aware path "
+                           "checks (repeatable)")
+    lint.add_argument("--sigma", action="store_true",
+                      help="assume select(sigma) is available")
+    lint.add_argument("--hybrid", action="store_true",
+                      help="assume hybrid (lazy/eager) evaluation")
+    lint.add_argument("--no-optimize", action="store_true",
+                      help="lint the un-optimized initial plan")
+    lint.add_argument("--cache-budget", type=int, default=None,
+                      metavar="N",
+                      help="assume a bounded cache budget (silences "
+                           "the unbounded-cache findings)")
+    lint.add_argument("--json", default=None, metavar="FILE",
+                      help="additionally write the findings as JSON "
+                           "to FILE ('-' for stdout)")
+    lint.add_argument("--fail-on",
+                      choices=("info", "warning", "error"),
+                      default="warning",
+                      help="lowest severity that makes the exit code "
+                           "non-zero (default: warning)")
+    lint.add_argument("--suppress", default="", metavar="CODES",
+                      help="comma-separated finding codes to "
+                           "suppress (e.g. B010,C010)")
     return parser
 
 
@@ -289,6 +337,72 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis import analyze_query, scan_examples
+    from .analysis.findings import Severity
+    from .wrappers.xmlfile import document_node
+    from .xtree.parse import parse_xml
+
+    config = EngineConfig(
+        optimize_plans=not args.no_optimize,
+        use_sigma=args.sigma,
+        hybrid=args.hybrid,
+        cache_budget=args.cache_budget,
+    )
+    fail_on = Severity.parse(args.fail_on)
+    suppress = tuple(code.strip()
+                     for code in args.suppress.split(",")
+                     if code.strip())
+
+    if args.examples is not None:
+        reports = scan_examples(Path(args.examples), config=config)
+        if not reports:
+            print("no XMAS query constants found under %s"
+                  % args.examples, file=sys.stderr)
+            return 2
+    else:
+        schemas = {}
+        for name, path in _parse_sources(args.source).items():
+            with open(path) as handle:
+                schemas[name] = document_node(
+                    name, parse_xml(handle.read()))
+        subject = args.query_file or "<query>"
+        try:
+            _plan, report = analyze_query(
+                _query_text(args), config=config, schemas=schemas,
+                suppress=suppress, subject=subject)
+        except ReproError as exc:
+            from .analysis import AnalysisReport, Finding
+            report = AnalysisReport(
+                [Finding(code="X001", message=str(exc))],
+                verdict="unknown", subject=subject)
+        reports = [report]
+
+    exit_code = 0
+    for report in reports:
+        print(report.summary())
+        print()
+        exit_code = max(exit_code, report.exit_code(fail_on=fail_on))
+    if args.json is not None:
+        import json as json_module
+        payload = ([r.to_dict() for r in reports]
+                   if args.examples is not None
+                   else reports[0].to_dict())
+        text = json_module.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print("-- findings -> %s --" % args.json,
+                  file=sys.stderr)
+    print("lint: %d subject(s), exit %d" % (len(reports), exit_code),
+          file=sys.stderr)
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -300,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_plan(args)
     if args.command == "classify":
         return _cmd_classify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise SystemExit("unknown command %r" % args.command)
 
 

@@ -34,6 +34,7 @@ Failures raised by code outside this library are classified by
 __all__ = [
     "ReproError",
     "SourceError",
+    "StaticAnalysisError",
     "TransientSourceError",
     "PermanentSourceError",
     "classify_failure",
@@ -43,6 +44,20 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class of all expected repro errors."""
+
+
+class StaticAnalysisError(ReproError):
+    """A query was rejected by the static plan analyzer.
+
+    Raised by ``MIXMediator.prepare(..., analyze="static")`` when the
+    analysis finds errors (or, with ``analyze="strict"``, warnings).
+    Carries the full :class:`~repro.analysis.findings.AnalysisReport`
+    as :attr:`report` so callers can render or export the findings.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class SourceError(ReproError):

@@ -39,13 +39,28 @@ from .select import LazyConstant, LazyProject, LazyRename, LazySelect
 from .setops import LazyDifference, LazyDistinct, LazyUnion
 from .source import LazySource
 
-__all__ = ["build_lazy_plan", "build_virtual_document"]
+__all__ = ["build_lazy_plan", "build_virtual_document",
+           "STATEFUL_OPERATORS"]
 
 #: Resolves a source URL to a navigable document.
 DocumentResolver = typing.Union[
     Mapping[str, NavigableDocument],
     Callable[[str], NavigableDocument],
 ]
+
+#: Plan-node types whose lazy implementation accumulates *state*
+#: proportional to its consumed input (beyond evictable memo caches):
+#: the caches the static cost pass reasons about.  Values name the
+#: state the operator keeps; ``join`` additionally owns the
+#: budget-evictable inner memo ("join.inner").
+STATEFUL_OPERATORS: Mapping[type, str] = {
+    ops.Join: "inner binding cache (join.inner)",
+    ops.GroupBy: "group key table (groupBy.keys)",
+    ops.Distinct: "seen-value set",
+    ops.OrderBy: "full input buffer",
+    ops.Difference: "right-input value set",
+    ops.Materialize: "materialized subtree result",
+}
 
 
 def _resolve(documents: DocumentResolver, url: str) -> NavigableDocument:

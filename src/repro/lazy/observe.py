@@ -56,6 +56,7 @@ class SpannedOperator(LazyOperator):
         tracer = ctx.tracer
         if not tracer.active:
             return thunk()
+        # lint: allow=E002 -- callers pass contract names verbatim
         with tracer.span("operator", method, op=self.name):
             return thunk()
 

@@ -97,6 +97,8 @@ class QueryResult:
                         else ExecutionContext.create())
         self._meter_baseline = dict(meter_baseline or {})
         self._root: Optional[XMLElement] = None
+        #: the static AnalysisReport when prepare() ran with analysis
+        self.analysis = None
 
     @property
     def root(self) -> XMLElement:
@@ -172,7 +174,8 @@ class QueryResult:
             materialize(document)
         return NavigationProfile.from_events(events)
 
-    def explain(self, analyze: bool = False) -> str:
+    def explain(self, analyze: bool = False,
+                lint: bool = False) -> str:
         """A human-readable report: rewritten plan, rules fired,
         per-node browsability classification, and the aggregated
         runtime view (source navigations, cache behavior, wire
@@ -182,6 +185,11 @@ class QueryResult:
         full observation (see :meth:`profile`) and appends the
         empirical browsability profile -- observed client->source
         amplification per operator and for the whole view.
+
+        With ``lint=True``, appends the *static* diagnostics: the
+        :class:`~repro.analysis.findings.AnalysisReport` attached by
+        ``prepare(..., analyze=...)``, or a fresh analysis of this
+        plan when none was requested at prepare time.
         """
         from ..rewriter.analyzer import classify_plan, explain_plan
         lines = ["plan:"]
@@ -197,6 +205,17 @@ class QueryResult:
         lines.append(explain_plan(self.plan))
         lines.append("")
         lines.extend(self._stats_lines())
+        if lint:
+            report = self.analysis
+            if report is None:
+                from ..analysis import analyze_plan
+                report = analyze_plan(
+                    self.plan, config=self.mediator.config,
+                    schemas=dict(self.mediator._schemas))
+            lines.append("")
+            lines.append("static diagnostics:")
+            lines.extend("  " + line
+                         for line in report.summary().splitlines())
         if analyze:
             profile = self.profile()
             lines.append("")
@@ -278,6 +297,9 @@ class MIXMediator:
         self._documents: Dict[str, NavigableDocument] = {}
         self._meters: Dict[str, CountingDocument] = {}
         self._views: Dict[str, TupleDestroy] = {}
+        #: source schema knowledge for the static analyzer (sample
+        #: Tree / InferredDTD / SchemaGraph, see register_schema)
+        self._schemas: Dict[str, object] = {}
         #: serializes catalog registration: concurrent sessions may
         #: register sources on a shared mediator, and the name-clash
         #: check must be atomic with the insert
@@ -335,6 +357,20 @@ class MIXMediator:
                 self._meters[name] = counted
             self._documents[name] = document
         self.tracer.emit("mediator", "register_source", name=name)
+
+    def register_schema(self, name: str, schema) -> None:
+        """Declare what source ``name``'s documents look like.
+
+        ``schema`` may be a sample :class:`~repro.xtree.tree.Tree`, an
+        :class:`~repro.xmas.dtd.InferredDTD`, or a ready
+        :class:`~repro.analysis.schema.SchemaGraph`.  Schema knowledge
+        is only consulted by the static analyzer
+        (``prepare(..., analyze=...)``): it enables the
+        unsatisfiable-path / typo / dead-join checks for this source.
+        Execution never reads it.
+        """
+        with self._catalog_lock:
+            self._schemas[name] = schema
 
     def register_wrapper(self, name: str, server: LXPServer,
                          prefetch: Optional[int] = None,
@@ -433,14 +469,24 @@ class MIXMediator:
 
         return resolve
 
-    def prepare(self, query: Union[str, XMASQuery, TupleDestroy]
-                ) -> QueryResult:
+    def prepare(self, query: Union[str, XMASQuery, TupleDestroy],
+                analyze: Optional[str] = None) -> QueryResult:
         """Run preprocessing + rewriting and build the lazy plan.
 
         Returns a QueryResult whose ``root`` is the virtual answer
         handle; no source is touched yet.  The result carries a fresh
         :class:`ExecutionContext` holding this query's caches and
         tracing hooks.
+
+        ``analyze`` runs the static plan analyzer over the plan that
+        will execute (default: ``config.static_analysis``):
+
+        * ``"off"`` -- skip (the analyzer is not even imported);
+        * ``"static"`` -- attach the :class:`~repro.analysis.findings.
+          AnalysisReport` as ``result.analysis`` and raise
+          :class:`~repro.errors.StaticAnalysisError` on *error*
+          findings;
+        * ``"strict"`` -- additionally raise on warnings.
         """
         context = self._new_context()
         context.trace("mediator", "prepare.begin")
@@ -468,19 +514,61 @@ class MIXMediator:
                 context.trace("mediator", "optimizer.discarded_result",
                               got=type(plan).__name__)
                 plan = initial
+        report = self._analyze_plan(plan, analyze, context)
         document = build_virtual_document(
             plan, self._resolver(), context)
         baseline = {name: meter.counters.snapshot()
                     for name, meter in self._meters.items()}
         context.trace("mediator", "prepare.end")
-        return QueryResult(self, plan, initial, trace, document,
-                           context=context, meter_baseline=baseline)
+        result = QueryResult(self, plan, initial, trace, document,
+                             context=context, meter_baseline=baseline)
+        result.analysis = report
+        return result
 
-    def query(self, query: Union[str, XMASQuery, TupleDestroy]
-              ) -> XMLElement:
+    def _analyze_plan(self, plan: TupleDestroy,
+                      analyze: Optional[str],
+                      context: ExecutionContext):
+        """Run the static analyzer when requested; returns the report
+        (or None when analysis is off).  Raises StaticAnalysisError
+        when the mode rejects the plan.  The import is deferred so the
+        default path never loads the analysis package."""
+        mode = analyze if analyze is not None \
+            else self.config.static_analysis
+        if mode == "off":
+            return None
+        if mode not in ("static", "strict"):
+            raise MediatorError(
+                "analyze must be 'off', 'static' or 'strict', not %r"
+                % (mode,))
+        from ..analysis import analyze_plan
+        from ..errors import StaticAnalysisError
+        report = analyze_plan(plan, config=self.config,
+                              schemas=dict(self._schemas))
+        context.trace("mediator", "static_analysis",
+                      verdict=report.verdict,
+                      errors=len(report.errors),
+                      warnings=len(report.warnings))
+        rejected = report.errors or (mode == "strict"
+                                     and report.warnings)
+        if rejected:
+            raise StaticAnalysisError(
+                "static analysis rejected the plan (%d error(s), "
+                "%d warning(s)):\n%s"
+                % (len(report.errors), len(report.warnings),
+                   report.summary()),
+                report=report)
+        return report
+
+    def query(self, query: Union[str, XMASQuery, TupleDestroy],
+              analyze: Optional[str] = None) -> XMLElement:
         """The client entry point: an XMLElement root handle over the
-        virtual answer document."""
-        return self.prepare(query).root
+        virtual answer document.
+
+        ``analyze="static"`` vets the plan with the static analyzer
+        first (see :meth:`prepare`); hostile or broken views are
+        rejected before any source is touched.
+        """
+        return self.prepare(query, analyze=analyze).root
 
     def query_eager(self, query: Union[str, XMASQuery, TupleDestroy]
                     ) -> Tree:

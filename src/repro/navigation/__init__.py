@@ -21,7 +21,9 @@ from .complexity import (
     Browsability,
     ComplexityReport,
     CostCurve,
+    browsability_order,
     classify,
+    compose_classes,
     measure_cost,
 )
 from .counting import CountingDocument, NavCounters
@@ -52,7 +54,7 @@ __all__ = [
     "CountingDocument", "NavCounters",
     "ExploredPart", "explored_part", "UNFETCHED_LABEL",
     "Browsability", "CostCurve", "ComplexityReport", "classify",
-    "measure_cost",
+    "measure_cost", "browsability_order", "compose_classes",
     "NavigationProfile", "OperatorProfile", "profiled_cost",
     "profile_classify", "expected_verdict",
 ]

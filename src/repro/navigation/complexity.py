@@ -34,6 +34,8 @@ __all__ = [
     "Browsability",
     "CostCurve",
     "ComplexityReport",
+    "browsability_order",
+    "compose_classes",
     "measure_cost",
     "classify",
 ]
@@ -48,6 +50,43 @@ class Browsability(enum.Enum):
 
     def __str__(self) -> str:
         return self.value
+
+
+#: Definition 2 is a chain: bounded < browsable < unbrowsable.
+_CLASS_ORDER = {
+    Browsability.BOUNDED: 0,
+    Browsability.BROWSABLE: 1,
+    Browsability.UNBROWSABLE: 2,
+}
+
+
+def browsability_order(cls: Browsability) -> int:
+    """Position in the Definition 2 chain (0 = bounded browsable).
+
+    Comparisons between classes ("never more optimistic than") go
+    through this so every consumer agrees on the direction.
+    """
+    return _CLASS_ORDER[cls]
+
+
+def compose_classes(*classes: Browsability) -> Browsability:
+    """The class of a navigation that chains the given sub-navigations.
+
+    Definition 2's classes are closed under composition: answering one
+    client step by performing one step of each part costs the *worst*
+    part (a bounded step through an unbrowsable collection is still
+    unbrowsable, a bounded step through a bounded collection stays
+    bounded).  This is the one place the "composed class, not max of
+    syntactic parts" rule lives -- the static analyzer composes the
+    path class of a ``getDescendants`` with the *streaming* class of
+    the collection it navigates, instead of taking the max over the
+    operators that happen to appear in the plan text.
+    """
+    result = Browsability.BOUNDED
+    for cls in classes:
+        if _CLASS_ORDER[cls] > _CLASS_ORDER[result]:
+            result = cls
+    return result
 
 
 #: Builds the virtual view document from the (already wrapped and

@@ -109,6 +109,7 @@ class CountingDocument(NavigableDocument):
         if self.log:
             self.trace.append((command, pointer))
         if self.tracer is not None and self.tracer.active:
+            # lint: allow=E002 -- command is "d"/"r"/"f"/"select"
             self.tracer.emit("source", command, source=self.name)
         metrics = self.metrics
         if metrics is not None and metrics.enabled:

@@ -11,37 +11,53 @@ client navigation can exhibit, bottom-up over the operator tree:
   command ``select(sigma)`` available at the sources, a single-label
   last step is served in one source command and the class improves
   (the paper's Example 1 remark).
-* ``select``, ``join``, ``groupBy``, ``distinct`` are browsable: they
-  scan, but never need a whole list regardless of input.
-* ``orderBy`` and ``difference`` are unbrowsable: nothing can be
-  emitted before an entire input has been consumed.
+* ``select``, ``join``, ``distinct`` are browsable: they scan, but
+  never need a whole list regardless of input.
+* ``groupBy`` with grouping keys is browsable (finding the next
+  distinct key scans a data-dependent stretch of the input); a
+  *keyless* groupBy emits its single group as soon as the first input
+  binding exists, so its own contribution is bounded.
+* ``orderBy``, ``difference`` and ``materialize`` are unbrowsable:
+  nothing can be emitted before an entire input has been consumed
+  (``materialize`` is *semantically* the identity but operationally
+  evaluates its subtree eagerly on first touch).
 * structural operators (``concatenate``, ``createElement``,
   ``project``, ``rename``, ``constant``, ``union``) preserve their
   inputs' class.
 
+Composed classes, not max of parts
+----------------------------------
+A ``getDescendants`` that navigates *into a collected list* (an
+aggregation output of ``groupBy``, possibly concatenated or wrapped in
+a constructed element) does not simply take the max of the operators
+involved: its class is the *composition* of the path class with the
+class of streaming the collection itself
+(:func:`~repro.navigation.complexity.compose_classes`).  A wildcard
+walk over the single group of a keyless groupBy is bounded end to end,
+even though "groupBy" sounds browsable; a labeled walk over a keyed
+group stays browsable.  The inference therefore tracks, per variable,
+the streaming class of collection-valued bindings and composes at the
+navigation site.
+
 The benchmark suite checks this analysis against the *empirical*
-classifier on the paper's Example 1 views.
+classifier on the paper's Example 1 views, and the agreement suite
+checks it is never more optimistic than the navigation profiler.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from ..algebra import operators as ops
-from ..navigation.complexity import Browsability
-from ..xtree.path import Alt, Label, Opt, PathExpr, Plus, Seq, Star, Wildcard
+from ..navigation.complexity import Browsability, compose_classes
+from ..xtree.path import Label, PathExpr, Seq, Wildcard
 
-__all__ = ["classify_plan", "classify_path", "explain_plan"]
+__all__ = ["classify_plan", "classify_path", "classify_nodes",
+           "explain_plan"]
 
-_ORDER = {
-    Browsability.BOUNDED: 0,
-    Browsability.BROWSABLE: 1,
-    Browsability.UNBROWSABLE: 2,
-}
-
-
-def _max(a: Browsability, b: Browsability) -> Browsability:
-    return a if _ORDER[a] >= _ORDER[b] else b
+#: var name -> Definition 2 class of streaming that variable's
+#: collection value one member at a time.
+_Collections = Dict[str, Browsability]
 
 
 def classify_path(path: PathExpr,
@@ -80,31 +96,94 @@ def classify_path(path: PathExpr,
     return Browsability.BROWSABLE
 
 
-def classify_plan(plan: ops.Operator,
-                  sigma_available: bool = False) -> Browsability:
-    """The static browsability class of a plan."""
-    child_class = Browsability.BOUNDED
-    for child in plan.inputs:
-        child_class = _max(child_class,
-                           classify_plan(child, sigma_available))
+def _infer(plan: ops.Operator, sigma_available: bool
+           ) -> Tuple[Browsability, _Collections]:
+    """Bottom-up class inference: (plan class, collection classes).
 
-    if isinstance(plan, ops.Source):
-        own = Browsability.BOUNDED
-    elif isinstance(plan, ops.GetDescendants):
+    The returned mapping carries, for every variable holding a lazily
+    collected *list* value (groupBy aggregations and whatever
+    concatenate / createElement builds out of them), the class of
+    advancing one member of that list.  Navigation operators compose
+    with it instead of max-ing over syntactic parts.
+    """
+    child_cls = Browsability.BOUNDED
+    collections: _Collections = {}
+    for child in plan.inputs:
+        cls, colls = _infer(child, sigma_available)
+        child_cls = compose_classes(child_cls, cls)
+        collections.update(colls)
+
+    own = Browsability.BOUNDED
+    if isinstance(plan, ops.GetDescendants):
         own = classify_path(plan.path, sigma_available)
-    elif isinstance(plan, (ops.Select, ops.Join, ops.GroupBy,
-                           ops.Distinct)):
+        streaming = collections.get(plan.parent_var)
+        if streaming is not None:
+            # Navigating into a collected list: each output step
+            # advances the collection by (at worst) one member, so the
+            # composed class is path-class o streaming-class.
+            own = compose_classes(own, streaming)
+    elif isinstance(plan, (ops.Select, ops.Join, ops.Distinct)):
         own = Browsability.BROWSABLE
-    elif isinstance(plan, (ops.OrderBy, ops.Difference)):
-        own = Browsability.UNBROWSABLE
-    elif isinstance(plan, (ops.Concatenate, ops.CreateElement,
-                           ops.Project, ops.Rename, ops.Constant,
-                           ops.Union, ops.TupleDestroy,
+    elif isinstance(plan, ops.GroupBy):
+        member = compose_classes(
+            child_cls, *(collections.get(v, Browsability.BOUNDED)
+                         for v, _ in plan.aggregations))
+        if plan.group_vars:
+            # Finding the next distinct key scans a data-dependent
+            # stretch of the input; so does streaming one group.
+            own = Browsability.BROWSABLE
+            member = compose_classes(member, Browsability.BROWSABLE)
+        for _, out in plan.aggregations:
+            collections[out] = member
+    elif isinstance(plan, (ops.OrderBy, ops.Difference,
                            ops.Materialize)):
+        own = Browsability.UNBROWSABLE
+    elif isinstance(plan, ops.Concatenate):
+        collections[plan.out_var] = compose_classes(
+            *(collections.get(v, Browsability.BOUNDED)
+              for v in plan.in_vars))
+    elif isinstance(plan, ops.CreateElement):
+        # The new element's children *are* the content collection;
+        # navigating into it streams that collection.
+        streaming = collections.get(plan.content_var)
+        if streaming is not None:
+            collections[plan.out_var] = streaming
+    elif isinstance(plan, ops.Rename):
+        for old, new in plan.mapping.items():
+            if old in collections:
+                collections[new] = collections.pop(old)
+    elif isinstance(plan, (ops.Source, ops.Constant, ops.Project,
+                           ops.Union, ops.TupleDestroy)):
         own = Browsability.BOUNDED
     else:
         own = Browsability.BROWSABLE  # conservative default
-    return _max(own, child_class)
+    return compose_classes(own, child_cls), collections
+
+
+def classify_plan(plan: ops.Operator,
+                  sigma_available: bool = False) -> Browsability:
+    """The static browsability class of a plan."""
+    cls, _ = _infer(plan, sigma_available)
+    return cls
+
+
+def classify_nodes(plan: ops.Operator,
+                   sigma_available: bool = False
+                   ) -> List[Tuple[ops.Operator, Browsability]]:
+    """Per-node classification, root first (preorder).
+
+    Each node's class is the class of the subplan rooted there -- the
+    same value :func:`classify_plan` returns for that subtree.
+    """
+    result: List[Tuple[ops.Operator, Browsability]] = []
+
+    def walk(node: ops.Operator) -> None:
+        result.append((node, classify_plan(node, sigma_available)))
+        for child in node.inputs:
+            walk(child)
+
+    walk(plan)
+    return result
 
 
 def explain_plan(plan: ops.Operator,

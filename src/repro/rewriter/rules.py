@@ -182,6 +182,26 @@ def fixed_match_length(expr) -> Optional[int]:
     return None  # Star/Plus/Opt
 
 
+def nullable_path(expr) -> bool:
+    """Whether a path can match the empty step sequence.
+
+    A getDescendants match always consumes at least one step (the
+    output node is a proper descendant of its parent), so ``a*`` from
+    $X never yields $X itself.  A fused ``p1.a*`` reaches those
+    zero-step outer matches through p1 alone, changing the answer.
+    """
+    from ..xtree.path import Alt, Opt, Plus, Star
+    if isinstance(expr, (Star, Opt)):
+        return True
+    if isinstance(expr, Plus):
+        return nullable_path(expr.inner)
+    if isinstance(expr, Seq):
+        return all(nullable_path(p) for p in expr.parts)
+    if isinstance(expr, Alt):
+        return any(nullable_path(o) for o in expr.options)
+    return False  # Label/Wildcard
+
+
 def fuse_get_descendants(node: ops.Operator) -> Optional[ops.Operator]:
     if not isinstance(node, ops.GetDescendants) \
             or not isinstance(node.child, ops.GetDescendants):
@@ -190,6 +210,8 @@ def fuse_get_descendants(node: ops.Operator) -> Optional[ops.Operator]:
     if outer.parent_var != inner.out_var:
         return None
     if fixed_match_length(inner.path) is None:
+        return None
+    if nullable_path(outer.path):
         return None
     # The intermediate variable must be used nowhere but as the outer
     # operator's parent; we can only see this subtree, so the caller

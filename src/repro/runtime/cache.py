@@ -94,7 +94,7 @@ class ManagedCache:
     __slots__ = ("manager", "name", "kind", "stats", "_data", "_id")
 
     def __init__(self, manager: "CacheManager", name: str, kind: str,
-                 cache_id: int):
+                 cache_id: int) -> None:
         if kind not in ("memo", "state"):
             raise ValueError("unknown cache kind %r" % kind)
         self.manager = manager
@@ -111,7 +111,7 @@ class ManagedCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key: Hashable, default=MISS):
+    def get(self, key: Hashable, default: object = MISS) -> object:
         """The cached value for ``key``, else ``default`` (counted)."""
         if not self.active:
             return default
@@ -123,7 +123,7 @@ class ManagedCache:
             self.stats.misses += 1
             return default
 
-    def peek(self, key: Hashable, default=MISS):
+    def peek(self, key: Hashable, default: object = MISS) -> object:
         """Like :meth:`get` but without touching the counters."""
         if not self.active:
             return default
@@ -133,7 +133,7 @@ class ManagedCache:
             self.manager._touch(self, key)
             return self._data[key]
 
-    def put(self, key: Hashable, value) -> None:
+    def put(self, key: Hashable, value: object) -> None:
         """Store ``key`` -> ``value`` (may trigger evictions)."""
         if not self.active:
             return
@@ -166,7 +166,7 @@ class CacheManager:
     """
 
     def __init__(self, budget: Optional[int] = None,
-                 enabled: bool = True):
+                 enabled: bool = True) -> None:
         if budget is not None and budget < 0:
             raise ValueError("budget must be >= 0 or None")
         self.budget = budget

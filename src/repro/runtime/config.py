@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # import cycle: resilience imports this module
+    from .resilience import RetryPolicy
 
 __all__ = ["EngineConfig", "ConfigError", "validate_granularity"]
 
@@ -130,6 +133,15 @@ class EngineConfig:
         show per-operator navigation amplification -- the expensive
         half of tracing, and the input to the browsability profiler;
         off by default.
+
+    Static analysis
+        ``static_analysis`` gates the compile-time plan analyzer in
+        ``prepare()``: ``"off"`` (the default) never even imports it,
+        ``"static"`` runs it and rejects plans with *error* findings
+        (unsatisfiable paths, joins that can never match),
+        ``"strict"`` also rejects on warnings (unbrowsable views,
+        unbounded amplification).  The per-call ``analyze=`` argument
+        of ``prepare``/``query`` overrides this default.
     """
 
     optimize_plans: bool = True
@@ -155,6 +167,7 @@ class EngineConfig:
     on_source_failure: str = "fail"
     metrics_enabled: bool = False
     observe_operators: bool = False
+    static_analysis: str = "off"
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:
@@ -186,6 +199,10 @@ class EngineConfig:
             raise ConfigError(
                 "on_source_failure must be 'fail' or 'degrade', not %r"
                 % (self.on_source_failure,))
+        if self.static_analysis not in ("off", "static", "strict"):
+            raise ConfigError(
+                "static_analysis must be 'off', 'static' or 'strict', "
+                "not %r" % (self.static_analysis,))
 
     @property
     def resilience_active(self) -> bool:
@@ -200,7 +217,7 @@ class EngineConfig:
                 or self.retry_deadline_ms is not None
                 or self.on_source_failure != "fail")
 
-    def retry_policy(self):
+    def retry_policy(self) -> "RetryPolicy":
         """The :class:`~repro.runtime.resilience.RetryPolicy` these
         fields describe."""
         from .resilience import RetryPolicy
@@ -212,7 +229,7 @@ class EngineConfig:
             deadline_ms=self.retry_deadline_ms,
         )
 
-    def replace(self, **overrides) -> "EngineConfig":
+    def replace(self, **overrides: object) -> "EngineConfig":
         """A copy with the given fields replaced (validated anew)."""
         return dataclasses.replace(self, **overrides)
 

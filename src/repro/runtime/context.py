@@ -26,7 +26,11 @@ import itertools
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import (Any, Callable, ContextManager, Dict, Iterator,
+                    List, Optional, TYPE_CHECKING)
+
+if TYPE_CHECKING:  # import cycle: resilience imports this module
+    from .resilience import Clock
 
 from .cache import CacheManager
 from .config import EngineConfig
@@ -118,7 +122,8 @@ class Tracer:
     deterministic.  The default reads the system monotonic clock.
     """
 
-    def __init__(self, record: bool = False, clock=None):
+    def __init__(self, record: bool = False,
+                 clock: Optional["Clock"] = None) -> None:
         self._callbacks: List[Callable[[TraceEvent], None]] = []
         self.record = record
         self.events: List[TraceEvent] = []
@@ -156,7 +161,7 @@ class Tracer:
         return self.current_span()
 
     @contextmanager
-    def attach(self, span_id: Optional[int]):
+    def attach(self, span_id: Optional[int]) -> Iterator["Tracer"]:
         """Adopt a captured span as this thread's current span.
 
         Worker threads bracket their task with this so the spans and
@@ -181,7 +186,8 @@ class Tracer:
             self._callbacks.append(callback)
 
     @contextmanager
-    def subscribed(self, callback: Callable[[TraceEvent], None]):
+    def subscribed(self, callback: Callable[[TraceEvent], None]
+                   ) -> Iterator[Callable[[TraceEvent], None]]:
         """Subscribe ``callback`` for the duration of a block.
 
         The exception-safe pairing of :meth:`subscribe` and
@@ -212,7 +218,7 @@ class Tracer:
                     "callback %r is not subscribed" % (callback,)
                 ) from None
 
-    def emit(self, layer: str, event: str, **data) -> None:
+    def emit(self, layer: str, event: str, **data: object) -> None:
         """Publish one point event to subscribers (and the record).
 
         The event is stamped with the enclosing span (``parent_id``),
@@ -235,7 +241,8 @@ class Tracer:
             callback(record)
 
     @contextmanager
-    def span(self, layer: str, name: str, **data):
+    def span(self, layer: str, name: str,
+             **data: object) -> Iterator["Tracer"]:
         """A begin/end event pair around a block.
 
         Mints a span id, stamps it (plus the enclosing span as
@@ -279,7 +286,7 @@ class ExecutionContext:
     def __init__(self, config: Optional[EngineConfig] = None,
                  caches: Optional[CacheManager] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config if config is not None else EngineConfig()
         if caches is None:
             caches = CacheManager(budget=self.config.cache_budget,
@@ -296,11 +303,11 @@ class ExecutionContext:
         #: attribute read when metrics are off.
         self.metrics = metrics
         #: buffer stats registered by name (generic buffer components)
-        self.buffers: Dict[str, object] = {}
+        self.buffers: Dict[str, Any] = {}
         #: channel stats registered by name (remote sessions)
-        self.channels: Dict[str, object] = {}
+        self.channels: Dict[str, Any] = {}
         #: resilience stats registered by name (retry/breaker seams)
-        self.resilience: Dict[str, object] = {}
+        self.resilience: Dict[str, Any] = {}
         #: guards the registries: buffers and channels register from
         #: whichever thread opens them (fan-out tasks, prefetch
         #: workers), and names are minted from registry sizes
@@ -312,7 +319,7 @@ class ExecutionContext:
     @classmethod
     def create(cls, config: Optional[EngineConfig] = None,
                tracer: Optional[Tracer] = None,
-               **overrides) -> "ExecutionContext":
+               **overrides: object) -> "ExecutionContext":
         """A fresh context, optionally overriding config fields::
 
             ctx = ExecutionContext.create(cache_enabled=False)
@@ -323,12 +330,15 @@ class ExecutionContext:
         return cls(config=config, tracer=tracer)
 
     # -- tracing -----------------------------------------------------------
-    def trace(self, layer: str, event: str, **data) -> None:
+    def trace(self, layer: str, event: str, **data: object) -> None:
         """Emit one event through the context's tracer."""
+        # lint: allow=E002 -- the forwarding seam; call sites are checked
         self.tracer.emit(layer, event, **data)
 
-    def span(self, layer: str, name: str, **data):
+    def span(self, layer: str, name: str,
+             **data: object) -> ContextManager["Tracer"]:
         """A tracing span (contextmanager) through the tracer."""
+        # lint: allow=E002 -- the forwarding seam; call sites are checked
         return self.tracer.span(layer, name, **data)
 
     def mint_operator_name(self, kind: str) -> str:
@@ -362,12 +372,12 @@ class ExecutionContext:
             dispatcher.close()
 
     # -- registries --------------------------------------------------------
-    def register_buffer(self, name: str, stats) -> None:
+    def register_buffer(self, name: str, stats: Any) -> None:
         """Attach a buffer's stats object for aggregated reporting."""
         with self._registry_lock:
             self.buffers[name] = stats
 
-    def register_buffer_auto(self, stats) -> str:
+    def register_buffer_auto(self, stats: Any) -> str:
         """Register a client-side buffer under a freshly minted
         ``client-buffer#N`` name and return the name (see
         :meth:`register_channel_auto`)."""
@@ -376,12 +386,12 @@ class ExecutionContext:
             self.buffers[name] = stats
             return name
 
-    def register_channel(self, name: str, stats) -> None:
+    def register_channel(self, name: str, stats: Any) -> None:
         """Attach a remote channel's stats for aggregated reporting."""
         with self._registry_lock:
             self.channels[name] = stats
 
-    def register_channel_auto(self, stats) -> str:
+    def register_channel_auto(self, stats: Any) -> str:
         """Register a channel under a freshly minted ``remote#N`` name
         and return the name.  Mint and insert happen under one lock,
         so concurrent sessions opening channels never collide."""
@@ -390,7 +400,7 @@ class ExecutionContext:
             self.channels[name] = stats
             return name
 
-    def register_resilience(self, name: str, stats) -> None:
+    def register_resilience(self, name: str, stats: Any) -> None:
         """Attach a resilient seam's retry/breaker/degradation stats
         for aggregated reporting."""
         with self._registry_lock:

@@ -40,7 +40,8 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, cast)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -70,7 +71,8 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
     },
     "events": {
         "mediator": ("register_source", "prepare.begin", "prepare.end",
-                     "optimize", "optimizer.discarded_result"),
+                     "optimize", "optimizer.discarded_result",
+                     "static_analysis"),
         "source": ("d", "r", "f", "select"),
         "channel": ("round_trip",),
         "resilience": ("failure", "retry", "short_circuit",
@@ -107,7 +109,7 @@ def contract_violations(events: Iterable) -> List[str]:
     return violations
 
 
-def span_name_of(event) -> Optional[str]:
+def span_name_of(event: Any) -> Optional[str]:
     """The span name of a ``*.begin``/``*.end`` event, else None."""
     if event.span_id is None:
         return None
@@ -133,7 +135,8 @@ class _Instrument:
 
     kind = "untyped"
 
-    def __init__(self, name: str, registry: "MetricsRegistry"):
+    def __init__(self, name: str,
+                 registry: "MetricsRegistry") -> None:
         self.name = name
         self._registry = registry
         self._series: Dict[LabelKey, object] = {}
@@ -147,7 +150,7 @@ class _Instrument:
             return {self._labels_of(key): self._value_of(raw)
                     for key, raw in sorted(self._series.items())}
 
-    def _value_of(self, raw):
+    def _value_of(self, raw: Any) -> Any:
         return raw
 
 
@@ -156,16 +159,16 @@ class Counter(_Instrument):
 
     kind = "counter"
 
-    def inc(self, amount: float = 1, **labels) -> None:
+    def inc(self, amount: float = 1, **labels: object) -> None:
         if not self._registry.enabled:
             return
         key = _label_key(labels)
         with self._registry._lock:
             self._series[key] = self._series.get(key, 0) + amount
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         with self._registry._lock:
-            return self._series.get(_label_key(labels), 0)
+            return cast(float, self._series.get(_label_key(labels), 0))
 
 
 class Gauge(_Instrument):
@@ -173,15 +176,15 @@ class Gauge(_Instrument):
 
     kind = "gauge"
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         if not self._registry.enabled:
             return
         with self._registry._lock:
             self._series[_label_key(labels)] = value
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         with self._registry._lock:
-            return self._series.get(_label_key(labels), 0)
+            return cast(float, self._series.get(_label_key(labels), 0))
 
 
 #: default histogram buckets: byte-ish powers of four
@@ -208,11 +211,11 @@ class Histogram(_Instrument):
     kind = "histogram"
 
     def __init__(self, name: str, registry: "MetricsRegistry",
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         super().__init__(name, registry)
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: object) -> None:
         if not self._registry.enabled:
             return
         key = _label_key(labels)
@@ -248,7 +251,7 @@ class MetricsRegistry:
     :attr:`enabled` directly on a context's registry).
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._lock = threading.RLock()
         self._instruments: Dict[str, _Instrument] = {}
@@ -324,7 +327,7 @@ def _prometheus_name(name: str) -> str:
     return "repro_" + cleaned
 
 
-def _format_number(value) -> str:
+def _format_number(value: object) -> str:
     if isinstance(value, float) and value == int(value):
         return str(int(value))
     return str(value)
@@ -470,13 +473,13 @@ def build_span_tree(events: Iterable) -> SpanForest:
 # Exporters
 # ----------------------------------------------------------------------
 
-def _open_sink(sink, mode="w"):
+def _open_sink(sink: Any, mode: str = "w") -> Tuple[Any, bool]:
     if hasattr(sink, "write"):
         return sink, False
     return open(sink, mode), True
 
 
-def export_jsonl(events: Iterable, sink) -> int:
+def export_jsonl(events: Iterable, sink: Any) -> int:
     """Dump a trace as newline-delimited JSON, one event per line.
 
     ``sink`` is a path or a writable file object.  Events serialize
@@ -498,7 +501,7 @@ def export_jsonl(events: Iterable, sink) -> int:
     return written
 
 
-def export_chrome_trace(events: Sequence, sink) -> int:
+def export_chrome_trace(events: Sequence, sink: Any) -> int:
     """Dump a trace in Chrome ``trace_event`` JSON (the array-of-events
     object form), loadable in ``chrome://tracing`` and Perfetto.
 
@@ -511,7 +514,7 @@ def export_chrome_trace(events: Sequence, sink) -> int:
     """
     tids: Dict[object, int] = {}
 
-    def tid_of(event) -> int:
+    def tid_of(event: Any) -> int:
         return tids.setdefault(event.thread, len(tids) + 1)
 
     records = []
@@ -548,7 +551,7 @@ def export_chrome_trace(events: Sequence, sink) -> int:
     return len(records)
 
 
-def export_prometheus(registry: MetricsRegistry, sink) -> str:
+def export_prometheus(registry: MetricsRegistry, sink: Any) -> str:
     """Write the registry's Prometheus text exposition to ``sink``
     (path or file object) and return it."""
     text = registry.to_prometheus()

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 __all__ = ["FanoutDispatcher"]
 
@@ -46,7 +46,8 @@ class FanoutDispatcher:
     exit).
     """
 
-    def __init__(self, workers: int = 0, tracer=None):
+    def __init__(self, workers: int = 0,
+                 tracer: Optional[Any] = None) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -77,7 +78,7 @@ class FanoutDispatcher:
                     thread_name_prefix="mix-fanout")
             return self._executor
 
-    def _run_in_worker(self, thunk: Callable):
+    def _run_in_worker(self, thunk: Callable) -> Any:
         self._local.in_worker = True
         try:
             return thunk()
@@ -95,7 +96,7 @@ class FanoutDispatcher:
         if parent is None:
             return thunk
 
-        def attached():
+        def attached() -> Any:
             with tracer.attach(parent):
                 return thunk()
         return attached

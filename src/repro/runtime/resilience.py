@@ -35,7 +35,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import (
     FAILURE_TYPES,
@@ -170,7 +170,7 @@ class CircuitBreaker:
     def __init__(self, failure_threshold: int = 5,
                  reset_timeout_ms: float = 30000.0,
                  clock: Clock = SYSTEM_CLOCK,
-                 name: str = ""):
+                 name: str = "") -> None:
         if failure_threshold < 1:
             raise ConfigError("failure_threshold must be >= 1")
         if reset_timeout_ms < 0:
@@ -308,9 +308,9 @@ class ResilientCaller:
                  policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
-                 tracer=None,
+                 tracer: Optional[Any] = None,
                  stats: Optional[ResilienceStats] = None,
-                 metrics=None):
+                 metrics: Optional[Any] = None) -> None:
         self.name = name
         self.policy = policy if policy is not None else RetryPolicy()
         self.breaker = breaker
@@ -321,8 +321,9 @@ class ResilientCaller:
         #: increments ``resilience_events_total{source=,event=}``
         self.metrics = metrics
 
-    def _trace(self, event: str, **data) -> None:
+    def _trace(self, event: str, **data: object) -> None:
         if self.tracer is not None and self.tracer.active:
+            # lint: allow=E002 -- callers pass contract names verbatim
             self.tracer.emit("resilience", event, source=self.name,
                              **data)
         metrics = self.metrics
@@ -330,7 +331,8 @@ class ResilientCaller:
             metrics.counter("resilience_events_total").inc(
                 source=self.name, event=event)
 
-    def call(self, fn: Callable, *args, key: object = None):
+    def call(self, fn: Callable, *args: object,
+             key: object = None) -> Any:
         """Run ``fn(*args)`` under the policy; return its result or
         raise the final failure."""
         stats = self.stats
@@ -406,7 +408,7 @@ def is_error_label(label: str) -> bool:
     return label == ERROR_LABEL
 
 
-def error_placeholder(source: str, reason: str):
+def error_placeholder(source: str, reason: str) -> Any:
     """The marked partial-answer element ``<mix:error source=...>``.
 
     Shipped as an ordinary closed fragment, it flows through the
@@ -437,12 +439,13 @@ class ResilientLXPServer:
     untouched.
     """
 
-    def __init__(self, server, name: str = "source",
+    def __init__(self, server: Any, name: str = "source",
                  policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
                  on_failure: str = "fail",
-                 tracer=None, metrics=None):
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[Any] = None) -> None:
         if on_failure not in ("fail", "degrade"):
             raise ConfigError(
                 "on_failure must be 'fail' or 'degrade', not %r"
@@ -459,13 +462,13 @@ class ResilientLXPServer:
     def breaker(self) -> Optional[CircuitBreaker]:
         return self.caller.breaker
 
-    def _degrade(self, err: BaseException):
+    def _degrade(self, err: BaseException) -> List[Any]:
         with self.resilience.lock:
             self.resilience.degraded += 1
         self.caller._trace("degraded", error=type(err).__name__)
         return [error_placeholder(self.name, str(err))]
 
-    def get_root(self):
+    def get_root(self) -> Any:
         from ..buffer.holes import FragHole
         try:
             return self.caller.call(self.server.get_root,
@@ -479,7 +482,7 @@ class ResilientLXPServer:
                 self.resilience.degraded += 1
             return FragHole((_ERROR_HOLE, str(err)))
 
-    def fill(self, hole_id):
+    def fill(self, hole_id: Any) -> Any:
         if isinstance(hole_id, tuple) and hole_id \
                 and hole_id[0] == _ERROR_HOLE:
             return [error_placeholder(self.name, hole_id[1])]
@@ -491,7 +494,7 @@ class ResilientLXPServer:
                 raise
             return self._degrade(err)
 
-    def fill_batch(self, hole_ids, speculate: int = 0):
+    def fill_batch(self, hole_ids: Any, speculate: int = 0) -> Any:
         """Batched fill through the same retry/breaker/degrade seam.
 
         One batch is one retriable operation (the whole round trip is
@@ -523,7 +526,7 @@ class ResilientLXPServer:
             return [(hid, [error_placeholder(self.name, str(err))])
                     for hid in hole_ids]
 
-    def __getattr__(self, attr):
+    def __getattr__(self, attr: str) -> Any:
         # Transparent proxy for everything else (stats, chunk_size...)
         return getattr(self.server, attr)
 
@@ -538,11 +541,12 @@ class ResilientDocument:
     always raises; degradation is a property of the fragment seams.
     """
 
-    def __init__(self, document, name: str = "channel",
+    def __init__(self, document: Any, name: str = "channel",
                  policy: Optional[RetryPolicy] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  clock: Clock = SYSTEM_CLOCK,
-                 tracer=None, metrics=None):
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[Any] = None) -> None:
         self.document = document
         self.name = name
         self.caller = ResilientCaller(name, policy=policy,
@@ -550,31 +554,31 @@ class ResilientDocument:
                                       tracer=tracer, metrics=metrics)
         self.resilience = self.caller.stats
 
-    def root(self):
+    def root(self) -> Any:
         return self.caller.call(self.document.root, key="root")
 
-    def down(self, pointer):
+    def down(self, pointer: Any) -> Any:
         return self.caller.call(self.document.down, pointer,
                                 key="down")
 
-    def right(self, pointer):
+    def right(self, pointer: Any) -> Any:
         return self.caller.call(self.document.right, pointer,
                                 key="right")
 
-    def fetch(self, pointer):
+    def fetch(self, pointer: Any) -> Any:
         return self.caller.call(self.document.fetch, pointer,
                                 key="fetch")
 
-    def select(self, pointer, predicate):
+    def select(self, pointer: Any, predicate: Any) -> Any:
         return self.caller.call(
             lambda: self.document.select(pointer, predicate),
             key="select")
 
-    def apply(self, command, pointer):
+    def apply(self, command: str, pointer: Any) -> Any:
         from ..navigation.interface import NavigableDocument
         return NavigableDocument.apply(self, command, pointer)
 
-    def __getattr__(self, attr):
+    def __getattr__(self, attr: str) -> Any:
         return getattr(self.document, attr)
 
 
@@ -582,7 +586,8 @@ class ResilientDocument:
 # Config-driven factories
 # ----------------------------------------------------------------------
 
-def _build(config, name, clock, tracer):
+def _build(config: Any, name: str, clock: Clock, tracer: Any
+           ) -> Tuple[RetryPolicy, CircuitBreaker]:
     policy = config.retry_policy()
     breaker = CircuitBreaker(
         failure_threshold=config.breaker_threshold,
@@ -591,9 +596,11 @@ def _build(config, name, clock, tracer):
     return policy, breaker
 
 
-def resilient_server(server, config, name: str = "source",
+def resilient_server(server: Any, config: Any,
+                     name: str = "source",
                      clock: Optional[Clock] = None,
-                     tracer=None, context=None):
+                     tracer: Optional[Any] = None,
+                     context: Optional[Any] = None) -> Any:
     """Wrap an LXP server per ``config``; pass-through when inactive.
 
     When ``config.resilience_active`` is false the server is returned
@@ -616,9 +623,11 @@ def resilient_server(server, config, name: str = "source",
     return wrapped
 
 
-def resilient_document(document, config, name: str = "channel",
+def resilient_document(document: Any, config: Any,
+                       name: str = "channel",
                        clock: Optional[Clock] = None,
-                       tracer=None, context=None):
+                       tracer: Optional[Any] = None,
+                       context: Optional[Any] = None) -> Any:
     """Wrap a NavigableDocument per ``config``; pass-through when
     inactive (see :func:`resilient_server`)."""
     if not config.resilience_active:

@@ -21,7 +21,7 @@ against their own inferred DTDs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..xtree.path import PathNFA
 from ..xtree.tree import Tree
@@ -99,6 +99,22 @@ class InferredDTD:
                                                           PCDATA):
                 lines.append("<!ELEMENT %s ANY>" % name)
         return "\n".join(lines)
+
+    def child_names(self, name: str) -> Optional[Set[str]]:
+        """The element names allowed as children of ``name``, or
+        ``None`` when the content is open (declared ANY / provided by
+        the sources) -- the closed/open distinction the static path
+        checker needs to build a schema graph from an inferred DTD.
+        """
+        decl = self._by_name.get(name)
+        if decl is None:
+            return None
+        names: Set[str] = set()
+        for particle in decl.particles:
+            if ANY_NAME in particle.names:
+                return None
+            names.update(n for n in particle.names if n != PCDATA)
+        return names
 
     # -- validation ---------------------------------------------------------
     def validate(self, answer: Tree) -> List[str]:

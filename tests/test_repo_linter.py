@@ -1,0 +1,175 @@
+"""The repo linter (``tools/lint_repro.py``).
+
+Three properties: the tree it gates is clean under it, each check
+fires on a minimal synthetic violation, and the inline
+``# lint: allow=`` suppressions work.  The linter is loaded from its
+file path -- it is a tool, not part of the ``repro`` package.
+"""
+
+import importlib.util
+from pathlib import Path
+
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO / "tools" / "lint_repro.py")
+lint_repro = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_repro)
+
+EVENT_NAMES = lint_repro._load_event_names(REPO)
+
+
+def _lint_source(tmp_path, source, name="probe.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_repro.lint_file(path, EVENT_NAMES)
+
+
+def _codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self, capsys):
+        assert lint_repro.main([str(REPO / "src" / "repro")]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_tools_and_examples_are_clean_too(self):
+        assert lint_repro.main([str(REPO / "tools"),
+                                str(REPO / "examples")]) == 0
+
+
+class TestLockConsistency:
+    LEAKY = """\
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._count = 0
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    def sneak(self, item):
+        self._items.append(item)
+        self._count = 2
+"""
+
+    def test_unlocked_mutation_of_guarded_attr(self, tmp_path):
+        findings = _lint_source(tmp_path, self.LEAKY)
+        assert _codes(findings) == ["L001", "L001"]
+        assert sorted(f.message for f in findings) == [
+            "Box.sneak mutates self._count outside its lock (guarded "
+            "elsewhere in the class)",
+            "Box.sneak mutates self._items outside its lock (guarded "
+            "elsewhere in the class)",
+        ]
+
+    def test_init_and_locked_methods_exempt(self, tmp_path):
+        source = self.LEAKY.replace("def sneak", "def _sneak_locked")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_unguarded_class_is_fine(self, tmp_path):
+        source = """\
+class Plain:
+    def __init__(self):
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)
+"""
+        assert _lint_source(tmp_path, source) == []
+
+
+class TestEventNameContract:
+    def test_known_literal_passes(self, tmp_path):
+        layer, names = sorted(EVENT_NAMES["events"].items())[0]
+        source = "tracer.emit(%r, %r, x=1)\n" % (layer,
+                                                 sorted(names)[0])
+        assert _lint_source(tmp_path, source) == []
+
+    def test_unknown_name_is_e001(self, tmp_path):
+        layer = sorted(EVENT_NAMES["events"])[0]
+        findings = _lint_source(
+            tmp_path, "tracer.emit(%r, 'no_such_event')\n" % layer)
+        assert _codes(findings) == ["E001"]
+
+    def test_unknown_layer_is_e001(self, tmp_path):
+        findings = _lint_source(
+            tmp_path, "tracer.emit('no_such_layer', 'x')\n")
+        assert _codes(findings) == ["E001"]
+
+    def test_non_literal_name_is_e002(self, tmp_path):
+        layer = sorted(EVENT_NAMES["events"])[0]
+        findings = _lint_source(
+            tmp_path, "tracer.emit(%r, some_variable)\n" % layer)
+        assert _codes(findings) == ["E002"]
+
+    def test_span_checked_against_span_table(self, tmp_path):
+        layer = sorted(EVENT_NAMES["spans"])[0]
+        findings = _lint_source(
+            tmp_path, "tracer.span(%r, 'no_such_span')\n" % layer)
+        assert _codes(findings) == ["E001"]
+
+
+class TestHygiene:
+    def test_bare_except_is_x100(self, tmp_path):
+        source = """\
+try:
+    pass
+except:
+    pass
+"""
+        assert _codes(_lint_source(tmp_path, source)) == ["X100"]
+
+    def test_typed_except_is_fine(self, tmp_path):
+        source = """\
+try:
+    pass
+except ValueError:
+    pass
+"""
+        assert _lint_source(tmp_path, source) == []
+
+    def test_real_sleep_is_x101(self, tmp_path):
+        source = "import time\ntime.sleep(0.1)\n"
+        assert _codes(_lint_source(tmp_path, source)) == ["X101"]
+
+    def test_sleep_allowed_in_runtime_resilience(self, tmp_path):
+        source = "import time\ntime.sleep(0.1)\n"
+        assert _lint_source(tmp_path, source,
+                            name="runtime/resilience.py") == []
+
+
+class TestSuppression:
+    def test_same_line_allow(self, tmp_path):
+        source = ("import time\n"
+                  "time.sleep(0.1)  # lint: allow=X101\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_line_above_allow(self, tmp_path):
+        source = ("import time\n"
+                  "# lint: allow=X101 -- testing the clock itself\n"
+                  "time.sleep(0.1)\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_allow_is_code_specific(self, tmp_path):
+        source = ("import time\n"
+                  "time.sleep(0.1)  # lint: allow=X100\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["X101"]
+
+
+class TestDriver:
+    def test_findings_exit_one_and_render_path_line(self, tmp_path,
+                                                    capsys):
+        probe = tmp_path / "bad.py"
+        probe.write_text("import time\ntime.sleep(1)\n")
+        assert lint_repro.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2: X101" in out

@@ -79,6 +79,37 @@ class TestAnalyzer:
                         ["Xs"], "C"), "a", "C", "E")
         assert classify_plan(outer) is Browsability.UNBROWSABLE
 
+    def test_keyless_groupby_composes_bounded(self):
+        # Regression: a wildcard walk into the single group of a
+        # *keyless* groupBy is bounded end to end -- the class is the
+        # composition of path class and collection-streaming class,
+        # not the max over syntactic parts.
+        vals = Project(
+            GetDescendants(Source("src0", "R"), "R", "_", "V"), ["V"])
+        keyless = GroupBy(vals, [], [("V", "LV")])
+        plan = Project(
+            GetDescendants(keyless, "LV", "_", "X"), ["X"])
+        assert classify_plan(plan) is Browsability.BOUNDED
+
+    def test_keyed_groupby_composes_browsable(self):
+        # With grouping keys, streaming a group scans a
+        # data-dependent stretch of the input: composed class
+        # degrades to browsable even under a wildcard walk.
+        vals = Project(
+            GetDescendants(Source("src0", "R"), "R", "_", "V"), ["V"])
+        keyed = GroupBy(vals, ["V"], [("V", "LV")])
+        plan = Project(
+            GetDescendants(keyed, "LV", "_", "X"), ["X"])
+        assert classify_plan(plan) is Browsability.BROWSABLE
+
+    def test_labeled_walk_into_keyless_group_is_browsable(self):
+        vals = Project(
+            GetDescendants(Source("src0", "R"), "R", "_", "V"), ["V"])
+        keyless = GroupBy(vals, [], [("V", "LV")])
+        plan = Project(
+            GetDescendants(keyless, "LV", "hit", "X"), ["X"])
+        assert classify_plan(plan) is Browsability.BROWSABLE
+
     def test_explain_covers_all_nodes(self):
         text = explain_plan(fig4_plan())
         assert text.count("\n") + 1 == \
@@ -168,6 +199,21 @@ class TestRules:
         plan = Project(GetDescendants(inner, "X", "b", "Y"), ["Y"])
         optimized, trace = optimize(plan)
         assert "fuse-get-descendants" not in trace.applied
+
+    def test_fusion_blocked_for_nullable_outer_path(self):
+        # Regression: getDescendants never yields a zero-step match
+        # ($Y is a proper descendant of $X), but a fused "_.a*"
+        # reaches X itself through "_" alone -- fusing a nullable
+        # outer path invents bindings.
+        from repro.xtree import Tree, leaf
+
+        inner = GetDescendants(Source("src", "R"), "R", "_", "X")
+        plan = Project(GetDescendants(inner, "X", "a*", "Y"), ["Y"])
+        optimized, trace = optimize(plan)
+        assert "fuse-get-descendants" not in trace.applied
+        tree = Tree("src", [leaf("1")])
+        assert list(evaluate_bindings(optimized, {"src": tree})) \
+            == list(evaluate_bindings(plan, {"src": tree}))
 
 
 class TestOptimizerEquivalence:
