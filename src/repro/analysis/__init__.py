@@ -1,10 +1,11 @@
 """Static plan diagnostics: compile-time browsability, schema, cost,
-and rewrite analysis over XMAS algebra plans (the query-compiler
-counterpart of the PR 4 *empirical* navigation profiler).
+rewrite, and pushdown analysis over XMAS algebra plans (the
+query-compiler counterpart of the PR 4 *empirical* navigation
+profiler).
 
 Entry points:
 
-* :func:`analyze_plan` / :func:`analyze_query` -- run the four passes,
+* :func:`analyze_plan` / :func:`analyze_query` -- run the five passes,
 * :class:`AnalysisReport` / :class:`Finding` / :data:`CODES` -- the
   structured result model,
 * :class:`SchemaGraph` -- source schema knowledge for the path checker,
@@ -26,6 +27,7 @@ from .findings import (
     Finding,
     Severity,
 )
+from .pushdown import pushdown_pass
 from .rewrites import rewrites_pass
 from .schema import SchemaGraph, schema_pass, static_truth
 from .walk import node_at, walk_with_paths
@@ -35,6 +37,7 @@ __all__ = [
     "AnalysisReport", "Finding", "Severity", "CodeInfo", "CODES",
     "SchemaGraph", "static_truth",
     "browsability_pass", "schema_pass", "cost_pass", "rewrites_pass",
+    "pushdown_pass",
     "cardinality_degree",
     "ExampleQuery", "extract_queries", "scan_examples",
     "walk_with_paths", "node_at",

@@ -1,4 +1,4 @@
-"""The static plan analyzer: orchestrates the four diagnostic passes.
+"""The static plan analyzer: orchestrates the five diagnostic passes.
 
 ``analyze_plan`` walks a compiled XMAS algebra plan *before any source
 is touched* and returns an :class:`AnalysisReport` combining
@@ -6,7 +6,8 @@ is touched* and returns an :class:`AnalysisReport` combining
 1. composed browsability inference   (:mod:`.browsability`, B-codes),
 2. schema-aware path checking        (:mod:`.schema`,       S-codes),
 3. cost / cardinality bounding       (:mod:`.cost`,         C-codes),
-4. rewrite hints                     (:mod:`.rewrites`,     R-codes).
+4. rewrite hints                     (:mod:`.rewrites`,     R-codes),
+5. pushdown opportunities            (:mod:`.pushdown`,     R013/P001).
 
 ``analyze_query`` is the text-level entry: parse, translate, optionally
 optimize (mirroring what the mediator would execute), then analyze.
@@ -30,6 +31,7 @@ from ..xmas.translate import translate
 from .browsability import browsability_pass
 from .cost import cost_pass
 from .findings import AnalysisReport
+from .pushdown import pushdown_pass
 from .rewrites import rewrites_pass
 from .schema import SchemaSpec, schema_pass
 
@@ -41,7 +43,7 @@ def analyze_plan(plan: ops.Operator,
                  schemas: Optional[Mapping[str, SchemaSpec]] = None,
                  suppress: Sequence[str] = (),
                  subject: str = "") -> AnalysisReport:
-    """Run all four static passes over a compiled plan."""
+    """Run all five static passes over a compiled plan."""
     config = config or EngineConfig()
     plan.validate()
     findings: list = []
@@ -49,6 +51,7 @@ def analyze_plan(plan: ops.Operator,
     findings.extend(schema_pass(plan, schemas))
     findings.extend(cost_pass(plan, config))
     findings.extend(rewrites_pass(plan))
+    findings.extend(pushdown_pass(plan, config))
     verdict = str(classify_plan(
         plan, sigma_available=config.use_sigma))
     return AnalysisReport(findings, verdict=verdict,

@@ -79,8 +79,8 @@ def _registry(*entries: CodeInfo) -> Dict[str, CodeInfo]:
 
 
 #: The stable code registry.  B = browsability, S = schema/path,
-#: C = cost/cardinality, R = rewrite hints.  Codes are append-only:
-#: retired codes keep their number reserved.
+#: C = cost/cardinality, R = rewrite hints, P = pushdown.  Codes are
+#: append-only: retired codes keep their number reserved.
 CODES: Dict[str, CodeInfo] = _registry(
     CodeInfo("B001", Severity.WARNING, "unbrowsable-view",
              "the whole view is unbrowsable: some client navigation "
@@ -126,6 +126,14 @@ CODES: Dict[str, CodeInfo] = _registry(
     CodeInfo("R012", Severity.INFO, "redundant-duplicate-operator",
              "an operator is stacked directly on an identical one "
              "(distinct over distinct, materialize over materialize)"),
+    CodeInfo("R013", Severity.INFO, "pushdown-available",
+             "a maximal single-source chain compiles to one native "
+             "request (merged SELECT, page drain, extent query, "
+             "document scan)"),
+    CodeInfo("P001", Severity.INFO, "pushdown-disabled",
+             "the plan has pushable single-source chains but "
+             "EngineConfig.pushdown is off, so they evaluate "
+             "navigation-by-navigation"),
     CodeInfo("X001", Severity.ERROR, "query-does-not-compile",
              "the query text fails to parse, translate, or validate"),
 )

@@ -1,0 +1,67 @@
+"""Pass 5: pushdown opportunities (R013 / P001).
+
+Walks the plan with the same chain recognizer the runtime pushdown
+compiler uses (:func:`repro.pushdown.compiled.compile_chain`) and
+reports every *maximal* single-source chain with at least one
+navigation step as ``R013`` ("this compiles to one native request").
+When the analyzed :class:`~repro.runtime.config.EngineConfig` has
+``pushdown`` off, one plan-level ``P001`` points out that the chains
+will evaluate navigation-by-navigation anyway.
+
+Chains without a navigation step (a bare ``Source`` leaf, possibly
+under a project) are not reported: there is nothing for a native
+request to fold, so the hint would fire on virtually every plan.
+
+Like every pass, this is advisory only -- the analyzer never mutates
+the plan, and whether a wrapper would actually *accept* the chain is a
+runtime negotiation this static pass cannot see.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algebra import operators as ops
+from ..pushdown.compiled import CompiledSubplan, compile_chain
+from ..runtime.config import EngineConfig
+from .findings import Finding
+from .walk import walk_with_paths
+
+__all__ = ["pushdown_pass"]
+
+
+def pushdown_pass(plan: ops.Operator,
+                  config: EngineConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    chains: List[CompiledSubplan] = []
+    covered: set = set()
+    for path, node in walk_with_paths(plan):
+        if any(path.startswith(prefix) for prefix in covered):
+            # Inside an already-reported maximal chain: sub-chains of
+            # the same source would repeat the hint.
+            continue
+        compiled = compile_chain(node)
+        if compiled is None or not compiled.steps:
+            continue
+        covered.add(path + "." if path else path)
+        chains.append(compiled)
+        findings.append(Finding(
+            "R013",
+            "single-source chain over %r (%d step(s), %d filter(s)) "
+            "compiles to one native request"
+            % (compiled.url, len(compiled.steps),
+               len(compiled.filters)),
+            node_path=path, signature=node.signature(),
+            data={"url": compiled.url,
+                  "steps": len(compiled.steps),
+                  "filters": len(compiled.filters)}))
+    if chains and not config.pushdown:
+        findings.append(Finding(
+            "P001",
+            "%d pushable chain(s) found but EngineConfig.pushdown is "
+            "off; enable it (or --pushdown) to collapse their source "
+            "navigation into one native request each"
+            % len(chains),
+            node_path="", signature=plan.signature(),
+            data={"chains": len(chains)}))
+    return findings

@@ -21,16 +21,35 @@ from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from ..navigation.interface import NavigableDocument
+from ..xtree.tree import Tree
 from .holes import (
+    FragHole,
     LXPProtocolError,
     OpenElem,
     OpenHole,
+    fragment_of_tree,
     graft,
     validate_fill_reply,
 )
 from .lxp import LXPServer
 
 __all__ = ["BufferComponent", "BufferStats"]
+
+
+class _PrefilledServer(LXPServer):
+    """The degenerate server behind a pre-filled buffer.
+
+    Its root hole is replaced before any navigation can observe it, so
+    a fill request can only mean the adopted subtree was wrong --
+    which is a protocol error, never silently fabricated data.
+    """
+
+    def get_root(self) -> FragHole:
+        return FragHole(("prefilled",))
+
+    def fill(self, hole_id: object):
+        raise LXPProtocolError(
+            "prefilled buffer has no holes to fill (got %r)" % (hole_id,))
 
 
 @dataclass
@@ -84,6 +103,22 @@ class BufferComponent(NavigableDocument):
         #: results through the same lock.  Re-entrant: a splice may
         #: happen inside a navigation that already holds it.
         self._lock = threading.RLock()
+
+    @classmethod
+    def prefilled(cls, tree: Tree, tracer=None,
+                  name: str = "") -> "BufferComponent":
+        """A buffer whose open tree is ``tree``, fully closed.
+
+        This is how a pushed source-native result enters the
+        navigation stack: the complete reply is adopted as one
+        hole-free subtree, so every later navigation is a buffer hit
+        and no fill (hence no source navigation) can ever happen.
+        """
+        buffer = cls(_PrefilledServer(), tracer=tracer, name=name)
+        with buffer._lock:
+            root = graft(fragment_of_tree(tree), buffer._top)
+            buffer._top.children = [root]
+        return buffer
 
     # -- splicing --------------------------------------------------------
     def _splice(self, hole: OpenHole, fragments) -> None:

@@ -90,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hybrid", action="store_true",
                      help="allow intermediate eager steps above "
                           "unbrowsable subplans")
+    run.add_argument("--pushdown", action="store_true",
+                     help="compile maximal single-source subplans "
+                          "into one native request each (E16; "
+                          "default off keeps the lazy reference "
+                          "path)")
     run.add_argument("--retries", type=int, default=1, metavar="N",
                      help="total attempts per source operation "
                           "(default 1 = fail fast; >1 enables "
@@ -225,6 +230,7 @@ def _cmd_query(args) -> int:
         cache_budget=args.cache_budget,
         use_sigma=args.sigma,
         hybrid=args.hybrid,
+        pushdown=args.pushdown,
         chunk_size=args.chunk_size,
         retry_max_attempts=args.retries,
         retry_deadline_ms=args.retry_deadline,
@@ -282,6 +288,14 @@ def _cmd_query(args) -> int:
                 print("  %-22s hits=%-6d misses=%-6d evictions=%d"
                       % (name, counts["hits"], counts["misses"],
                          counts["evictions"]), file=sys.stderr)
+            pushed = stats.get("pushdown")
+            if pushed:
+                print("-- pushdown --", file=sys.stderr)
+                for decision in pushed["decisions"]:
+                    print("  %-6s %s: %s"
+                          % ("pushed" if decision["pushed"]
+                             else "kept", decision["url"],
+                             decision["detail"]), file=sys.stderr)
             resilience = stats.get("resilience")
             if resilience:
                 print("-- resilience --", file=sys.stderr)

@@ -25,6 +25,8 @@ from typing import Callable, Mapping, Optional
 
 from ..algebra import operators as ops
 from ..navigation.interface import NavigableDocument
+from ..pushdown.document import PushedSourceDocument
+from ..pushdown.plan import PushedSource
 from ..runtime.context import ExecutionContext
 from .base import LazyError, LazyOperator
 from .concat import LazyConcatenate
@@ -107,6 +109,15 @@ def _build_lazy_node(plan: ops.Operator, documents: DocumentResolver,
     def rec(node: ops.Operator) -> LazyOperator:
         return build_lazy_plan(node, documents, context)
 
+    if isinstance(plan, PushedSource):
+        # A pushed chain: stand a PushedSourceDocument (one native
+        # request, executed on first navigation) where the wrapped
+        # source would be, and replay the *original* chain over it --
+        # the residual evaluation that makes conservative backends
+        # sound and answers byte-identical to the lazy run.
+        pushed = PushedSourceDocument(plan, context)
+        return build_lazy_plan(plan.compiled.subplan,
+                               {plan.compiled.url: pushed}, context)
     if isinstance(plan, ops.Source):
         return LazySource(_resolve(documents, plan.url), plan.out_var,
                           context)

@@ -24,15 +24,17 @@ Configuration lives in one frozen :class:`~repro.runtime.config.
 EngineConfig`; every ``prepare()`` creates a fresh
 :class:`~repro.runtime.context.ExecutionContext` (config + budgeted
 cache registry + tracing hooks) and threads it down the whole operator
-tower.  The legacy boolean keyword arguments still work through a
-deprecation shim.
+tower.  With ``config.pushdown`` on, ``prepare()`` additionally runs
+the :mod:`repro.pushdown` compiler pass: maximal single-source
+subplans whose wrappers accept the negotiation execute as one native
+request each instead of navigation-by-navigation.
 """
 
 from __future__ import annotations
 
 import threading
 import warnings
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..algebra.eager import evaluate
 from ..algebra.operators import Operator, Source, TupleDestroy, walk_plan
@@ -70,13 +72,6 @@ class MediatorWarning(UserWarning):
     in favor of the initial plan)."""
 
 
-_UNSET = object()
-
-#: legacy MIXMediator keyword arguments -> EngineConfig field
-_LEGACY_KWARGS = ("optimize_plans", "cache_enabled", "use_sigma",
-                  "hybrid")
-
-
 class QueryResult:
     """Everything the mediator knows about one processed query,
     including its :class:`ExecutionContext` (config, caches, tracing)
@@ -87,7 +82,9 @@ class QueryResult:
                  trace: Optional[OptimizationTrace],
                  document: VirtualDocument,
                  context: Optional[ExecutionContext] = None,
-                 meter_baseline: Optional[Dict[str, NavCounters]] = None):
+                 meter_baseline: Optional[Dict[str, NavCounters]] = None,
+                 executed_plan: Optional[Operator] = None,
+                 pushdown_decisions: Tuple = ()):
         self.mediator = mediator
         self.plan = plan
         self.initial_plan = initial_plan
@@ -99,6 +96,14 @@ class QueryResult:
         self._root: Optional[XMLElement] = None
         #: the static AnalysisReport when prepare() ran with analysis
         self.analysis = None
+        #: the plan that actually executes: ``plan`` with accepted
+        #: chains spliced as PushedSource leaves (== ``plan`` when the
+        #: pushdown pass is off or pushed nothing)
+        self.executed_plan = executed_plan if executed_plan is not None \
+            else plan
+        #: the pushdown pass's PushdownDecision records (empty when
+        #: the pass did not run)
+        self.pushdown_decisions = tuple(pushdown_decisions)
 
     @property
     def root(self) -> XMLElement:
@@ -147,6 +152,13 @@ class QueryResult:
             "per_source": per_source,
             "by_command": total.as_dict(),
         }
+        if self.pushdown_decisions:
+            report["pushdown"] = {
+                "pushed": sum(1 for d in self.pushdown_decisions
+                              if d.pushed),
+                "decisions": [d.as_dict()
+                              for d in self.pushdown_decisions],
+            }
         return report
 
     def profile(self):
@@ -203,6 +215,14 @@ class QueryResult:
         lines.append("browsability: %s" % classify_plan(self.plan))
         lines.append("")
         lines.append(explain_plan(self.plan))
+        if self.pushdown_decisions:
+            lines.append("")
+            lines.append("pushdown:")
+            for decision in self.pushdown_decisions:
+                lines.append("  %-6s %s: %s"
+                             % ("pushed" if decision.pushed
+                                else "kept", decision.url,
+                                decision.detail))
         lines.append("")
         lines.extend(self._stats_lines())
         if lint:
@@ -260,32 +280,18 @@ class MIXMediator:
     Configure it with one :class:`EngineConfig`::
 
         MIXMediator(EngineConfig(cache_budget=256, use_sigma=True))
-
-    The pre-runtime boolean keyword arguments (``optimize_plans``,
-    ``cache_enabled``, ``use_sigma``, ``hybrid``) still work but are
-    deprecated; they fold into the config.
     """
 
     def __init__(self, config: Optional[EngineConfig] = None,
                  tracer: Optional[Tracer] = None,
-                 clock: Optional[Clock] = None, **legacy):
-        if isinstance(config, bool):
-            # Very old call shape: MIXMediator(optimize_plans) positional.
-            legacy.setdefault("optimize_plans", config)
-            config = None
+                 clock: Optional[Clock] = None):
         if config is None:
             config = EngineConfig()
-        unknown = set(legacy) - set(_LEGACY_KWARGS)
-        if unknown:
-            raise TypeError("unexpected keyword arguments %s"
-                            % sorted(unknown))
-        if legacy:
-            warnings.warn(
-                "MIXMediator(%s) boolean keywords are deprecated; pass "
-                "MIXMediator(EngineConfig(...)) instead"
-                % ", ".join(sorted(legacy)),
-                DeprecationWarning, stacklevel=2)
-            config = config.replace(**legacy)
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                "config must be an EngineConfig, got %r (the pre-"
+                "runtime boolean keywords were removed; pass "
+                "MIXMediator(EngineConfig(...)))" % (config,))
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer()
         #: time source for retry backoff and breaker windows (tests
@@ -297,6 +303,10 @@ class MIXMediator:
         self._documents: Dict[str, NavigableDocument] = {}
         self._meters: Dict[str, CountingDocument] = {}
         self._views: Dict[str, TupleDestroy] = {}
+        #: raw (pre-resilience, pre-buffer) LXP servers advertising
+        #: the push capability, keyed by source name -- what the
+        #: pushdown compiler pass negotiates with
+        self._pushables: Dict[str, LXPServer] = {}
         #: source schema knowledge for the static analyzer (sample
         #: Tree / InferredDTD / SchemaGraph, see register_schema)
         self._schemas: Dict[str, object] = {}
@@ -385,9 +395,15 @@ class MIXMediator:
         before the buffer stacks on top: every ``fill`` the buffer
         issues gets the retry/breaker/degradation treatment, and the
         per-source counters surface through ``QueryResult.stats()``.
+
+        A wrapper advertising the push capability (``push_compile``,
+        see :mod:`repro.wrappers.base`) is additionally recorded for
+        the pushdown compiler pass; with ``config.pushdown`` off the
+        record is never consulted.
         """
         if prefetch is None:
             prefetch = self.config.prefetch
+        raw_server = server
         stats = getattr(server, "stats", None)
         if stats is not None and hasattr(stats, "metrics"):
             # Wire the LXP fragment meter into the session metrics so
@@ -405,6 +421,9 @@ class MIXMediator:
         if hasattr(buffer, "stats"):
             self.runtime.register_buffer(name, buffer.stats)
         self.register_source(name, buffer, meter)
+        if hasattr(raw_server, "push_compile"):
+            with self._catalog_lock:
+                self._pushables[name] = raw_server
 
     def register_view(self, name: str,
                       query: Union[str, XMASQuery, TupleDestroy],
@@ -515,13 +534,22 @@ class MIXMediator:
                               got=type(plan).__name__)
                 plan = initial
         report = self._analyze_plan(plan, analyze, context)
+        executed: Operator = plan
+        decisions: List = []
+        if self.config.pushdown and self._pushables:
+            from ..pushdown.compiler import compile_pushdown
+            with context.span("pushdown", "compile"):
+                executed, decisions = compile_pushdown(
+                    plan, dict(self._pushables), context)
         document = build_virtual_document(
-            plan, self._resolver(), context)
+            executed, self._resolver(), context)
         baseline = {name: meter.counters.snapshot()
                     for name, meter in self._meters.items()}
         context.trace("mediator", "prepare.end")
         result = QueryResult(self, plan, initial, trace, document,
-                             context=context, meter_baseline=baseline)
+                             context=context, meter_baseline=baseline,
+                             executed_plan=executed,
+                             pushdown_decisions=tuple(decisions))
         result.analysis = report
         return result
 

@@ -1,0 +1,98 @@
+"""The pushdown compiler pass: splice native requests into a plan.
+
+``compile_pushdown`` walks an optimized plan root-first, recognizes
+each *maximal* single-source chain (``compile_chain``), and negotiates
+it with the source's registered wrapper
+(``wrappers.base.negotiate_push``).  An accepted chain is replaced by
+one :class:`~repro.pushdown.plan.PushedSource` leaf; everything above
+it is rebuilt copy-on-path, so the input plan is never mutated.  A
+refused or unregistered source keeps its lazy operator chain --
+byte-identical to the un-pushed run -- and the refusal is recorded
+once per source, not once per sub-chain.
+
+Every outcome becomes a :class:`PushdownDecision`, surfaced through
+``QueryResult.explain()``/``stats()`` and (when a tracer is attached)
+one ``pushdown.decision`` event each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..algebra.operators import Operator
+from ..rewriter.rules import rebuild
+from ..runtime.context import ExecutionContext
+from ..wrappers.base import negotiate_push
+from .compiled import compile_chain
+from .plan import PushedSource
+
+__all__ = ["PushdownDecision", "compile_pushdown"]
+
+
+@dataclass(frozen=True)
+class PushdownDecision:
+    """One source's fate under the pushdown pass."""
+
+    url: str
+    pushed: bool
+    reason: str       # "pushed" | "no-push-capable-wrapper" | "declined"
+    detail: str       # the compiled request, or why there is none
+    subplan: str      # signature of the chain the decision is about
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"url": self.url, "pushed": self.pushed,
+                "reason": self.reason, "detail": self.detail,
+                "subplan": self.subplan}
+
+
+def compile_pushdown(plan: Operator, pushables: Mapping[str, Any],
+                     context: Optional[ExecutionContext] = None
+                     ) -> Tuple[Operator, List[PushdownDecision]]:
+    """Rewrite ``plan``, pushing every negotiable maximal chain.
+
+    ``pushables`` maps source url -> the raw registered server (before
+    buffering/resilience wrapping); servers without the push
+    capability simply never match.  Returns the rewritten plan (the
+    original object when nothing pushed) and the decision list.
+    """
+    decisions: List[PushdownDecision] = []
+    dead_urls: Set[str] = set()
+
+    def visit(node: Operator) -> Operator:
+        compiled = compile_chain(node)
+        if compiled is not None and compiled.url not in dead_urls:
+            url = compiled.url
+            server = pushables.get(url)
+            if server is None:
+                dead_urls.add(url)
+                decisions.append(PushdownDecision(
+                    url, False, "no-push-capable-wrapper",
+                    "source is not registered as a pushable wrapper",
+                    compiled.subplan.signature()))
+            else:
+                request = negotiate_push(server, compiled)
+                if request is None:
+                    dead_urls.add(url)
+                    decisions.append(PushdownDecision(
+                        url, False, "declined",
+                        "wrapper declined the compiled subplan",
+                        compiled.subplan.signature()))
+                else:
+                    decisions.append(PushdownDecision(
+                        url, True, "pushed", request.describe(),
+                        compiled.subplan.signature()))
+                    return PushedSource(compiled, request, server)
+        if not node.inputs:
+            return node
+        new_inputs = tuple(visit(child) for child in node.inputs)
+        if all(new is old for new, old
+               in zip(new_inputs, node.inputs)):
+            return node
+        return rebuild(node, new_inputs)
+
+    rewritten = visit(plan)
+    if context is not None:
+        for decision in decisions:
+            context.trace("pushdown", "decision", **decision.as_dict())
+    return rewritten, decisions

@@ -1,0 +1,40 @@
+"""The ``PushedSource`` plan node: a leaf standing for one native
+source request.
+
+The pushdown compiler splices these over maximal single-source chains.
+A ``PushedSource`` carries (a) the :class:`CompiledSubplan` it
+replaced, (b) the backend-specific request the wrapper agreed to
+evaluate, and (c) the push-capable server itself.  The lazy builder
+turns the node into the wrapper's one-shot native result wrapped in a
+pre-filled buffer, then replays the original chain over it -- so the
+node's output schema is exactly the chain's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..algebra.operators import Operator
+from .compiled import CompiledSubplan
+
+__all__ = ["PushedSource"]
+
+
+class PushedSource(Operator):
+    """Leaf node: one compiled, negotiated source-native request."""
+
+    inputs = ()
+
+    def __init__(self, compiled: CompiledSubplan, request: Any,
+                 server: Any):
+        self.compiled = compiled
+        self.request = request
+        self.server = server
+
+    def output_variables(self) -> List[str]:
+        return list(self.compiled.output_vars)
+
+    def signature(self) -> str:
+        return "pushedSource[%s -> %s]" % (
+            self.compiled.url,
+            ", ".join("$" + v for v in self.compiled.output_vars))

@@ -20,6 +20,16 @@ from .rules import ALL_RULES, FUSE_RULE, _uses_of_variable, rebuild
 __all__ = ["optimize", "OptimizationTrace"]
 
 
+def _is_pushed(plan: ops.Operator) -> bool:
+    """Whether ``plan`` is a PushedSource leaf (opaque to rewriting:
+    its compiled request already fixed what the source evaluates, so
+    no rule may fire on or below it)."""
+    # Imported lazily: repro.pushdown reaches back into this package
+    # for ``rebuild`` while splicing.
+    from ..pushdown.plan import PushedSource
+    return isinstance(plan, PushedSource)
+
+
 class OptimizationTrace:
     """Names of rules applied, in application order."""
 
@@ -36,6 +46,8 @@ class OptimizationTrace:
 def _apply_local_rules(plan: ops.Operator,
                        trace: OptimizationTrace) -> ops.Operator:
     """One bottom-up pass of the local rules."""
+    if _is_pushed(plan):
+        return plan
     new_inputs = tuple(_apply_local_rules(c, trace)
                        for c in plan.inputs)
     if new_inputs != plan.inputs:
@@ -55,6 +67,8 @@ def _apply_local_rules(plan: ops.Operator,
 def _apply_fusion(root: ops.Operator, plan: ops.Operator,
                   trace: OptimizationTrace) -> ops.Operator:
     """Bottom-up getDescendants fusion with the global usage check."""
+    if _is_pushed(plan):
+        return plan
     new_inputs = tuple(_apply_fusion(root, c, trace)
                        for c in plan.inputs)
     if new_inputs != plan.inputs:
@@ -80,6 +94,8 @@ def _insert_materialize(plan: ops.Operator, trace: OptimizationTrace,
     unbrowsable subplans in an intermediate eager step.  OrderBy and
     Difference force a full input scan anyway; buffering their output
     makes all later navigation over it free of source access."""
+    if _is_pushed(plan):
+        return plan
     is_buffer = isinstance(plan, Materialize)
     new_inputs = tuple(
         _insert_materialize(c, trace, under_materialize=is_buffer)

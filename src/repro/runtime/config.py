@@ -142,6 +142,17 @@ class EngineConfig:
         ``"strict"`` also rejects on warnings (unbrowsable views,
         unbounded amplification).  The per-call ``analyze=`` argument
         of ``prepare``/``query`` overrides this default.
+
+    Source-native pushdown
+        ``pushdown`` lets ``prepare()`` compile maximal single-source
+        subplans into one native request each (a merged SQL SELECT, a
+        page-chain drain, an extent path query, an XPath-style scan)
+        negotiated with the registered wrapper.  Answers are
+        byte-identical either way -- the mediator replays the original
+        chain over the pushed result -- but source navigations for a
+        pushed chain collapse to a single native round trip
+        (experiment E16).  Off by default: the lazy navigation-driven
+        path of the paper stays the reference behavior.
     """
 
     optimize_plans: bool = True
@@ -168,6 +179,7 @@ class EngineConfig:
     metrics_enabled: bool = False
     observe_operators: bool = False
     static_analysis: str = "off"
+    pushdown: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:

@@ -68,6 +68,7 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
                      "v_down", "v_right", "v_fetch", "v_select"),
         "buffer": ("fill", "prefetch_fill"),
         "mediator": ("prepare",),
+        "pushdown": ("compile", "execute"),
     },
     "events": {
         "mediator": ("register_source", "prepare.begin", "prepare.end",
@@ -78,6 +79,7 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "resilience": ("failure", "retry", "short_circuit",
                        "breaker_open", "deadline_exceeded",
                        "degraded"),
+        "pushdown": ("decision",),
     },
 }
 

@@ -1,9 +1,38 @@
 """Shared wrapper helpers: wiring a wrapper + buffer into a navigable
-source in one call."""
+source in one call, plus the source-native pushdown capability
+contract.
+
+The pushdown contract
+---------------------
+
+A wrapper may advertise that it can evaluate a compiled single-source
+subplan natively by implementing two methods (no base class; the
+capability is negotiated by presence):
+
+``push_compile(compiled: CompiledSubplan) -> Optional[request]``
+    Inspect the compiled chain and answer with a backend-specific
+    request object (carrying a ``describe() -> str``), or None to
+    decline.  Declining must be the answer whenever the wrapper
+    cannot reproduce the lazy export byte-for-byte; accepting a chain
+    it can only serve *conservatively* (shipping a superset of what
+    the chain needs) is always sound, because the mediator replays
+    the original subplan over the pushed result.
+
+``push(request) -> Tree``
+    Execute one previously compiled request against the backend in a
+    single native evaluation and return the complete exported view
+    (restricted as the request allows) as a closed tree.  The reply
+    must be shaped exactly like the wrapper's incremental LXP export
+    with every hole resolved.
+
+Wrappers without the capability are never asked twice:
+``negotiate_push`` answers None for them and the mediator keeps the
+lazy chain, byte-identical to a pushdown-off run.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, TYPE_CHECKING
 
 from ..buffer.batch import BatchingBuffer
 from ..buffer.component import BufferComponent
@@ -12,7 +41,24 @@ from ..buffer.prefetch import AsyncPrefetchingBuffer, PrefetchingBuffer
 from ..navigation.counting import CountingDocument
 from ..navigation.interface import NavigableDocument
 
-__all__ = ["buffered", "buffered_counting"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..pushdown.compiled import CompiledSubplan
+
+__all__ = ["buffered", "buffered_counting", "negotiate_push"]
+
+
+def negotiate_push(server: Any,
+                   compiled: "CompiledSubplan") -> Optional[Any]:
+    """Offer ``compiled`` to ``server``; a request on acceptance.
+
+    The capability negotiation of the pushdown seam: servers that do
+    not implement ``push_compile`` (every plain LXP wrapper and
+    document) keep today's lazy behavior untouched.
+    """
+    push_compile = getattr(server, "push_compile", None)
+    if push_compile is None:
+        return None
+    return push_compile(compiled)
 
 
 def buffered(server: LXPServer, prefetch: int = 0,

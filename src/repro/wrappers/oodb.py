@@ -19,7 +19,13 @@ from typing import List, Optional
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
 from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
 from ..oodb.store import ObjectStore, OObject
+from ..pushdown.compiled import (
+    CompiledSubplan,
+    OODBPathQuery,
+    child_restriction,
+)
 from ..runtime.config import validate_granularity
+from ..xtree.tree import Tree
 
 __all__ = ["OODBLXPWrapper"]
 
@@ -58,6 +64,61 @@ class OODBLXPWrapper(LXPServer):
                 children.append(
                     FragElem(attribute, tuple(self._ship_value(value))))
         return FragElem("object", tuple(children))
+
+    # -- pushdown -------------------------------------------------------------
+    def push_compile(self, compiled: CompiledSubplan
+                     ) -> Optional[OODBPathQuery]:
+        """Compile a chain into one path query over the class extents.
+
+        The OODB's native bulk operation is shipping whole extents;
+        when the chain provably touches only some classes
+        (``child_restriction`` on the store root) the query names just
+        those, otherwise every extent ships -- either way in a single
+        native evaluation.
+        """
+        keep = child_restriction(compiled, compiled.root_var)
+        classes: Optional[tuple] = None
+        if keep is not None:
+            classes = tuple(name for name in self.store.class_names
+                            if name in keep)
+        return OODBPathQuery(self.store.name, classes)
+
+    def push(self, request: OODBPathQuery) -> Tree:
+        """Evaluate a compiled path query: the kept extents, complete,
+        as the closed export tree."""
+        if not isinstance(request, OODBPathQuery) or \
+                request.store != self.store.name:
+            raise LXPProtocolError(
+                "request %r does not belong to store %r"
+                % (request, self.store.name))
+        names = self.store.class_names if request.classes is None \
+            else request.classes
+        classes = tuple(
+            Tree(name, tuple(self._object_tree(obj)
+                             for obj in self.store.extent(name)))
+            for name in names)
+        return Tree(self.store.name, classes)
+
+    def _value_trees(self, value) -> List[Tree]:
+        if isinstance(value, OObject):
+            return [Tree("ref", (Tree(value.oid),))]
+        if isinstance(value, list):
+            shipped: List[Tree] = []
+            for item in value:
+                shipped.extend(self._value_trees(item))
+            return shipped
+        return [Tree(_atom(value))]
+
+    def _object_tree(self, obj: OObject) -> Tree:
+        children = [Tree("oid", (Tree(obj.oid),))]
+        for attribute in obj.oclass.attributes:
+            value = obj.get(attribute)
+            if value is None:
+                children.append(Tree(attribute))
+            else:
+                children.append(
+                    Tree(attribute, tuple(self._value_trees(value))))
+        return Tree("object", tuple(children))
 
     def fill(self, hole_id) -> List[Fragment]:
         if hole_id == ("store",):

@@ -21,12 +21,24 @@ sweeps against chunk size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..algebra.predicates import compare_values
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
 from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
+from ..pushdown.compiled import (
+    CompiledSubplan,
+    RelationalPushRequest,
+    TableScan,
+    child_restriction,
+    comparison_filter,
+    first_labels,
+    single_hop_value_column,
+    sql_exact_filter,
+)
 from ..relational.database import Connection
 from ..runtime.config import validate_granularity
+from ..xtree.tree import Tree
 
 __all__ = ["RelationalLXPWrapper", "RelationalQueryWrapper"]
 
@@ -130,6 +142,142 @@ class RelationalLXPWrapper(LXPServer):
             reply.append(FragHole(
                 "%s.%s.%d" % (self.db_name, table, start + shipped)))
         return reply
+
+    # -- pushdown -------------------------------------------------------------
+    def push_compile(self, compiled: CompiledSubplan
+                     ) -> Optional[RelationalPushRequest]:
+        """Compile a pushable chain into one merged SELECT per table.
+
+        Tables the chain can never reach are dropped entirely; within
+        a kept table, recognized ``col OP literal`` filters become row
+        filters and -- when the row elements themselves are
+        unobservable -- unread columns are projected away and
+        surviving rows renumbered.  Anything not provably foldable is
+        simply shipped, leaving the mediator's residual replay to
+        finish the job, so this never declines.
+        """
+        keep = child_restriction(compiled, compiled.root_var)
+        scans = tuple(
+            self._compile_scan(compiled, table)
+            for table in self.connection.tables()
+            if keep is None or table in keep)
+        return RelationalPushRequest(self.db_name, scans)
+
+    def _compile_scan(self, compiled: CompiledSubplan,
+                      table: str) -> TableScan:
+        # The canonical row step: the unique chain hop out of the
+        # database root that can reach this table's rows, in the
+        # ``table._`` shape the export guarantees binds whole rows.
+        candidates = []
+        for step in compiled.steps_from(compiled.root_var):
+            labels = first_labels(step.path)
+            if labels is None or table in labels:
+                candidates.append(step)
+        if len(candidates) != 1 or \
+                single_hop_value_column(candidates[0].path) != table:
+            return TableScan(table)
+        row_var = candidates[0].out_var
+        renumber = row_var not in compiled.output_vars
+        filters = self._row_filters(compiled, row_var, table,
+                                    sql_only=renumber)
+        columns: Optional[Tuple[str, ...]] = None
+        if renumber:
+            keep_cols = child_restriction(compiled, row_var)
+            if keep_cols is not None:
+                all_cols = self.connection.columns(table)
+                selected = tuple(c for c in all_cols if c in keep_cols)
+                if selected and len(selected) < len(all_cols):
+                    columns = selected
+        return TableScan(table, columns, filters, renumber=renumber)
+
+    def _row_filters(self, compiled: CompiledSubplan, row_var: str,
+                     table: str, sql_only: bool
+                     ) -> Tuple[Tuple[str, str, str], ...]:
+        """The chain filters this table scan may apply itself.
+
+        A filter folds only when its variable is bound by a single-hop
+        ``col._`` step out of the row; with ``sql_only`` (the
+        renumbering SELECT actually executes the WHERE clause) it must
+        additionally name a real column and survive the SQL dialect's
+        weak typing exactly (``sql_exact_filter``) -- otherwise the
+        wrapper evaluates it with the mediator's own
+        ``compare_values``, where a column the schema lacks just means
+        every row is dead, exactly as the lazy chain would find.
+        """
+        steps_by_out = {s.out_var: s for s in compiled.steps}
+        schema = set(self.connection.columns(table))
+        filters = []
+        for predicate in compiled.filters:
+            recognized = comparison_filter(predicate)
+            if recognized is None:
+                continue
+            var, op, literal = recognized
+            step = steps_by_out.get(var)
+            if step is None or step.parent_var != row_var:
+                continue
+            column = single_hop_value_column(step.path)
+            if column is None:
+                continue
+            if sql_only and (column not in schema
+                             or not sql_exact_filter(op, literal)):
+                continue
+            filters.append((column, op, literal))
+        return tuple(filters)
+
+    def push(self, request: RelationalPushRequest) -> Tree:
+        """Evaluate a compiled request: one native statement per scan,
+        shipped as the complete closed export tree."""
+        if not isinstance(request, RelationalPushRequest) or \
+                request.database != self.db_name:
+            raise LXPProtocolError(
+                "request %r does not belong to database %r"
+                % (request, self.db_name))
+        return Tree(self.db_name, tuple(
+            self._scan_tree(scan) for scan in request.scans))
+
+    def _scan_tree(self, scan: TableScan) -> Tree:
+        if scan.renumber:
+            cursor = self.connection.execute(scan.sql)
+        else:
+            cursor = self.connection.execute(
+                "SELECT * FROM %s" % scan.table)
+        columns = cursor.column_names
+        rows: List[Tree] = []
+        position = 0
+        while True:
+            row = cursor.advance()
+            if row is None:
+                break
+            position += 1
+            if not scan.renumber and not _row_passes(
+                    columns, row, scan.row_filters):
+                continue
+            number = len(rows) + 1 if scan.renumber else position
+            cells = tuple(
+                Tree(col, (Tree(_atom(value)),))
+                if value is not None and _atom(value) != "" else
+                Tree(col, ())
+                for col, value in zip(columns, row))
+            rows.append(Tree("row%d" % number, cells))
+        return Tree(scan.table, tuple(rows))
+
+
+def _row_passes(columns: Tuple[str, ...], row,
+                filters: Tuple[Tuple[str, str, str], ...]) -> bool:
+    """Mediator-exact row filtering for un-renumbered scans: a row
+    survives only if every filtered cell would have produced a binding
+    the chain's Select keeps."""
+    if not filters:
+        return True
+    by_column = dict(zip(columns, row))
+    for column, op, literal in filters:
+        value = by_column.get(column)
+        if value is None:
+            return False
+        text = _atom(value)
+        if text == "" or not compare_values(text, op, literal):
+            return False
+    return True
 
 
 def _atom(value) -> str:

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from ..buffer.holes import FragElem, FragHole, Fragment, LXPProtocolError
 from ..buffer.lxp import LXPServer, LXPStats, measure_fragment
+from ..pushdown.compiled import CompiledSubplan, PageFetchRequest
 from ..webstore.site import HttpSimulator
 from ..xtree.tree import Tree
 
@@ -67,6 +68,38 @@ class WebLXPWrapper(LXPServer):
             else:
                 items.append(_closed(child))
         return items, next_url
+
+    # -- pushdown -------------------------------------------------------------
+    def push_compile(self, compiled: CompiledSubplan
+                     ) -> Optional[PageFetchRequest]:
+        """Compile any chain into one drain of the page chain.
+
+        A paginated listing offers no finer native operation than
+        "follow the next links to the end", so every chain compiles to
+        the same request; the gain is collapsing the per-page LXP
+        dialogue into a single round that the mediator then navigates
+        buffer-locally.
+        """
+        del compiled  # every chain compiles to the full drain
+        return PageFetchRequest(self.first_page)
+
+    def push(self, request: PageFetchRequest) -> Tree:
+        """Fetch the whole listing in one request chain and return the
+        dissolved-pagination export, closed."""
+        if not isinstance(request, PageFetchRequest):
+            raise LXPProtocolError("unknown request %r" % (request,))
+        items: List[Tree] = []
+        url: Optional[str] = request.first_page
+        while url is not None:
+            page = self.http.fetch(url)
+            next_url = None
+            for child in page.children:
+                if child.label == self.NEXT_LABEL:
+                    next_url = child.text()
+                else:
+                    items.append(child)
+            url = next_url
+        return Tree(self.root_label, tuple(items))
 
     def fill(self, hole_id) -> List[Fragment]:
         try:

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from ..buffer.holes import LXPProtocolError
 from ..buffer.lxp import TreeLXPServer
+from ..pushdown.compiled import CompiledSubplan, XPathScanRequest
 from ..xtree.parse import parse_xml
 from ..xtree.tree import Tree
 
@@ -44,3 +46,27 @@ class XMLFileWrapper(TreeLXPServer):
         super().__init__(document_node(source_name, document),
                          chunk_size=chunk_size, depth=depth)
         self.source_name = source_name
+
+    # -- pushdown -------------------------------------------------------------
+    def push_compile(self, compiled: CompiledSubplan
+                     ) -> Optional[XPathScanRequest]:
+        """Compile a chain into one XPath-style scan of the document.
+
+        The document is already a single tree, so the native
+        evaluation is one scan shipping it whole: the request records
+        the chain's paths (the scan's guides, and what an XPath
+        engine would receive), and the LXP chunk/depth dialogue
+        disappears entirely.
+        """
+        return XPathScanRequest(
+            self.source_name,
+            tuple(str(step.path) for step in compiled.steps))
+
+    def push(self, request: XPathScanRequest) -> Tree:
+        """Evaluate a compiled scan: the complete document node."""
+        if not isinstance(request, XPathScanRequest) or \
+                request.source != self.source_name:
+            raise LXPProtocolError(
+                "request %r does not belong to source %r"
+                % (request, self.source_name))
+        return self.tree

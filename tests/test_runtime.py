@@ -1,8 +1,6 @@
 """The runtime spine: EngineConfig, CacheManager, Tracer,
 ExecutionContext, and the mediator-facing surfaces built on them
-(deprecation shim, optimizer safety net, aggregated stats)."""
-
-import warnings
+(constructor contract, optimizer safety net, aggregated stats)."""
 
 import pytest
 
@@ -45,8 +43,8 @@ WHERE homesSrc homes.home $H AND $H zip._ $V1
 """
 
 
-def example2_mediator(config=None, **legacy):
-    med = MIXMediator(config, **legacy)
+def example2_mediator(config=None):
+    med = MIXMediator(config)
     med.register_wrapper("homesSrc",
                          XMLFileWrapper("homesSrc", HOMES_XML))
     med.register_wrapper("schoolsSrc",
@@ -295,29 +293,24 @@ class TestExecutionContext:
 # Mediator integration
 # ----------------------------------------------------------------------
 
-class TestDeprecationShim:
-    def test_legacy_kwargs_warn_and_fold_into_config(self):
-        with pytest.warns(DeprecationWarning):
-            med = MIXMediator(cache_enabled=False, use_sigma=True)
+class TestConstructorContract:
+    def test_config_object_is_the_only_configuration_channel(self):
+        med = MIXMediator(
+            EngineConfig(cache_enabled=False, use_sigma=True))
         assert not med.config.cache_enabled and med.config.use_sigma
-        assert not med.cache_enabled and med.use_sigma  # compat views
+        assert not med.cache_enabled and med.use_sigma  # read views
 
-    def test_legacy_positional_bool(self):
-        with pytest.warns(DeprecationWarning):
-            med = MIXMediator(False)
-        assert not med.optimize_plans
+    def test_legacy_positional_bool_rejected(self):
+        # The pre-runtime MIXMediator(optimize_plans) signature (and
+        # its deprecation shim) are gone: only an EngineConfig works.
+        with pytest.raises(TypeError, match="EngineConfig"):
+            MIXMediator(False)
 
-    def test_unknown_kwargs_rejected(self):
+    def test_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            MIXMediator(cache_enabled=False)
         with pytest.raises(TypeError):
             MIXMediator(chunk_size=5)
-
-    def test_legacy_and_config_answers_agree(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = example2_mediator(cache_enabled=False)
-        modern = example2_mediator(EngineConfig(cache_enabled=False))
-        assert legacy.prepare(FIG4_QUERY).materialize() \
-            == modern.prepare(FIG4_QUERY).materialize()
 
 
 class TestOptimizerSafetyNet:
