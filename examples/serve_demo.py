@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""The mediator as a network daemon, with a rude neighbour.
+
+The heterogeneous three-way join of ``heterogeneous_join.py`` --
+homes in XML, schools in a relational database, inspections in an
+object database -- but served over a real TCP socket by the hardened
+session server, and browsed by two very different clients:
+
+* a **well-behaved** client that opens a session, navigates the
+  virtual report exactly as the in-process demos do, and closes
+  politely;
+* a **misbehaving** client that connects and sends garbage where a
+  frame should be — while the polite session is live — then another
+  that dribbles half a frame and goes silent (a slow-loris).
+
+The point of the demo is the containment: the rude clients' sessions
+are killed with typed error replies (``mix:protocol``, ``mix:idle``),
+while the polite session -- running at the same time -- never notices.
+The daemon then drains gracefully and reports its counters.
+
+Run:  python examples/serve_demo.py
+"""
+
+from repro import (
+    MIXMediator,
+    OODBLXPWrapper,
+    RelationalLXPWrapper,
+    XMLFileWrapper,
+)
+from repro.oodb import ObjectStore
+from repro.relational import Connection, Database
+from repro.runtime import EngineConfig
+from repro.server import MediatorServer, connect
+from repro.testing.transport import send_garbage, slow_loris
+
+HOMES_XML = """
+<homes>
+  <home><addr>12 Shore Dr</addr><zip>91220</zip></home>
+  <home><addr>3 Hill Rd</addr><zip>91223</zip></home>
+  <home><addr>9 Bay Ct</addr><zip>91224</zip></home>
+</homes>
+"""
+
+QUERY = """
+CONSTRUCT <report>
+            <entry> $H $D $G {$G} </entry> {$H, $D}
+          </report> {}
+WHERE homesSrc homes.home $H AND $H zip._ $V1
+  AND schooldb schools._ $S AND $S zip._ $V2
+  AND $S dir._ $D
+  AND inspections Inspection.object $I AND $I director._ $D2
+  AND $I grade $G
+  AND $V1 = $V2 AND $D = $D2
+"""
+
+
+def build_school_db() -> Database:
+    db = Database("schooldb")
+    table = db.create_table("schools", [("dir", "str"), ("zip", "str")])
+    table.insert_many([
+        ("Smith", "91220"),
+        ("Bar", "91220"),
+        ("Hart", "91223"),
+    ])
+    return db
+
+
+def build_inspections() -> ObjectStore:
+    store = ObjectStore("inspections")
+    store.define_class("Inspection", ["director", "grade", "year"])
+    store.create("Inspection", director="Smith", grade="A", year="1999")
+    store.create("Inspection", director="Smith", grade="B", year="2000")
+    store.create("Inspection", director="Hart", grade="A", year="2000")
+    store.create("Inspection", director="Bar", grade="C", year="1998")
+    return store
+
+
+def build_mediator() -> MIXMediator:
+    config = EngineConfig(
+        serve_port=0,              # ephemeral loopback port
+        serve_max_sessions=8,
+        serve_idle_timeout_ms=400.0,   # snappy, for the slow-loris
+        serve_session_max_fills=200,
+    )
+    mediator = MIXMediator(config)
+    mediator.register_wrapper(
+        "homesSrc", XMLFileWrapper("homesSrc", HOMES_XML))
+    mediator.register_wrapper(
+        "schooldb",
+        RelationalLXPWrapper(Connection(build_school_db()),
+                             chunk_size=2))
+    mediator.register_wrapper(
+        "inspections", OODBLXPWrapper(build_inspections()))
+    return mediator
+
+
+def main() -> None:
+    server = MediatorServer(build_mediator())
+    host, port = server.start()
+    print("daemon listening on %s:%d" % (host, port))
+
+    print("\n-- the well-behaved client --")
+    with connect(host, port, QUERY) as session:
+        for entry in session.root.children():
+            cells = [child.text() for child in entry.children()]
+            print("  entry:", " | ".join(cells))
+
+        print("\n-- a misbehaving client (same daemon) --")
+        garbage_reply = send_garbage(host, port)
+        print("  garbage frame ->", garbage_reply["error"])
+
+        # The polite session is entirely unharmed by its neighbour.
+        assert session.ping()
+        report = session.server_stats()
+        print("\n-- the polite session, after the attack --")
+        print("  still alive: ping ok, %d fills, %d bytes shipped"
+              % (report["session"]["fills"],
+                 report["session"]["bytes_shipped"]))
+
+    # A slow-loris (dribbles two bytes, then goes silent) is bounded
+    # by the idle timeout rather than holding a handler forever.
+    loris_reply = slow_loris(host, port)
+    print("\n-- a slow-loris client --")
+    print("  slow-loris ->", loris_reply["error"])
+
+    clean = server.drain()
+    snapshot = server.stats.snapshot()
+    print("\n-- drain: clean=%s --" % clean)
+    print("  sessions opened/closed: %d/%d"
+          % (snapshot["sessions_opened"], snapshot["sessions_closed"]))
+    print("  kills: protocol=%d idle=%d"
+          % (snapshot["protocol_kills"], snapshot["idle_kills"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,286 @@
+"""A load generator for the mediator session server (BENCH E15).
+
+Drives many concurrent sessions into a running
+:class:`~repro.server.daemon.MediatorServer` with mixed navigation
+patterns, and reports the numbers the experiment cares about:
+sessions/sec, per-navigation round-trip latency (p50/p95/p99),
+admission outcomes, and fairness (how much one saturating client can
+hurt everyone else's tail).
+
+Clients speak raw wire frames rather than the full buffered client
+stack: the generator measures the *server*, so the client side stays
+as thin and predictable as possible.
+
+Patterns (assigned round-robin over the session index, so runs are
+deterministic in composition):
+
+``drill``   open, then follow the first hole of every reply -- the
+            paper's drill-down browse.
+``scan``    open, then breadth-first over the frontier -- the
+            materialize-ish sweep.
+``burst``   open, then one pipelined ``fill_batch`` over the whole
+            frontier each round -- the PR 3 batching client.
+``greedy``  a saturating client: like ``scan`` but with many more
+            navigation rounds per session.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SessionOutcome", "LoadReport", "run_session", "run_load",
+           "percentile", "PATTERNS"]
+
+_HEADER = struct.Struct(">I")
+
+PATTERNS = ("drill", "scan", "burst", "greedy")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by nearest-rank on sorted values;
+    0.0 for an empty series."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class SessionOutcome:
+    """What one generated session experienced."""
+
+    def __init__(self, index: int, pattern: str) -> None:
+        self.index = index
+        self.pattern = pattern
+        self.ok = False
+        self.error = ""           # "" | "busy" | "draining" | code
+        self.fills = 0
+        self.latencies_ms: List[float] = []  # per navigation round trip
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "pattern": self.pattern,
+                "ok": self.ok, "error": self.error,
+                "fills": self.fills,
+                "mean_latency_ms": (
+                    sum(self.latencies_ms) / len(self.latencies_ms)
+                    if self.latencies_ms else 0.0)}
+
+
+class LoadReport:
+    """The aggregate of one load run."""
+
+    def __init__(self, outcomes: List[SessionOutcome],
+                 wall_s: float) -> None:
+        self.outcomes = outcomes
+        self.wall_s = wall_s
+        self.latencies_ms = [latency for outcome in outcomes
+                             for latency in outcome.latencies_ms]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def rejected_busy(self) -> int:
+        return sum(1 for o in self.outcomes if o.error == "busy")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes
+                   if not o.ok and o.error != "busy")
+
+    @property
+    def sessions_per_sec(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def mean_latency_by_pattern(self) -> Dict[str, float]:
+        """Per-pattern mean navigation latency -- the fairness view:
+        compare the polite patterns' tail with and without a greedy
+        neighbour."""
+        sums: Dict[str, Tuple[float, int]] = {}
+        for outcome in self.outcomes:
+            if not outcome.latencies_ms:
+                continue
+            total, count = sums.get(outcome.pattern, (0.0, 0))
+            sums[outcome.pattern] = (
+                total + sum(outcome.latencies_ms),
+                count + len(outcome.latencies_ms))
+        return {pattern: total / count
+                for pattern, (total, count) in sorted(sums.items())}
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "sessions": len(self.outcomes),
+            "completed": self.completed,
+            "rejected_busy": self.rejected_busy,
+            "failed": self.failed,
+            "wall_s": round(self.wall_s, 4),
+            "sessions_per_sec": round(self.sessions_per_sec, 2),
+            "navigations": len(self.latencies_ms),
+            "latency_ms": {
+                "p50": round(self.latency_ms(0.50), 3),
+                "p95": round(self.latency_ms(0.95), 3),
+                "p99": round(self.latency_ms(0.99), 3),
+            },
+            "mean_latency_by_pattern": {
+                pattern: round(value, 3)
+                for pattern, value in
+                self.mean_latency_by_pattern().items()},
+        }
+
+
+# ----------------------------------------------------------------------
+# one session
+# ----------------------------------------------------------------------
+
+def _send(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("ascii")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    header = b""
+    while len(header) < _HEADER.size:
+        chunk = sock.recv(_HEADER.size - len(header))
+        if not chunk:
+            return None
+        header += chunk
+    (length,) = _HEADER.unpack(header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            return None
+        body += chunk
+    payload = json.loads(body.decode("utf-8"))
+    return payload if isinstance(payload, dict) else None
+
+
+def _holes_of(fragments: Any) -> List[int]:
+    holes: List[int] = []
+    stack: List[Any] = list(reversed(fragments
+                                     if isinstance(fragments, list)
+                                     else []))
+    while stack:
+        item = stack.pop()
+        if not isinstance(item, list) or not item:
+            continue
+        if item[0] == "h" and len(item) == 2:
+            holes.append(item[1])
+        elif item[0] == "e" and len(item) == 3:
+            stack.extend(reversed(item[2]))
+    return holes
+
+
+def run_session(host: str, port: int, query: str, outcome:
+                SessionOutcome, rounds: int,
+                timeout_ms: float) -> SessionOutcome:
+    """Drive one session to completion, recording per-navigation
+    round-trip latencies into ``outcome``."""
+    pattern = outcome.pattern
+    if pattern == "greedy":
+        rounds = rounds * 8
+    try:
+        sock = socket.create_connection(
+            (host, port), timeout=timeout_ms / 1000.0)
+    except OSError:
+        outcome.error = "connect"
+        return outcome
+    try:
+        _send(sock, {"op": "open", "query": query})
+        reply = _recv(sock)
+        if reply is None:
+            outcome.error = "closed"
+            return outcome
+        if not reply.get("ok"):
+            error = str(reply.get("error", "error"))
+            outcome.error = ("busy" if error == "mix:busy" else
+                             "draining" if error == "mix:draining"
+                             else error)
+            return outcome
+        frontier: List[int] = [reply["root"]]
+        for _ in range(rounds):
+            if not frontier:
+                break
+            if pattern == "burst" and len(frontier) > 1:
+                request: Dict[str, Any] = {
+                    "op": "fill_batch", "holes": list(frontier),
+                    "speculate": 0}
+                asked = len(frontier)
+                frontier = []
+            else:
+                hole = (frontier.pop(0) if pattern != "drill"
+                        else frontier.pop())
+                request = {"op": "fill", "hole": hole}
+                asked = 1
+            started = time.perf_counter()
+            _send(sock, request)
+            reply = _recv(sock)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            if reply is None:
+                outcome.error = "closed"
+                return outcome
+            if not reply.get("ok"):
+                outcome.error = str(reply.get("error", "error"))
+                return outcome
+            outcome.latencies_ms.append(elapsed_ms)
+            outcome.fills += asked
+            if "replies" in reply:
+                for pair in reply["replies"]:
+                    frontier.extend(_holes_of(pair[1]))
+            else:
+                frontier.extend(_holes_of(reply.get("fragments", [])))
+        _send(sock, {"op": "close"})
+        _recv(sock)
+        outcome.ok = True
+        return outcome
+    except (socket.timeout, OSError) as err:
+        outcome.error = type(err).__name__
+        return outcome
+    finally:
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+# the fleet
+# ----------------------------------------------------------------------
+
+def run_load(host: str, port: int, query: str,
+             sessions: int = 100, concurrency: int = 16,
+             rounds: int = 4, timeout_ms: float = 10000.0,
+             patterns: Sequence[str] = PATTERNS) -> LoadReport:
+    """Drive ``sessions`` sessions with ``concurrency`` worker
+    threads; patterns rotate round-robin over the session index."""
+    outcomes = [SessionOutcome(i, patterns[i % len(patterns)])
+                for i in range(sessions)]
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(outcomes):
+                    return
+                cursor["next"] = index + 1
+            run_session(host, port, query, outcomes[index],
+                        rounds, timeout_ms)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker, name="loadgen-%d" % i,
+                                daemon=True)
+               for i in range(max(1, concurrency))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return LoadReport(outcomes, time.perf_counter() - started)

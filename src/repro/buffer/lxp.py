@@ -58,6 +58,16 @@ class LXPStats:
         self.metrics = None
         self.source = ""
 
+    def snapshot(self) -> dict:
+        """A consistent copy of the counters, taken under the lock
+        (safe while fills are still arriving from other threads)."""
+        with self.lock:
+            return {
+                "fills": self.fills,
+                "elements_shipped": self.elements_shipped,
+                "holes_shipped": self.holes_shipped,
+            }
+
     def reset(self) -> None:
         with self.lock:
             self.fills = 0

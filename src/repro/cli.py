@@ -201,6 +201,57 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--suppress", default="", metavar="CODES",
                       help="comma-separated finding codes to "
                            "suppress (e.g. B010,C010)")
+
+    serve = sub.add_parser(
+        "serve", help="run the mediator as a long-lived session "
+                      "daemon (LXP over TCP)")
+    serve.add_argument("-s", "--source", action="append", default=[],
+                       metavar="NAME=FILE",
+                       help="register an XML file as source NAME "
+                            "(repeatable)")
+    serve.add_argument("--workload", default=None, metavar="SPEC",
+                       help="register a built-in workload instead of "
+                            "files: homes:N (the Figure 3 sources at "
+                            "N homes)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port (printed on stdout)")
+    serve.add_argument("--max-sessions", type=int, default=64)
+    serve.add_argument("--idle-timeout", type=float, default=30000.0,
+                       metavar="MS")
+    serve.add_argument("--send-timeout", type=float, default=5000.0,
+                       metavar="MS")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       metavar="MS")
+    serve.add_argument("--session-max-fills", type=int, default=None,
+                       metavar="N")
+    serve.add_argument("--session-max-bytes", type=int, default=None,
+                       metavar="N")
+    serve.add_argument("--drain-timeout", type=float, default=5000.0,
+                       metavar="MS")
+    serve.add_argument("--chunk-size", type=int, default=2)
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write Prometheus text metrics after "
+                            "drain")
+    serve.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the causal span stream (jsonl) "
+                            "after drain")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive concurrent sessions into a running "
+                        "serve daemon and report latency")
+    add_query_arguments(loadgen, with_sources=False)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--sessions", type=int, default=100)
+    loadgen.add_argument("--concurrency", type=int, default=16)
+    loadgen.add_argument("--rounds", type=int, default=4,
+                         help="navigation rounds per session")
+    loadgen.add_argument("--timeout", type=float, default=10000.0,
+                         metavar="MS")
+    loadgen.add_argument("--json", default=None, metavar="FILE",
+                         help="write the report as JSON to FILE "
+                              "('-' for stdout)")
     return parser
 
 
@@ -417,6 +468,113 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _serve_mediator(args) -> MIXMediator:
+    """A mediator over the requested sources for the daemon."""
+    tracing = args.trace_out is not None
+    config = EngineConfig(
+        serve_host=args.host,
+        serve_port=args.port,
+        serve_max_sessions=args.max_sessions,
+        serve_idle_timeout_ms=args.idle_timeout,
+        serve_send_timeout_ms=args.send_timeout,
+        serve_request_deadline_ms=args.request_deadline,
+        serve_session_max_fills=args.session_max_fills,
+        serve_session_max_bytes=args.session_max_bytes,
+        serve_drain_timeout_ms=args.drain_timeout,
+        chunk_size=args.chunk_size,
+        metrics_enabled=args.metrics_out is not None,
+        observe_operators=tracing,
+    )
+    tracer = Tracer(record=True) if tracing else None
+    mediator = MIXMediator(config, tracer=tracer)
+    for name, path in _parse_sources(args.source).items():
+        with open(path) as handle:
+            xml_text = handle.read()
+        mediator.register_wrapper(
+            name, XMLFileWrapper(name, xml_text,
+                                 chunk_size=args.chunk_size))
+    if args.workload is not None:
+        kind, colon, scale_text = args.workload.partition(":")
+        if kind != "homes":
+            raise SystemExit("unknown --workload %r (try homes:N)"
+                             % args.workload)
+        scale = int(scale_text) if colon and scale_text else 50
+        from .bench.workloads import homes_and_schools
+        from .navigation.materialized import MaterializedDocument
+        for name, tree in homes_and_schools(scale).items():
+            mediator.register_source(name, MaterializedDocument(tree))
+    if not args.source and args.workload is None:
+        raise SystemExit("serve needs at least one -s NAME=FILE "
+                         "or --workload")
+    return mediator
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .server.daemon import MediatorServer
+
+    mediator = _serve_mediator(args)
+    server = MediatorServer(mediator)
+    host, port = server.start()
+    # The contract line tooling scripts key off (stdout, flushed
+    # before anything else): "serving HOST PORT".
+    print("serving %s %d" % (host, port), flush=True)
+    stop = threading.Event()
+
+    def request_drain(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_drain)
+    signal.signal(signal.SIGINT, request_drain)
+    while not stop.wait(0.2):
+        pass
+    clean = server.drain()
+    snapshot = server.stats.snapshot()
+    print("drained clean=%s sessions=%d rejected=%d"
+          % (clean, snapshot["sessions_opened"],
+             snapshot["rejected_busy"] + snapshot["rejected_draining"]),
+          flush=True)
+    if args.trace_out is not None:
+        written = export_jsonl(mediator.tracer.events, args.trace_out)
+        print("-- trace: %d events -> %s --"
+              % (written, args.trace_out), file=sys.stderr)
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(mediator.runtime.metrics_prometheus())
+        print("-- metrics -> %s --" % args.metrics_out,
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json as json_module
+
+    from .bench.loadgen import run_load
+
+    report = run_load(args.host, args.port, _query_text(args),
+                      sessions=args.sessions,
+                      concurrency=args.concurrency,
+                      rounds=args.rounds,
+                      timeout_ms=args.timeout)
+    payload = report.as_dict()
+    print("loadgen: %d/%d sessions ok (%d busy, %d failed), "
+          "%.1f sessions/s, nav p50=%.2fms p99=%.2fms"
+          % (report.completed, len(report.outcomes),
+             report.rejected_busy, report.failed,
+             report.sessions_per_sec,
+             report.latency_ms(0.50), report.latency_ms(0.99)))
+    text = json_module.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    elif args.json is not None:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print("-- report -> %s --" % args.json, file=sys.stderr)
+    return 0 if report.failed == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -430,6 +588,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_classify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise SystemExit("unknown command %r" % args.command)
 
 

@@ -126,6 +126,12 @@ class ChannelStats:
     batching the two are equal; a pipelined channel ships many
     commands per message, so ``messages <= commands`` always and the
     gap is exactly what batching saved.
+
+    Carries its own :attr:`lock` (like
+    :class:`~repro.buffer.lxp.LXPStats`): one channel is charged from
+    the client thread, prefetch workers, and -- under the session
+    server -- a per-connection handler thread, while reporters read
+    concurrently through :meth:`snapshot`.
     """
 
     messages: int = 0          # request/reply round trips
@@ -133,11 +139,28 @@ class ChannelStats:
     bytes_transferred: int = 0
     virtual_ms: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: equality/repr stay value-based.
+        self.lock = threading.Lock()
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time copy of the counters, taken
+        under the lock -- what reporters (the execution context, the
+        session server) read instead of racing live mutation."""
+        with self.lock:
+            return {
+                "messages": self.messages,
+                "commands": self.commands,
+                "bytes_transferred": self.bytes_transferred,
+                "virtual_ms": self.virtual_ms,
+            }
+
     def reset(self) -> None:
-        self.messages = 0
-        self.commands = 0
-        self.bytes_transferred = 0
-        self.virtual_ms = 0.0
+        with self.lock:
+            self.messages = 0
+            self.commands = 0
+            self.bytes_transferred = 0
+            self.virtual_ms = 0.0
 
 
 class MeteredTransport:
@@ -145,9 +168,10 @@ class MeteredTransport:
     (:class:`MessageChannel`, :class:`RPCDocument`): one
     :class:`ChannelStats` object, one charging rule, one reset path.
 
-    Charging is lock-guarded: with a thread-backed prefetcher the
-    channel is driven from worker threads and the client thread at
-    once.
+    Charging is lock-guarded (through the stats object's own lock,
+    so external reporters and the charger serialize on one lock):
+    with a thread-backed prefetcher the channel is driven from worker
+    threads and the client thread at once.
     """
 
     def __init__(self, latency_ms: float = 20.0,
@@ -162,10 +186,9 @@ class MeteredTransport:
         #: context when the channel registers)
         self.metrics = metrics
         self.name = name
-        self._stats_lock = threading.Lock()
 
     def _charge(self, size: int, commands: int = 1) -> None:
-        with self._stats_lock:
+        with self.stats.lock:
             self.stats.messages += 1
             self.stats.commands += commands
             self.stats.bytes_transferred += size

@@ -153,6 +153,32 @@ class EngineConfig:
         pushed chain collapse to a single native round trip
         (experiment E16).  Off by default: the lazy navigation-driven
         path of the paper stays the reference behavior.
+
+    Session server (``serve_*``)
+        Hardening knobs for the socket-facing mediator daemon
+        (:class:`~repro.server.daemon.MediatorServer`; the in-process
+        paths never read them).  ``serve_host``/``serve_port`` are the
+        bind address (port 0 = ephemeral); ``serve_max_sessions`` is
+        the admission-control ceiling on concurrently open sessions
+        (excess connections receive a typed ``mix:busy`` reply and are
+        closed); ``serve_accept_backlog`` bounds the kernel accept
+        queue behind the admission gate.  ``serve_idle_timeout_ms``
+        kills sessions whose client stops talking mid-dialogue (the
+        slow-loris defense); ``serve_send_timeout_ms`` kills sessions
+        whose client stops *reading* (backpressure on stalled
+        readers); ``serve_request_deadline_ms`` bounds the server-side
+        navigation work of one request (overruns answer
+        ``mix:deadline`` and kill the session).
+        ``serve_session_max_fills`` / ``serve_session_max_bytes``
+        budget how much navigation / shipped-fragment volume one
+        session may consume before ``mix:budget`` cuts it off (None =
+        unbudgeted).  ``serve_max_frame_bytes`` caps a single wire
+        frame in either direction;  ``serve_send_buffer_bytes`` clamps
+        the kernel send buffer of accepted connections (None = kernel
+        default) so backpressure from a non-reading client surfaces at
+        a predictable volume; ``serve_drain_timeout_ms`` is how long a
+        SIGTERM drain waits for in-flight sessions before
+        force-closing the stragglers.
     """
 
     optimize_plans: bool = True
@@ -180,6 +206,18 @@ class EngineConfig:
     observe_operators: bool = False
     static_analysis: str = "off"
     pushdown: bool = False
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 0
+    serve_max_sessions: int = 64
+    serve_accept_backlog: int = 16
+    serve_idle_timeout_ms: float = 30000.0
+    serve_send_timeout_ms: float = 5000.0
+    serve_request_deadline_ms: Optional[float] = None
+    serve_session_max_fills: Optional[int] = None
+    serve_session_max_bytes: Optional[int] = None
+    serve_max_frame_bytes: int = 1 << 20
+    serve_send_buffer_bytes: Optional[int] = None
+    serve_drain_timeout_ms: float = 5000.0
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:
@@ -215,6 +253,38 @@ class EngineConfig:
             raise ConfigError(
                 "static_analysis must be 'off', 'static' or 'strict', "
                 "not %r" % (self.static_analysis,))
+        if not self.serve_host:
+            raise ConfigError("serve_host must be non-empty")
+        if not (0 <= self.serve_port <= 65535):
+            raise ConfigError("serve_port must be in [0, 65535]")
+        if self.serve_max_sessions < 1:
+            raise ConfigError("serve_max_sessions must be >= 1")
+        if self.serve_accept_backlog < 1:
+            raise ConfigError("serve_accept_backlog must be >= 1")
+        if self.serve_idle_timeout_ms <= 0:
+            raise ConfigError("serve_idle_timeout_ms must be positive")
+        if self.serve_send_timeout_ms <= 0:
+            raise ConfigError("serve_send_timeout_ms must be positive")
+        if self.serve_request_deadline_ms is not None \
+                and self.serve_request_deadline_ms <= 0:
+            raise ConfigError(
+                "serve_request_deadline_ms must be positive or None")
+        if self.serve_session_max_fills is not None \
+                and self.serve_session_max_fills < 1:
+            raise ConfigError(
+                "serve_session_max_fills must be >= 1 or None")
+        if self.serve_session_max_bytes is not None \
+                and self.serve_session_max_bytes < 1:
+            raise ConfigError(
+                "serve_session_max_bytes must be >= 1 or None")
+        if self.serve_max_frame_bytes < 64:
+            raise ConfigError("serve_max_frame_bytes must be >= 64")
+        if self.serve_send_buffer_bytes is not None \
+                and self.serve_send_buffer_bytes < 1024:
+            raise ConfigError(
+                "serve_send_buffer_bytes must be >= 1024 or None")
+        if self.serve_drain_timeout_ms < 0:
+            raise ConfigError("serve_drain_timeout_ms must be >= 0")
 
     @property
     def resilience_active(self) -> bool:

@@ -453,13 +453,14 @@ class ExecutionContext:
         chan_msgs = metrics.gauge("channel_messages")
         chan_bytes = metrics.gauge("channel_bytes")
         for name, stats in channels.items():
-            chan_msgs.set(stats.messages, channel=name)
-            chan_bytes.set(stats.bytes_transferred, channel=name)
+            snap = stats.snapshot()
+            chan_msgs.set(snap["messages"], channel=name)
+            chan_bytes.set(snap["bytes_transferred"], channel=name)
         res_retries = metrics.gauge("resilience_retries")
         res_giveups = metrics.gauge("resilience_giveups")
         res_degraded = metrics.gauge("resilience_degraded")
         for name, stats in resilience.items():
-            counts = stats.as_dict()
+            counts = stats.snapshot()
             res_retries.set(counts["retries"], source=name)
             res_giveups.set(counts["giveups"], source=name)
             res_degraded.set(counts["degraded"], source=name)
@@ -481,14 +482,23 @@ class ExecutionContext:
         """Caches, buffers, and channels in one plain-dict view."""
         report = {"config": self.config.as_dict(),
                   "caches": self.caches.as_dict()}
-        if self.buffers:
+        # Copy the registries under their lock: concurrent sessions
+        # (fan-out tasks, server handler threads) may be registering
+        # new entries while this report is taken.
+        with self._registry_lock:
+            buffers = dict(self.buffers)
+            channels = dict(self.channels)
+            resilience = dict(self.resilience)
+        if buffers:
             report["buffers"] = {
                 name: {"navigations": stats.navigations,
                        "hits": stats.hits, "fills": stats.fills}
-                for name, stats in sorted(self.buffers.items())}
-        if self.resilience:
-            per_seam = {name: stats.as_dict()
-                        for name, stats in sorted(self.resilience.items())}
+                for name, stats in sorted(buffers.items())}
+        if resilience:
+            # snapshot(), not as_dict(): seams may still be live when
+            # a report is taken (server sessions report concurrently).
+            per_seam = {name: stats.snapshot()
+                        for name, stats in sorted(resilience.items())}
             report["resilience"] = {
                 "retries": sum(s["retries"] for s in per_seam.values()),
                 "giveups": sum(s["giveups"] for s in per_seam.values()),
@@ -498,18 +508,19 @@ class ExecutionContext:
                                      for s in per_seam.values()),
                 "per_source": per_seam,
             }
-        if self.channels:
-            messages = sum(s.messages for s in self.channels.values())
-            transferred = sum(s.bytes_transferred
-                              for s in self.channels.values())
+        if channels:
+            per_channel = {name: stats.snapshot()
+                           for name, stats in sorted(channels.items())}
             report["channels"] = {
-                "messages": messages,
-                "bytes_transferred": transferred,
+                "messages": sum(s["messages"]
+                                for s in per_channel.values()),
+                "bytes_transferred": sum(s["bytes_transferred"]
+                                         for s in per_channel.values()),
                 "per_channel": {
-                    name: {"messages": stats.messages,
-                           "bytes_transferred": stats.bytes_transferred,
-                           "virtual_ms": stats.virtual_ms}
-                    for name, stats in sorted(self.channels.items())},
+                    name: {"messages": snap["messages"],
+                           "bytes_transferred": snap["bytes_transferred"],
+                           "virtual_ms": snap["virtual_ms"]}
+                    for name, snap in per_channel.items()},
             }
         if self.metrics.enabled:
             report["metrics"] = self.metrics_snapshot()

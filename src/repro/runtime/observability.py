@@ -69,6 +69,7 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "buffer": ("fill", "prefetch_fill"),
         "mediator": ("prepare",),
         "pushdown": ("compile", "execute"),
+        "server": ("session", "request"),
     },
     "events": {
         "mediator": ("register_source", "prepare.begin", "prepare.end",
@@ -80,6 +81,8 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
                        "breaker_open", "deadline_exceeded",
                        "degraded"),
         "pushdown": ("decision",),
+        "server": ("listen", "accept", "reject", "open", "close",
+                   "kill", "drain"),
     },
 }
 

@@ -267,6 +267,16 @@ class ResilienceStats:
     def __post_init__(self) -> None:
         self.lock = threading.Lock()
 
+    def snapshot(self) -> dict:
+        """A consistent copy of the counters, taken under the lock.
+
+        Reporters that run while the seam is live (the execution
+        context's ``stats_report``, the session server's per-session
+        stats) use this; :meth:`as_dict` reads unsynchronized and is
+        only safe once the traffic has stopped."""
+        with self.lock:
+            return self.as_dict()
+
     def as_dict(self) -> dict:
         return {
             "calls": self.calls,

@@ -1,0 +1,604 @@
+"""The mediator daemon: LXP sessions over real sockets, hardened.
+
+:class:`MediatorServer` turns a configured
+:class:`~repro.mediator.mix.MIXMediator` into a long-lived TCP
+service.  One connection is one *session*: the first frame must be an
+``open`` carrying an XMAS query; the server prepares it (its own
+:class:`~repro.runtime.context.ExecutionContext`, caches, tracing)
+and exports the virtual answer through the wire codec; subsequent
+``fill`` / ``fill_batch`` frames navigate it exactly as the
+in-process LXP dialogue would, holes travelling as session-scoped
+integers.
+
+Threading model: one accept-loop thread plus one handler thread per
+connection (the PR 3 thread-safety pass across the tracer, caches,
+breakers, and stats objects is what makes the shared mediator safe
+to navigate from many handler threads at once).
+
+Hardening (all knobs on :class:`~repro.runtime.config.EngineConfig`,
+``serve_*`` fields):
+
+* **admission control** -- at ``serve_max_sessions`` open sessions a
+  new connection is answered with a typed ``mix:busy`` frame and
+  closed; the kernel accept queue behind the gate is bounded by
+  ``serve_accept_backlog``.
+* **idle timeout** -- a client that stops talking (including a
+  slow-loris dribbling half a frame) is killed after
+  ``serve_idle_timeout_ms`` with a best-effort ``mix:idle`` reply.
+* **backpressure** -- a client that stops *reading* stalls the
+  server's send; after ``serve_send_timeout_ms`` the session is
+  killed, freeing the handler instead of buffering unboundedly.
+* **deadlines** -- ``serve_request_deadline_ms`` bounds the
+  navigation work of a single request via a clock check on every
+  document navigation (``mix:deadline``).
+* **budgets** -- ``serve_session_max_fills`` /
+  ``serve_session_max_bytes`` bound one session's total navigation
+  and shipped-fragment volume (``mix:budget``).
+* **fault tolerance** -- malformed frames, oversized frames,
+  mid-frame disconnects, and handler-internal errors kill the
+  offending *session* only; sibling sessions and the accept loop
+  never observe them.
+* **graceful drain** -- :meth:`MediatorServer.drain` (wired to
+  SIGTERM by the ``serve`` CLI) stops accepting, lets in-flight
+  requests finish, answers the next request of every surviving
+  session with ``mix:draining``, wakes idle sessions, and
+  force-closes stragglers after ``serve_drain_timeout_ms``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..mediator.mix import MIXMediator
+from ..runtime.config import EngineConfig
+from ..runtime.resilience import SYSTEM_CLOCK, Clock
+from .session import (
+    DeadlineDocument,
+    RequestDeadlineError,
+    Session,
+    SessionBudgetError,
+)
+from .wire import WireError, encode_fragments, recv_frame, send_frame
+from ..client.remote import NavigableLXPServer
+
+__all__ = ["ServerStats", "MediatorServer"]
+
+#: accept-loop poll granularity: how often the loop wakes to notice
+#: a drain request (the listener socket's timeout, in seconds)
+_ACCEPT_POLL_S = 0.05
+
+
+class ServerStats:
+    """Lifetime counters of one daemon, lock-guarded.
+
+    Mutated by the accept loop and every handler thread; read through
+    :meth:`snapshot` by reporters (the ``stats`` wire op, the load
+    generator, tests) while traffic is live.
+    """
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.rejected_busy = 0
+        self.rejected_draining = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.protocol_kills = 0
+        self.idle_kills = 0
+        self.stalled_kills = 0
+        self.deadline_kills = 0
+        self.budget_kills = 0
+        self.disconnect_kills = 0
+        self.internal_kills = 0
+        self.query_rejects = 0
+        self.drained = 0
+        self.lock = threading.Lock()
+
+    def bump(self, field_name: str, amount: int = 1) -> None:
+        with self.lock:
+            setattr(self, field_name,
+                    getattr(self, field_name) + amount)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of every counter."""
+        with self.lock:
+            return {
+                name: value
+                for name, value in sorted(vars(self).items())
+                if isinstance(value, int)
+            }
+
+
+class _Handler:
+    """Bookkeeping record of one live connection."""
+
+    def __init__(self, conn: socket.socket, thread: threading.Thread,
+                 address: Tuple[str, int]) -> None:
+        self.conn = conn
+        self.thread = thread
+        self.address = address
+        #: serializes writes to ``conn``: the handler replies on it,
+        #: and drain may inject a ``mix:draining`` notice
+        self.write_lock = threading.Lock()
+        self.session: Optional[Session] = None
+
+
+class MediatorServer:
+    """A hardened TCP daemon serving mediator sessions over LXP.
+
+    Usage::
+
+        server = MediatorServer(mediator)       # config from mediator
+        host, port = server.start()
+        ...
+        server.drain()                          # graceful shutdown
+
+    or as a context manager (``__exit__`` drains).  ``clock`` injects
+    the time source for request deadlines (tests use a
+    :class:`~repro.testing.faults.FakeClock`); socket-level timeouts
+    (idle, send) are real kernel timeouts and always use wall time.
+    """
+
+    def __init__(self, mediator: MIXMediator,
+                 config: Optional[EngineConfig] = None,
+                 clock: Optional[Clock] = None) -> None:
+        self.mediator = mediator
+        self.config = config if config is not None else mediator.config
+        self.clock: Clock = clock if clock is not None else SYSTEM_CLOCK
+        self.stats = ServerStats()
+        self.tracer = mediator.tracer
+        self.metrics = mediator.runtime.metrics
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: List[_Handler] = []
+        self._active = 0
+        self._session_serial = 0
+        self._draining = False
+        self._started = False
+        self._lock = threading.Lock()
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and start accepting; returns (host, port)."""
+        with self._lock:
+            if self._started:
+                raise RuntimeError("server already started")
+            self._started = True
+        config = self.config
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((config.serve_host, config.serve_port))
+        listener.listen(config.serve_accept_backlog)
+        # The timeout doubles as the drain poll: the accept loop wakes
+        # at this cadence to notice a drain request.
+        listener.settimeout(_ACCEPT_POLL_S)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        self.tracer.emit("server", "listen", host=self.address[0],
+                         port=self.address[1],
+                         max_sessions=config.serve_max_sessions)
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="mix-accept", daemon=True)
+        self._accept_thread = thread
+        thread.start()
+        return self.address
+
+    def __enter__(self) -> "MediatorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.drain()
+
+    @property
+    def active_sessions(self) -> int:
+        """Currently admitted (not yet closed) sessions."""
+        with self._lock:
+            return self._active
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- accept loop -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while True:
+            try:
+                conn, address = listener.accept()
+            except socket.timeout:
+                if self.draining:
+                    return
+                continue
+            except OSError:
+                # Listener closed (drain) -- exit quietly.
+                return
+            with self._lock:
+                if self._draining:
+                    admitted = None
+                elif self._active < self.config.serve_max_sessions:
+                    self._active += 1
+                    admitted = True
+                else:
+                    admitted = False
+            self.stats.bump("accepted")
+            self.tracer.emit("server", "accept", peer=address[0])
+            if self.config.serve_send_buffer_bytes is not None:
+                try:
+                    conn.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF,
+                        self.config.serve_send_buffer_bytes)
+                except OSError:
+                    pass
+            handler = _Handler(conn, threading.Thread(), address[:2])
+            thread = threading.Thread(
+                target=self._handle, args=(handler, admitted),
+                name="mix-session", daemon=True)
+            handler.thread = thread
+            if admitted:
+                with self._lock:
+                    self._handlers.append(handler)
+            thread.start()
+
+    # -- the session protocol ----------------------------------------------
+    def _reply(self, handler: _Handler,
+               payload: Dict[str, Any]) -> None:
+        """Send one frame under the connection's write lock and the
+        send timeout (a stalled reader raises ``socket.timeout``)."""
+        config = self.config
+        with handler.write_lock:
+            handler.conn.settimeout(
+                config.serve_send_timeout_ms / 1000.0)
+            send_frame(handler.conn, payload,
+                       config.serve_max_frame_bytes)
+
+    def _error_reply(self, handler: _Handler, code: str,
+                     detail: str) -> None:
+        """Best-effort typed error frame: the peer may already be
+        gone, in which case the error is only in the stats/trace."""
+        try:
+            self._reply(handler, {"ok": False, "error": code,
+                                  "detail": detail})
+        except (socket.timeout, OSError, WireError):
+            pass
+
+    def _kill(self, handler: _Handler, reason: str,
+              counter: str, detail: str = "") -> None:
+        """Terminate one session (never the server)."""
+        self.stats.bump(counter)
+        session_id = (handler.session.session_id
+                      if handler.session is not None else None)
+        self.tracer.emit("server", "kill", session=session_id,
+                         reason=reason, detail=detail)
+        if self.metrics.enabled:
+            self.metrics.counter("server_kills_total").inc(
+                reason=reason)
+
+    def _next_session_id(self) -> str:
+        with self._lock:
+            self._session_serial += 1
+            return "s#%d" % self._session_serial
+
+    def _open_session(self, handler: _Handler,
+                      frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Prepare the query and wire up the session state."""
+        query = frame.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise WireError("open frame must carry a non-empty "
+                            "'query' string")
+        config = self.config
+        chunk_size = frame.get("chunk_size", config.chunk_size)
+        depth = frame.get("depth", config.depth)
+        result = self.mediator.prepare(query)
+        deadline_document = DeadlineDocument(result.document,
+                                             clock=self.clock)
+        exporter = NavigableLXPServer(deadline_document,
+                                      chunk_size=chunk_size,
+                                      depth=depth)
+        exporter.stats.metrics = self.metrics
+        session = Session(
+            self._next_session_id(), result, exporter,
+            deadline_document,
+            max_fills=config.serve_session_max_fills,
+            max_bytes=config.serve_session_max_bytes)
+        exporter.stats.source = session.session_id
+        handler.session = session
+        root_wire = session.holes.intern(exporter.get_root().hole_id)
+        self.stats.bump("sessions_opened")
+        self.tracer.emit("server", "open", session=session.session_id,
+                         peer=handler.address[0])
+        if self.metrics.enabled:
+            self.metrics.counter("server_sessions_total").inc()
+            self.metrics.gauge("server_active_sessions").set(
+                self.active_sessions)
+        return {"ok": True, "session": session.session_id,
+                "root": root_wire}
+
+    def _dispatch(self, handler: _Handler,
+                  frame: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Answer one request frame.
+
+        Returns ``(reply, keep_going)``; raises the typed errors the
+        caller maps to ``mix:*`` replies.
+        """
+        op = frame.get("op")
+        session = handler.session
+        if session is None:
+            if op != "open":
+                raise WireError(
+                    "first frame must be 'open', got op=%r" % (op,))
+            return self._open_session(handler, frame), True
+        if op == "open":
+            raise WireError("session already open")
+        if op == "ping":
+            return {"ok": True, "pong": True}, True
+        if op == "close":
+            return {"ok": True, "closed": True}, False
+        if op == "stats":
+            return {"ok": True, "stats": session.stats(),
+                    "server": self.stats.snapshot()}, True
+        if op == "fill":
+            session.check_budget()
+            hole_id = session.holes.resolve(frame.get("hole"))
+            fragments = self._navigate(
+                session, lambda: session.exporter.fill(hole_id))
+            session.charge(1, iter(fragments))
+            return {"ok": True,
+                    "fragments": encode_fragments(
+                        fragments, session.holes.intern)}, True
+        if op == "fill_batch":
+            session.check_budget()
+            holes = frame.get("holes")
+            if not isinstance(holes, list) or not holes:
+                raise WireError("fill_batch frame must carry a "
+                                "non-empty 'holes' array")
+            speculate = frame.get("speculate", 0)
+            if not isinstance(speculate, int) or speculate < 0:
+                raise WireError("speculate must be a non-negative "
+                                "integer")
+            hole_ids = [session.holes.resolve(h) for h in holes]
+            replies = self._navigate(
+                session,
+                lambda: session.exporter.fill_batch(hole_ids,
+                                                    speculate))
+            encoded = []
+            for hole_id, fragments in replies:
+                session.charge(1, iter(fragments))
+                encoded.append(
+                    [session.holes.intern(hole_id),
+                     encode_fragments(fragments,
+                                      session.holes.intern)])
+            return {"ok": True, "replies": encoded}, True
+        raise WireError("unknown op %r" % (op,))
+
+    def _navigate(self, session: Session, operation: Any) -> Any:
+        """Run one navigation under the per-request deadline."""
+        session.deadline_document.arm(
+            self.config.serve_request_deadline_ms)
+        try:
+            return operation()
+        finally:
+            session.deadline_document.disarm()
+
+    def _handle(self, handler: _Handler,
+                admitted: Optional[bool]) -> None:
+        """The per-connection thread body."""
+        config = self.config
+        try:
+            if admitted is None:
+                self.stats.bump("rejected_draining")
+                self.tracer.emit("server", "reject", reason="draining")
+                self._error_reply(handler, "mix:draining",
+                                  "server is draining")
+                return
+            if not admitted:
+                self.stats.bump("rejected_busy")
+                self.tracer.emit("server", "reject", reason="busy")
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "server_rejected_total").inc(reason="busy")
+                self._error_reply(
+                    handler, "mix:busy",
+                    "server at its %d-session capacity"
+                    % config.serve_max_sessions)
+                return
+            with self.tracer.span("server", "session",
+                                  peer=handler.address[0]):
+                self._session_loop(handler)
+        finally:
+            try:
+                handler.conn.close()
+            except OSError:
+                pass
+            if admitted:
+                with self._lock:
+                    self._active -= 1
+                    if handler in self._handlers:
+                        self._handlers.remove(handler)
+                self.stats.bump("sessions_closed")
+                session_id = (handler.session.session_id
+                              if handler.session is not None else None)
+                self.tracer.emit("server", "close", session=session_id)
+                if self.metrics.enabled:
+                    self.metrics.gauge("server_active_sessions").set(
+                        self.active_sessions)
+
+    def _session_loop(self, handler: _Handler) -> None:
+        config = self.config
+        while True:
+            if self.draining:
+                self.stats.bump("drained")
+                self._error_reply(handler, "mix:draining",
+                                  "server is draining")
+                return
+            handler.conn.settimeout(
+                config.serve_idle_timeout_ms / 1000.0)
+            try:
+                frame = recv_frame(handler.conn,
+                                   config.serve_max_frame_bytes)
+            except socket.timeout:
+                if self.draining:
+                    self.stats.bump("drained")
+                    return
+                self._kill(handler, "idle", "idle_kills")
+                self._error_reply(handler, "mix:idle",
+                                  "no complete frame within %.0fms"
+                                  % config.serve_idle_timeout_ms)
+                return
+            except WireError as err:
+                if self.draining:
+                    self.stats.bump("drained")
+                    return
+                self._kill(handler, "protocol", "protocol_kills",
+                           detail=type(err).__name__)
+                self._error_reply(handler, "mix:protocol", str(err))
+                return
+            except (ConnectionError, OSError):
+                if self.draining:
+                    self.stats.bump("drained")
+                    return
+                self._kill(handler, "disconnect", "disconnect_kills")
+                return
+            if frame is None:
+                # Clean close at a frame boundary: a polite client.
+                if self.draining:
+                    self.stats.bump("drained")
+                return
+            if handler.session is not None:
+                handler.session.requests += 1
+            try:
+                with self.tracer.span("server", "request",
+                                      op=str(frame.get("op"))):
+                    reply, keep_going = self._dispatch(handler, frame)
+            except RequestDeadlineError as err:
+                self._kill(handler, "deadline", "deadline_kills")
+                self._error_reply(handler, "mix:deadline", str(err))
+                return
+            except SessionBudgetError as err:
+                self._kill(handler, "budget", "budget_kills")
+                self._error_reply(handler, "mix:budget", str(err))
+                return
+            except WireError as err:
+                self._kill(handler, "protocol", "protocol_kills",
+                           detail=type(err).__name__)
+                self._error_reply(handler, "mix:protocol", str(err))
+                return
+            except ReproError as err:
+                # A bad query or a source-side failure: this session's
+                # problem, reported and closed; the server lives on.
+                self.stats.bump("query_rejects")
+                self._error_reply(handler, "mix:query",
+                                  "%s: %s" % (type(err).__name__, err))
+                return
+            except Exception as err:  # never take the server down
+                self._kill(handler, "internal", "internal_kills",
+                           detail=type(err).__name__)
+                self._error_reply(handler, "mix:error",
+                                  "%s: %s" % (type(err).__name__, err))
+                return
+            try:
+                self._reply(handler, reply)
+            except socket.timeout:
+                self._kill(handler, "stalled", "stalled_kills")
+                return
+            except WireError as err:
+                # The server produced an unsendable (oversized) reply:
+                # its own bug, charged to this session, not the peer's.
+                self._kill(handler, "internal", "internal_kills",
+                           detail=type(err).__name__)
+                self._error_reply(handler, "mix:error", str(err))
+                return
+            except (ConnectionError, OSError):
+                self._kill(handler, "disconnect", "disconnect_kills")
+                return
+            if not keep_going:
+                return
+
+    # -- drain -------------------------------------------------------------
+    def drain(self, timeout_ms: Optional[float] = None) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight work,
+        cancel idle sessions, force-close stragglers.
+
+        Returns True when every session ended within the grace period
+        (``serve_drain_timeout_ms`` by default), False when
+        stragglers had to be force-closed.  Idempotent; safe to call
+        from a signal handler's deferred path.
+        """
+        with self._lock:
+            if self._draining:
+                already = True
+            else:
+                self._draining = True
+                already = False
+            listener = self._listener
+            handlers = list(self._handlers)
+        if not already:
+            self.tracer.emit("server", "drain", phase="begin",
+                             in_flight=len(handlers))
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+        grace_ms = (timeout_ms if timeout_ms is not None
+                    else self.config.serve_drain_timeout_ms)
+        deadline = time.monotonic() + grace_ms / 1000.0
+        accept_thread = self._accept_thread
+        if accept_thread is not None:
+            accept_thread.join(max(0.0, deadline - time.monotonic())
+                               + _ACCEPT_POLL_S * 2)
+        # Wake sessions parked in recv: a non-blocking write-lock
+        # probe sends the draining notice only to *idle* sessions
+        # (busy ones will see the flag after their in-flight reply),
+        # then the read side is shut down to interrupt the recv.
+        for handler in handlers:
+            if handler.write_lock.acquire(blocking=False):
+                try:
+                    handler.conn.settimeout(
+                        self.config.serve_send_timeout_ms / 1000.0)
+                    send_frame(handler.conn,
+                               {"ok": False, "error": "mix:draining",
+                                "detail": "server is draining"},
+                               self.config.serve_max_frame_bytes)
+                except (socket.timeout, OSError, WireError):
+                    pass
+                finally:
+                    handler.write_lock.release()
+            try:
+                handler.conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        clean = True
+        for handler in handlers:
+            handler.thread.join(max(0.0,
+                                    deadline - time.monotonic()))
+            if handler.thread.is_alive():
+                clean = False
+                try:
+                    handler.conn.close()
+                except OSError:
+                    pass
+        for handler in handlers:
+            if handler.thread.is_alive():
+                handler.thread.join(1.0)
+        # Flush: fold the final counter state into the metric gauges
+        # so an exporter run after drain sees the complete picture.
+        if self.metrics.enabled:
+            snapshot = self.stats.snapshot()
+            self.metrics.gauge("server_active_sessions").set(
+                self.active_sessions)
+            self.metrics.gauge("server_drained_sessions").set(
+                snapshot["drained"])
+            self.metrics.gauge("server_rejected_sessions").set(
+                snapshot["rejected_busy"]
+                + snapshot["rejected_draining"])
+        self.tracer.emit("server", "drain", phase="end",
+                         clean=clean,
+                         drained=self.stats.snapshot()["drained"])
+        return clean

@@ -1,0 +1,221 @@
+"""Per-session server state: hole table, budgets, deadlines.
+
+One TCP connection is one session.  A session owns:
+
+* the prepared query's :class:`~repro.mediator.mix.QueryResult`
+  (which carries the per-session
+  :class:`~repro.runtime.context.ExecutionContext` -- caches, tracer,
+  metrics -- exactly as an in-process client would get);
+* a :class:`~repro.client.remote.NavigableLXPServer` exporting the
+  virtual answer as fragments;
+* a :class:`HoleTable` mapping those fragments' in-process hole
+  identifiers (which embed live document pointers) to session-scoped
+  wire integers and back;
+* consumption counters against the session's navigation/byte budgets.
+
+The deadline machinery is a document proxy
+(:class:`DeadlineDocument`): the handler arms it at request start and
+every navigation the request triggers checks the injected clock, so a
+runaway navigation is cut mid-request -- deterministically under a
+:class:`~repro.testing.faults.FakeClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+from ..buffer.holes import fragment_wire_size
+from ..client.remote import NavigableLXPServer
+from ..errors import TransientSourceError
+from ..navigation.interface import NavigableDocument
+from ..runtime.resilience import SYSTEM_CLOCK, Clock
+from .wire import MalformedFrameError
+
+__all__ = ["HoleTable", "SessionBudgetError", "RequestDeadlineError",
+           "DeadlineDocument", "Session"]
+
+
+class SessionBudgetError(TransientSourceError):
+    """A session exhausted its navigation or byte budget.  Transient
+    from the client fleet's point of view: a fresh session starts
+    with a fresh budget."""
+
+
+class RequestDeadlineError(TransientSourceError):
+    """A request's server-side navigation work overran the
+    per-request deadline."""
+
+
+class HoleTable:
+    """Bidirectional hole-id <-> wire-integer map for one session.
+
+    The in-process hole identifiers of
+    :class:`~repro.client.remote.NavigableLXPServer` embed live
+    document pointers -- unserializable and unforgeable-by-accident,
+    but useless on a wire.  The table interns each hole the session
+    ships and resolves the integers clients send back.  Interning is
+    idempotent (one hole, one wire id) so a batched reply that answers
+    a hole introduced earlier in the same reply stays consistent.
+
+    Guarded by its own lock: the handler thread interns while drain
+    or stats paths may be reading the size.
+    """
+
+    def __init__(self) -> None:
+        self._to_wire: Dict[object, int] = {}
+        self._to_hole: Dict[int, object] = {}
+        self._serial = 0
+        self._lock = threading.Lock()
+
+    def intern(self, hole_id: object) -> int:
+        """The wire integer for ``hole_id`` (minted on first use)."""
+        with self._lock:
+            wire_id = self._to_wire.get(hole_id)
+            if wire_id is None:
+                self._serial += 1
+                wire_id = self._serial
+                self._to_wire[hole_id] = wire_id
+                self._to_hole[wire_id] = hole_id
+            return wire_id
+
+    def resolve(self, wire_id: object) -> object:
+        """The in-process hole id behind a client-sent integer.
+
+        Unknown or ill-typed ids are a protocol violation (the client
+        can only learn ids from fragments this session shipped).
+        """
+        if not isinstance(wire_id, int) or isinstance(wire_id, bool):
+            raise MalformedFrameError(
+                "hole id must be an integer, got %r" % (wire_id,))
+        with self._lock:
+            try:
+                return self._to_hole[wire_id]
+            except KeyError:
+                raise MalformedFrameError(
+                    "unknown hole id %d for this session"
+                    % wire_id) from None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._to_hole)
+
+
+class DeadlineDocument(NavigableDocument):
+    """A navigation proxy that enforces a per-request deadline.
+
+    ``arm(deadline_ms)`` is called by the handler when a request
+    starts and ``disarm()`` when it ends; every navigation in between
+    compares the clock against the armed deadline.  The proxy is only
+    ever driven by its session's handler thread, but arm/disarm and
+    the checks keep the state in one slot so a misuse is at worst a
+    late cut, never a crash.
+    """
+
+    def __init__(self, document: NavigableDocument,
+                 clock: Optional[Clock] = None) -> None:
+        self.document = document
+        self.clock: Clock = clock if clock is not None else SYSTEM_CLOCK
+        self._deadline_at: Optional[float] = None
+        self._deadline_ms: Optional[float] = None
+
+    def arm(self, deadline_ms: Optional[float]) -> None:
+        """Start the request clock (None = no deadline)."""
+        self._deadline_ms = deadline_ms
+        if deadline_ms is None:
+            self._deadline_at = None
+        else:
+            self._deadline_at = self.clock.now_ms() + deadline_ms
+
+    def disarm(self) -> None:
+        self._deadline_at = None
+        self._deadline_ms = None
+
+    def _check(self) -> None:
+        deadline_at = self._deadline_at
+        if deadline_at is not None \
+                and self.clock.now_ms() > deadline_at:
+            raise RequestDeadlineError(
+                "request overran its %.0fms navigation deadline"
+                % (self._deadline_ms or 0.0,))
+
+    def root(self) -> object:
+        self._check()
+        return self.document.root()
+
+    def down(self, pointer: object) -> Optional[object]:
+        self._check()
+        return self.document.down(pointer)
+
+    def right(self, pointer: object) -> Optional[object]:
+        self._check()
+        return self.document.right(pointer)
+
+    def fetch(self, pointer: object) -> str:
+        self._check()
+        return self.document.fetch(pointer)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self.document, attr)
+
+
+class Session:
+    """One client's dialogue with the daemon, server side.
+
+    Created by the handler after a successful ``open``; owns the
+    exported view, the hole table, and the budget counters.  The
+    handler thread is the only mutator; the budget check happens
+    after each reply is measured, so a reply that crosses the budget
+    is still delivered and the *next* request is refused.
+    """
+
+    def __init__(self, session_id: str, result: Any,
+                 exporter: NavigableLXPServer,
+                 deadline_document: DeadlineDocument,
+                 max_fills: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        self.session_id = session_id
+        self.result = result
+        self.exporter = exporter
+        self.deadline_document = deadline_document
+        self.holes = HoleTable()
+        self.max_fills = max_fills
+        self.max_bytes = max_bytes
+        #: navigation budget consumed (answered fill commands)
+        self.fills = 0
+        #: byte budget consumed (fragment wire volume shipped)
+        self.bytes_shipped = 0
+        #: requests answered (any op)
+        self.requests = 0
+
+    def charge(self, fills: int, fragments: Iterator[Any]) -> None:
+        """Account one reply against the session budgets."""
+        self.fills += fills
+        self.bytes_shipped += sum(fragment_wire_size(f)
+                                  for f in fragments)
+
+    def check_budget(self) -> None:
+        """Raise :class:`SessionBudgetError` once a budget is
+        exhausted (checked before each navigation request)."""
+        if self.max_fills is not None and self.fills >= self.max_fills:
+            raise SessionBudgetError(
+                "session %s exhausted its %d-fill navigation budget"
+                % (self.session_id, self.max_fills))
+        if self.max_bytes is not None \
+                and self.bytes_shipped >= self.max_bytes:
+            raise SessionBudgetError(
+                "session %s exhausted its %d-byte ship budget"
+                % (self.session_id, self.max_bytes))
+
+    def stats(self) -> Dict[str, Any]:
+        """The session's consumption and its context's live stats
+        (snapshot-based, safe while the session is still running)."""
+        exporter_stats = self.exporter.stats.snapshot()
+        return {
+            "session": self.session_id,
+            "requests": self.requests,
+            "fills": self.fills,
+            "bytes_shipped": self.bytes_shipped,
+            "holes_interned": len(self.holes),
+            "exporter": exporter_stats,
+        }

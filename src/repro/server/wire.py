@@ -1,0 +1,208 @@
+"""The LXP wire codec: length-prefixed JSON frames over a socket.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Both directions use the
+same framing; the protocol on top (``docs/PROTOCOLS.md``, "LXP wire
+framing & session lifecycle") is strictly request/reply.
+
+Fragments cross the wire in a compact array encoding::
+
+    FragElem(label, children)  ->  ["e", label, [child, ...]]
+    FragHole(wire_id)          ->  ["h", wire_id]
+
+where ``wire_id`` is a session-scoped integer minted by the server's
+hole table (:class:`~repro.server.session.HoleTable`) -- the in-
+process hole identifiers embed live document pointers and never leave
+the server.
+
+Error taxonomy: :class:`WireError` is *permanent* (resending the same
+bytes cannot help); :class:`TruncatedFrameError` marks a mid-frame
+connection loss, :class:`FrameTooLargeError` an oversized length
+prefix, and plain :class:`MalformedFrameError` everything else (bad
+JSON, non-object payloads, bad fragment shapes).  A clean EOF *at a
+frame boundary* is not an error: :func:`recv_frame` returns ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..buffer.holes import FragElem, FragHole, Fragment
+from ..errors import PermanentSourceError
+
+__all__ = [
+    "WireError", "MalformedFrameError", "TruncatedFrameError",
+    "FrameTooLargeError",
+    "MAX_FRAME_BYTES", "send_frame", "recv_frame", "recv_frame_sized",
+    "encode_fragment", "decode_fragment",
+    "encode_fragments", "decode_fragments",
+]
+
+#: default per-frame size ceiling (overridable per server/client via
+#: ``EngineConfig.serve_max_frame_bytes``)
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(PermanentSourceError):
+    """A wire-protocol violation.  Permanent: the same bytes will
+    fail the same way, so the resilience layer never retries it."""
+
+
+class MalformedFrameError(WireError):
+    """The frame arrived whole but its payload is not a protocol
+    object (bad JSON, a non-dict, an illegal fragment shape)."""
+
+
+class FrameTooLargeError(MalformedFrameError):
+    """The length prefix exceeds the frame ceiling -- either a hostile
+    client or garbage bytes parsed as a huge length."""
+
+
+class TruncatedFrameError(WireError):
+    """The peer disconnected mid-frame (EOF inside the header or the
+    payload)."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes; raise on EOF partway through.
+
+    An empty first read is reported as zero bytes so the caller can
+    distinguish a clean close (EOF at a frame boundary) from a
+    truncation.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return b""
+            raise TruncatedFrameError(
+                "connection closed mid-frame (%d of %d bytes)"
+                % (count - remaining, count))
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any],
+               max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Serialize ``payload`` and send it as one frame.
+
+    Returns the total bytes put on the wire (header included), so
+    channel accounting can charge real sizes.  Refuses to *produce*
+    an oversized frame -- the sender's bug, caught before the peer
+    would have to kill the connection.
+    """
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=True).encode("ascii")
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            "refusing to send a %d-byte frame (limit %d)"
+            % (len(body), max_frame_bytes))
+    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.size + len(body)
+
+
+def recv_frame(sock: socket.socket,
+               max_frame_bytes: int = MAX_FRAME_BYTES
+               ) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    Socket timeouts propagate as ``socket.timeout`` (the caller's
+    idle/slow-loris policy decides what that means); everything else
+    that can go wrong raises a :class:`WireError` subclass.
+    """
+    payload, _ = recv_frame_sized(sock, max_frame_bytes)
+    return payload
+
+
+def recv_frame_sized(sock: socket.socket,
+                     max_frame_bytes: int = MAX_FRAME_BYTES
+                     ) -> "Tuple[Optional[Dict[str, Any]], int]":
+    """Like :func:`recv_frame`, also reporting the bytes read off the
+    wire (header included) so channel accounting can charge real
+    transfer sizes."""
+    header = _recv_exact(sock, _HEADER.size)
+    if not header:
+        return None, 0
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            "frame of %d bytes exceeds the %d-byte limit"
+            % (length, max_frame_bytes))
+    body = _recv_exact(sock, length) if length else b""
+    if length and not body:
+        raise TruncatedFrameError(
+            "connection closed mid-frame (0 of %d payload bytes)"
+            % length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as err:
+        raise MalformedFrameError(
+            "frame payload is not valid JSON: %s" % err) from None
+    if not isinstance(payload, dict):
+        raise MalformedFrameError(
+            "frame payload must be a JSON object, got %s"
+            % type(payload).__name__)
+    return payload, _HEADER.size + length
+
+
+# ----------------------------------------------------------------------
+# Fragment codec
+# ----------------------------------------------------------------------
+
+def encode_fragment(fragment: Fragment,
+                    intern: Callable[[object], int]) -> List[Any]:
+    """One fragment as the wire array shape; holes are interned to
+    session-scoped integers through ``intern``."""
+    if isinstance(fragment, FragHole):
+        return ["h", intern(fragment.hole_id)]
+    return ["e", fragment.label,
+            [encode_fragment(child, intern)
+             for child in fragment.children]]
+
+
+def encode_fragments(fragments: List[Fragment],
+                     intern: Callable[[object], int]) -> List[Any]:
+    """A fill reply's fragment list in wire shape."""
+    return [encode_fragment(fragment, intern) for fragment in fragments]
+
+
+def decode_fragment(obj: Any) -> Fragment:
+    """The inverse codec, with strict shape validation: anything that
+    is not exactly the documented array shape is malformed."""
+    if (not isinstance(obj, list)) or not obj:
+        raise MalformedFrameError(
+            "fragment must be a non-empty array, got %r" % (obj,))
+    kind = obj[0]
+    if kind == "h":
+        if len(obj) != 2 or not isinstance(obj[1], int) \
+                or isinstance(obj[1], bool):
+            raise MalformedFrameError(
+                "hole fragment must be ['h', int], got %r" % (obj,))
+        return FragHole(obj[1])
+    if kind == "e":
+        if len(obj) != 3 or not isinstance(obj[1], str) \
+                or not isinstance(obj[2], list):
+            raise MalformedFrameError(
+                "element fragment must be ['e', label, [children]], "
+                "got %r" % (obj,))
+        return FragElem(obj[1],
+                        tuple(decode_fragment(child)
+                              for child in obj[2]))
+    raise MalformedFrameError(
+        "unknown fragment kind %r (expected 'e' or 'h')" % (kind,))
+
+
+def decode_fragments(obj: Any) -> List[Fragment]:
+    """Decode a fill reply's fragment list (strictly validated)."""
+    if not isinstance(obj, list):
+        raise MalformedFrameError(
+            "fragment list must be an array, got %r" % (obj,))
+    return [decode_fragment(item) for item in obj]

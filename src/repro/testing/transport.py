@@ -1,0 +1,264 @@
+"""Transport-layer fault injection for the session server.
+
+The :mod:`repro.testing.faults` toolkit misbehaves at the LXP/
+channel/document seams; this module misbehaves *below* them, on the
+raw TCP stream, exercising exactly the failure modes the daemon's
+hardening claims to contain:
+
+* garbage bytes where a frame should be (:func:`send_garbage`);
+* a frame that announces more payload than it delivers, then a
+  disconnect (:func:`send_truncated_frame`) -- the classic mid-frame
+  crash;
+* a slow-loris that dribbles half a header and then goes silent
+  (:func:`slow_loris`), which must fall to the idle timeout;
+* a stalled reader (:class:`StalledReader`) that requests a large
+  reply and never drains it, which must fall to the send timeout;
+* scripted well-behaved sessions (:func:`scripted_session`) whose
+  raw reply bytes can be compared byte-for-byte across runs -- the
+  golden-trace proof that a misbehaving neighbour changed *nothing*
+  for the survivors.
+
+Everything here is deterministic and sleep-free: the only waiting is
+on socket operations bounded by explicit timeouts (the tests keep
+them tiny).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "open_raw", "send_frame_bytes", "frame_bytes", "recv_reply_bytes",
+    "send_garbage", "send_truncated_frame", "slow_loris",
+    "abrupt_disconnect", "StalledReader", "scripted_session",
+]
+
+_HEADER = struct.Struct(">I")
+
+
+def open_raw(host: str, port: int,
+             timeout_ms: float = 2000.0) -> socket.socket:
+    """A raw client socket with an explicit timeout (nothing in the
+    fault kit may hang a test run)."""
+    return socket.create_connection((host, port),
+                                    timeout=timeout_ms / 1000.0)
+
+
+def frame_bytes(payload: Dict[str, Any]) -> bytes:
+    """A well-formed wire frame for ``payload``."""
+    body = json.dumps(payload, separators=(",", ":")).encode("ascii")
+    return _HEADER.pack(len(body)) + body
+
+
+def send_frame_bytes(sock: socket.socket,
+                     payload: Dict[str, Any]) -> None:
+    sock.sendall(frame_bytes(payload))
+
+
+def recv_reply_bytes(sock: socket.socket) -> bytes:
+    """One whole reply frame as raw bytes (b"" on EOF/timeout) --
+    the unit of golden-trace comparison."""
+    try:
+        header = _recv_exact(sock, _HEADER.size)
+        if len(header) < _HEADER.size:
+            return b""
+        (length,) = _HEADER.unpack(header)
+        body = _recv_exact(sock, length)
+        if len(body) < length:
+            return b""
+        return header + body
+    except (socket.timeout, OSError):
+        return b""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _decode(raw: bytes) -> Optional[Dict[str, Any]]:
+    if len(raw) <= _HEADER.size:
+        return None
+    try:
+        payload = json.loads(raw[_HEADER.size:].decode("utf-8"))
+    except ValueError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+# ----------------------------------------------------------------------
+# the misbehaving clients
+# ----------------------------------------------------------------------
+
+def send_garbage(host: str, port: int,
+                 data: bytes = b"\x00\x00\x00\x04not-json",
+                 timeout_ms: float = 2000.0
+                 ) -> Optional[Dict[str, Any]]:
+    """Send raw non-protocol bytes; return the server's typed error
+    reply (``mix:protocol``), or None if it closed without one."""
+    sock = open_raw(host, port, timeout_ms)
+    try:
+        sock.sendall(data)
+        return _decode(recv_reply_bytes(sock))
+    finally:
+        sock.close()
+
+
+def send_truncated_frame(host: str, port: int,
+                         declared: int = 512,
+                         delivered: bytes = b'{"op":',
+                         timeout_ms: float = 2000.0) -> None:
+    """Announce ``declared`` payload bytes, deliver a prefix, and
+    disconnect mid-frame.  The server must classify this as a
+    truncation and kill only the offending session."""
+    sock = open_raw(host, port, timeout_ms)
+    try:
+        sock.sendall(_HEADER.pack(declared) + delivered)
+    finally:
+        sock.close()
+
+
+def slow_loris(host: str, port: int,
+               timeout_ms: float = 5000.0) -> Optional[Dict[str, Any]]:
+    """Dribble half a header, then go silent and wait for the
+    server's verdict.  Returns the typed ``mix:idle`` reply the
+    server sends before killing the connection (or None if it just
+    closed)."""
+    sock = open_raw(host, port, timeout_ms)
+    try:
+        sock.sendall(b"\x00\x00")  # half a length prefix, then nothing
+        return _decode(recv_reply_bytes(sock))
+    finally:
+        sock.close()
+
+
+def abrupt_disconnect(host: str, port: int, query: str,
+                      timeout_ms: float = 2000.0) -> str:
+    """Open a real session, then vanish mid-frame (a client crash).
+
+    Returns the session id the server had assigned, so a test can
+    assert the kill was charged to exactly this session.
+    """
+    sock = open_raw(host, port, timeout_ms)
+    try:
+        send_frame_bytes(sock, {"op": "open", "query": query})
+        reply = _decode(recv_reply_bytes(sock))
+        session_id = str(reply.get("session")) if reply else ""
+        # Half a fill frame, then a hard close.
+        sock.sendall(_HEADER.pack(64) + b'{"op":"fill"')
+        # RST instead of FIN: the rudest possible exit.
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+        return session_id
+    finally:
+        sock.close()
+
+
+class StalledReader:
+    """A client that asks for data and never reads it.
+
+    The receive buffer is clamped tiny before connecting, so a large
+    reply fills the server's send buffer and stalls its ``sendall``
+    -- the backpressure case the send timeout exists for.  Use as a
+    context manager; :meth:`request_and_stall` fires the fill and
+    returns without reading.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout_ms: float = 5000.0) -> None:
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1024)
+        self.sock.settimeout(timeout_ms / 1000.0)
+        self.sock.connect((host, port))
+
+    def open(self, query: str, chunk_size: Optional[int] = None
+             ) -> Optional[Dict[str, Any]]:
+        frame: Dict[str, Any] = {"op": "open", "query": query}
+        if chunk_size is not None:
+            frame["chunk_size"] = chunk_size
+        send_frame_bytes(self.sock, frame)
+        return _decode(recv_reply_bytes(self.sock))
+
+    def request_and_stall(self, hole: int) -> None:
+        """Fire a fill and stop reading: the reply has nowhere to
+        go once the kernel buffers fill."""
+        send_frame_bytes(self.sock, {"op": "fill", "hole": hole})
+
+    def __enter__(self) -> "StalledReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# the well-behaved control
+# ----------------------------------------------------------------------
+
+def scripted_session(host: str, port: int, query: str,
+                     fills: int = 3,
+                     timeout_ms: float = 5000.0
+                     ) -> List[bytes]:
+    """One deterministic session: open, fill the root, then fill the
+    first ``fills - 1`` holes each reply exposes, then close.
+
+    Returns the raw bytes of every reply frame, in order -- two runs
+    of the same script against the same view must be byte-identical,
+    whatever any *other* session is doing to the server.
+    """
+    replies: List[bytes] = []
+    sock = open_raw(host, port, timeout_ms)
+    try:
+        send_frame_bytes(sock, {"op": "open", "query": query})
+        raw = recv_reply_bytes(sock)
+        replies.append(raw)
+        reply = _decode(raw)
+        if reply is None or not reply.get("ok"):
+            return replies
+        frontier: List[int] = [reply["root"]]
+        for _ in range(fills):
+            if not frontier:
+                break
+            hole = frontier.pop(0)
+            send_frame_bytes(sock, {"op": "fill", "hole": hole})
+            raw = recv_reply_bytes(sock)
+            replies.append(raw)
+            fill_reply = _decode(raw)
+            if fill_reply is None or not fill_reply.get("ok"):
+                return replies
+            frontier.extend(_holes_of(fill_reply.get("fragments", [])))
+        send_frame_bytes(sock, {"op": "close"})
+        replies.append(recv_reply_bytes(sock))
+        return replies
+    finally:
+        sock.close()
+
+
+def _holes_of(fragments: Any) -> List[int]:
+    """Every hole id in a wire-shape fragment list, in order."""
+    holes: List[int] = []
+    stack: List[Any] = list(reversed(fragments
+                                     if isinstance(fragments, list)
+                                     else []))
+    while stack:
+        item = stack.pop()
+        if not isinstance(item, list) or not item:
+            continue
+        if item[0] == "h" and len(item) == 2:
+            holes.append(item[1])
+        elif item[0] == "e" and len(item) == 3:
+            stack.extend(reversed(item[2]))
+    return holes

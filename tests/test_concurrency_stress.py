@@ -240,3 +240,88 @@ def test_worker_failure_is_raised_on_demand_not_swallowed():
             _scan_all(buffer)
     finally:
         buffer.close()
+
+
+# ----------------------------------------------------------------------
+# The socket server under mixed polite/hostile load
+# ----------------------------------------------------------------------
+
+@pytest.mark.timeout(120)
+def test_server_survives_mixed_stress_with_malformed_frames():
+    """Many concurrent well-behaved sessions interleaved with
+    malformed-frame injectors: every polite session completes with
+    the same navigation replies, every hostile one is killed, and the
+    server ends with balanced open/close accounting."""
+    from repro.mediator.mix import MIXMediator
+    from repro.navigation.materialized import MaterializedDocument
+    from repro.runtime.config import EngineConfig
+    from repro.server import MediatorServer
+    from repro.testing.transport import (
+        scripted_session, send_garbage, send_truncated_frame)
+
+    query = """
+    CONSTRUCT <result> <home> $A {$A} </home> {$H} </result> {}
+    WHERE homesSrc homes.home $H AND $H addr._ $A
+    """
+    config = EngineConfig(serve_port=0, serve_max_sessions=32,
+                          chunk_size=2)
+    mediator = MIXMediator(config)
+    mediator.register_source(
+        "homesSrc", MaterializedDocument(_homes_tree(6)))
+    server = MediatorServer(mediator)
+    host, port = server.start()
+    try:
+        control = scripted_session(host, port, query, fills=3)
+
+        polite_replies = {}
+        hostile_done = []
+
+        def polite(index):
+            polite_replies[index] = scripted_session(
+                host, port, query, fills=3)
+
+        def hostile(index):
+            if index % 2 == 0:
+                send_garbage(host, port)
+            else:
+                send_truncated_frame(host, port)
+            hostile_done.append(index)
+
+        threads = ([threading.Thread(target=polite, args=(i,),
+                                     daemon=True)
+                    for i in range(12)]
+                   + [threading.Thread(target=hostile, args=(i,),
+                                       daemon=True)
+                      for i in range(8)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT_S)
+            assert not thread.is_alive(), "stress worker deadlocked"
+
+        assert len(hostile_done) == 8
+        assert len(polite_replies) == 12
+        for replies in polite_replies.values():
+            # Open replies differ only in the session serial; every
+            # navigation/close reply is byte-identical to the control.
+            assert replies[1:] == control[1:]
+        # Every admitted connection -- polite or hostile -- must be
+        # torn down; hostile ones never reach "open", so the balance
+        # is closed == accepted (nothing was rejected here), not
+        # closed == opened.
+        deadline = threading.Event()
+        for _ in range(500):
+            snapshot = server.stats.snapshot()
+            if snapshot["sessions_closed"] == snapshot["accepted"] \
+                    and server.active_sessions == 0:
+                break
+            deadline.wait(0.01)
+        assert snapshot["protocol_kills"] >= 4   # the garbage halves
+        assert snapshot["sessions_closed"] == snapshot["accepted"]
+        assert snapshot["sessions_opened"] == 13  # control + 12 polite
+        assert server.active_sessions == 0
+        # The daemon itself is unharmed.
+        assert scripted_session(host, port, query,
+                                fills=3)[1:] == control[1:]
+    finally:
+        assert server.drain()

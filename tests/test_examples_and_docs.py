@@ -28,7 +28,7 @@ def test_expected_examples_present():
     expected = {"quickstart.py", "bookstore_integration.py",
                 "web_browsing.py", "heterogeneous_join.py",
                 "bbq_browser.py", "remote_session.py",
-                "unreliable_source.py"}
+                "unreliable_source.py", "serve_demo.py"}
     assert expected <= set(EXAMPLES)
 
 

@@ -147,6 +147,48 @@ except ValueError:
                             name="runtime/resilience.py") == []
 
 
+class TestSocketTimeouts:
+    def test_create_connection_without_timeout_is_x102(self, tmp_path):
+        source = ("import socket\n"
+                  "sock = socket.create_connection(('h', 1))\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["X102"]
+
+    def test_create_connection_with_timeout_kw_is_fine(self, tmp_path):
+        source = ("import socket\n"
+                  "sock = socket.create_connection(('h', 1), "
+                  "timeout=2.0)\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_socket_creation_without_settimeout_is_x102(self,
+                                                        tmp_path):
+        source = ("import socket\n"
+                  "sock = socket.socket(socket.AF_INET, "
+                  "socket.SOCK_STREAM)\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["X102"]
+
+    def test_accept_without_settimeout_is_x102(self, tmp_path):
+        source = ("def loop(listener):\n"
+                  "    conn, addr = listener.accept()\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["X102"]
+
+    def test_settimeout_anywhere_in_file_clears_x102(self, tmp_path):
+        source = ("import socket\n"
+                  "sock = socket.socket()\n"
+                  "sock.settimeout(1.0)\n"
+                  "conn, addr = sock.accept()\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_merely_using_a_passed_socket_is_fine(self, tmp_path):
+        source = ("def recv_exact(sock, n):\n"
+                  "    return sock.recv(n)\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_x102_honours_suppression(self, tmp_path):
+        source = ("import socket\n"
+                  "sock = socket.socket()  # lint: allow=X102\n")
+        assert _lint_source(tmp_path, source) == []
+
+
 class TestSuppression:
     def test_same_line_allow(self, tmp_path):
         source = ("import time\n"

@@ -1,0 +1,417 @@
+"""The hardened session server: lifecycle, timeouts, admission,
+budgets, deadlines, fault containment, and graceful drain.
+
+Every test runs a real :class:`~repro.server.daemon.MediatorServer`
+on an ephemeral loopback port.  Timeouts under test are configured
+tiny (hundreds of ms); nothing here calls ``time.sleep`` -- waiting
+is either a bounded socket operation or :func:`wait_until` polling a
+counter with a short event timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.bench.workloads import homes_and_schools
+from repro.mediator.mix import MIXMediator
+from repro.navigation.interface import NavigableDocument
+from repro.navigation.materialized import MaterializedDocument
+from repro.runtime.config import EngineConfig
+from repro.server import (
+    MediatorServer,
+    ServerBusyError,
+    ServerReplyError,
+    connect,
+)
+from repro.testing.faults import FakeClock
+from repro.testing.transport import (
+    StalledReader,
+    abrupt_disconnect,
+    open_raw,
+    recv_reply_bytes,
+    scripted_session,
+    send_frame_bytes,
+    send_garbage,
+    send_truncated_frame,
+    slow_loris,
+)
+from repro.testing.transport import _decode  # test-only convenience
+
+QUERY = """
+CONSTRUCT <result> <home> $A {$A} </home> {$H} </result> {}
+WHERE homesSrc homes.home $H AND $H addr._ $A
+"""
+
+
+def wait_until(predicate, timeout_s=5.0, message="condition"):
+    """Poll ``predicate`` with a short event timeout until true."""
+    gate = threading.Event()
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        gate.wait(0.01)
+    raise AssertionError("timed out waiting for %s" % message)
+
+
+def make_server(n_homes=6, config=None, clock=None, **overrides):
+    overrides.setdefault("serve_port", 0)
+    config = config or EngineConfig(**overrides)
+    mediator = MIXMediator(config)
+    tree = homes_and_schools(n_homes)["homesSrc"]
+    mediator.register_source("homesSrc", MaterializedDocument(tree))
+    server = MediatorServer(mediator, clock=clock)
+    host, port = server.start()
+    return server, host, port
+
+
+class TestLifecycle:
+    def test_open_navigate_close_roundtrip(self):
+        server, host, port = make_server(n_homes=5)
+        try:
+            with connect(host, port, QUERY) as session:
+                homes = [child.tag for child in
+                         session.root.children()]
+                assert homes == ["home"] * 5
+                assert session.ping()
+                report = session.server_stats()
+                assert report["session"]["fills"] >= 1
+                assert report["server"]["sessions_opened"] == 1
+            wait_until(lambda: server.active_sessions == 0,
+                       message="session teardown")
+            snapshot = server.stats.snapshot()
+            assert snapshot["sessions_opened"] == 1
+            assert snapshot["sessions_closed"] == 1
+        finally:
+            server.drain()
+
+    def test_answer_matches_in_process_materialization(self):
+        server, host, port = make_server(n_homes=4)
+        try:
+            expected = server.mediator.prepare(QUERY).materialize()
+            with connect(host, port, QUERY) as session:
+                got = session.root.to_tree()
+            assert got == expected
+        finally:
+            server.drain()
+
+    def test_raw_wire_dialogue(self):
+        server, host, port = make_server(n_homes=3)
+        try:
+            sock = open_raw(host, port)
+            try:
+                send_frame_bytes(sock, {"op": "open", "query": QUERY})
+                opened = _decode(recv_reply_bytes(sock))
+                assert opened["ok"] and isinstance(opened["root"], int)
+                send_frame_bytes(sock, {"op": "fill",
+                                        "hole": opened["root"]})
+                filled = _decode(recv_reply_bytes(sock))
+                assert filled["ok"]
+                assert filled["fragments"][0][0] == "e"
+                send_frame_bytes(sock, {"op": "close"})
+                closed = _decode(recv_reply_bytes(sock))
+                assert closed["ok"] and closed["closed"]
+            finally:
+                sock.close()
+        finally:
+            server.drain()
+
+    def test_first_frame_must_be_open(self):
+        server, host, port = make_server()
+        try:
+            sock = open_raw(host, port)
+            try:
+                send_frame_bytes(sock, {"op": "ping"})
+                reply = _decode(recv_reply_bytes(sock))
+                assert reply["error"] == "mix:protocol"
+            finally:
+                sock.close()
+        finally:
+            server.drain()
+
+    def test_bad_query_is_typed_and_contained(self):
+        server, host, port = make_server()
+        try:
+            with pytest.raises(ServerReplyError) as excinfo:
+                connect(host, port, "this is not XMAS")
+            assert excinfo.value.code == "mix:query"
+            # The server survived and still serves good queries.
+            with connect(host, port, QUERY) as session:
+                assert session.ping()
+        finally:
+            server.drain()
+
+
+class TestAdmissionControl:
+    def test_busy_rejection_and_recovery(self):
+        server, host, port = make_server(serve_max_sessions=1)
+        try:
+            first = connect(host, port, QUERY)
+            with pytest.raises(ServerBusyError):
+                connect(host, port, QUERY)
+            assert server.stats.snapshot()["rejected_busy"] == 1
+            first.close()
+            wait_until(lambda: server.active_sessions == 0,
+                       message="capacity to free up")
+            with connect(host, port, QUERY) as session:
+                assert session.ping()
+        finally:
+            server.drain()
+
+
+class TestTimeoutsAndBudgets:
+    def test_slow_loris_falls_to_idle_timeout(self):
+        server, host, port = make_server(serve_idle_timeout_ms=150.0)
+        try:
+            reply = slow_loris(host, port)
+            assert reply is not None \
+                and reply["error"] == "mix:idle"
+            wait_until(lambda: server.stats.snapshot()
+                       ["idle_kills"] == 1, message="idle kill")
+        finally:
+            server.drain()
+
+    def test_fill_budget_is_enforced(self):
+        server, host, port = make_server(
+            n_homes=8, serve_session_max_fills=1, chunk_size=2)
+        try:
+            sock = open_raw(host, port)
+            try:
+                send_frame_bytes(sock, {"op": "open", "query": QUERY})
+                opened = _decode(recv_reply_bytes(sock))
+                send_frame_bytes(sock, {"op": "fill",
+                                        "hole": opened["root"]})
+                first = _decode(recv_reply_bytes(sock))
+                assert first["ok"]
+                send_frame_bytes(sock, {"op": "fill",
+                                        "hole": opened["root"]})
+                second = _decode(recv_reply_bytes(sock))
+                assert second["error"] == "mix:budget"
+            finally:
+                sock.close()
+            wait_until(lambda: server.stats.snapshot()
+                       ["budget_kills"] == 1, message="budget kill")
+        finally:
+            server.drain()
+
+    def test_request_deadline_cuts_runaway_navigation(self):
+        clock = FakeClock()
+
+        class SlowNavigation(NavigableDocument):
+            """Every navigation costs 50 virtual ms."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def root(self):
+                clock.advance(50.0)
+                return self.inner.root()
+
+            def down(self, pointer):
+                clock.advance(50.0)
+                return self.inner.down(pointer)
+
+            def right(self, pointer):
+                clock.advance(50.0)
+                return self.inner.right(pointer)
+
+            def fetch(self, pointer):
+                return self.inner.fetch(pointer)
+
+        config = EngineConfig(serve_port=0,
+                              serve_request_deadline_ms=120.0)
+        mediator = MIXMediator(config)
+        tree = homes_and_schools(6)["homesSrc"]
+        mediator.register_source(
+            "homesSrc", SlowNavigation(MaterializedDocument(tree)))
+        server = MediatorServer(mediator, clock=clock)
+        host, port = server.start()
+        try:
+            sock = open_raw(host, port)
+            try:
+                send_frame_bytes(sock, {"op": "open", "query": QUERY})
+                opened = _decode(recv_reply_bytes(sock))
+                assert opened["ok"]
+                send_frame_bytes(sock, {"op": "fill",
+                                        "hole": opened["root"]})
+                reply = _decode(recv_reply_bytes(sock))
+                assert reply["error"] == "mix:deadline"
+            finally:
+                sock.close()
+            assert server.stats.snapshot()["deadline_kills"] == 1
+        finally:
+            server.drain()
+
+    def test_stalled_reader_falls_to_send_timeout(self):
+        server, host, port = make_server(
+            n_homes=800, serve_send_timeout_ms=300.0,
+            serve_send_buffer_bytes=4096,
+            serve_max_frame_bytes=8 << 20,
+            chunk_size=2000, depth=6)
+        try:
+            with StalledReader(host, port) as reader:
+                opened = reader.open(QUERY)
+                assert opened["ok"]
+                reader.request_and_stall(opened["root"])
+                wait_until(lambda: server.stats.snapshot()
+                           ["stalled_kills"] == 1,
+                           timeout_s=10.0, message="stalled kill")
+        finally:
+            server.drain()
+
+
+class TestFaultContainment:
+    def test_garbage_frame_kills_only_its_session(self):
+        server, host, port = make_server()
+        try:
+            reply = send_garbage(host, port)
+            assert reply is not None \
+                and reply["error"] == "mix:protocol"
+            wait_until(lambda: server.stats.snapshot()
+                       ["protocol_kills"] == 1,
+                       message="protocol kill")
+            with connect(host, port, QUERY) as session:
+                assert session.ping()
+        finally:
+            server.drain()
+
+    def test_oversized_frame_is_refused(self):
+        server, host, port = make_server(serve_max_frame_bytes=256)
+        try:
+            sock = open_raw(host, port)
+            try:
+                # A length prefix far beyond the ceiling.
+                sock.sendall(b"\x7f\xff\xff\xff")
+                reply = _decode(recv_reply_bytes(sock))
+                assert reply["error"] == "mix:protocol"
+            finally:
+                sock.close()
+        finally:
+            server.drain()
+
+    def test_mid_frame_disconnect_is_contained(self):
+        server, host, port = make_server()
+        try:
+            session_id = abrupt_disconnect(host, port, QUERY)
+            assert session_id
+            wait_until(
+                lambda: (server.stats.snapshot()["protocol_kills"]
+                         + server.stats.snapshot()
+                         ["disconnect_kills"]) >= 1,
+                message="disconnect containment")
+            with connect(host, port, QUERY) as session:
+                assert session.ping()
+        finally:
+            server.drain()
+
+    def test_survivors_are_byte_identical_under_faults(self):
+        """The golden-trace check: a well-behaved session's raw reply
+        bytes are unchanged by misbehaving neighbours."""
+        server, host, port = make_server(n_homes=6, chunk_size=2)
+        try:
+            control = scripted_session(host, port, QUERY, fills=3)
+            assert all(control)
+
+            faults = []
+            for attack in (lambda: send_garbage(host, port),
+                           lambda: send_truncated_frame(host, port),
+                           lambda: abrupt_disconnect(host, port,
+                                                     QUERY)):
+                thread = threading.Thread(target=attack, daemon=True)
+                faults.append(thread)
+                thread.start()
+            under_attack = scripted_session(host, port, QUERY,
+                                            fills=3)
+            for thread in faults:
+                thread.join(5.0)
+            # Session ids are a server-global serial, so the open
+            # reply legitimately differs; every navigation reply --
+            # fragments, hole numbering, close -- must be identical.
+            assert under_attack[1:] == control[1:]
+            assert _decode(under_attack[0])["ok"]
+            # And the server is still healthy afterwards.
+            recovered = scripted_session(host, port, QUERY, fills=3)
+            assert recovered[1:] == control[1:]
+        finally:
+            server.drain()
+
+
+class TestDrain:
+    def test_drain_notifies_idle_sessions_and_stops_accepting(self):
+        server, host, port = make_server()
+        try:
+            sock = open_raw(host, port, timeout_ms=5000.0)
+            send_frame_bytes(sock, {"op": "open", "query": QUERY})
+            opened = _decode(recv_reply_bytes(sock))
+            assert opened["ok"]
+
+            clean = server.drain()
+            assert clean
+            notice = _decode(recv_reply_bytes(sock))
+            assert notice is not None \
+                and notice["error"] == "mix:draining"
+            sock.close()
+            with pytest.raises(OSError):
+                open_raw(host, port, timeout_ms=500.0)
+            assert server.stats.snapshot()["drained"] >= 1
+        finally:
+            server.drain()
+
+    def test_drain_lets_inflight_requests_finish(self):
+        server, host, port = make_server(n_homes=8)
+        session = connect(host, port, QUERY)
+        try:
+            results = []
+
+            def browse():
+                results.append([child.tag for child
+                                in session.root.children()])
+
+            browser = threading.Thread(target=browse, daemon=True)
+            browser.start()
+            browser.join(5.0)
+            assert server.drain()
+            assert results == [["home"] * 8]
+        finally:
+            session.close()
+
+    def test_drain_is_idempotent(self):
+        server, _, _ = make_server()
+        assert server.drain()
+        assert server.drain()
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--workload", "homes:5", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True)
+        try:
+            line = process.stdout.readline().strip()
+            assert line.startswith("serving "), line
+            _, host, port_text = line.split()
+            # One live session across the SIGTERM, to prove drain
+            # handles real traffic, not just an empty server.
+            session = connect(host, int(port_text), QUERY)
+            assert session.ping()
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=30)
+            assert process.returncode == 0, (out, err)
+            assert "drained clean=True" in out
+            session.close()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -34,6 +34,17 @@ X101  real-sleep
     in ``runtime/resilience.py``) breaks the deterministic testing
     clock and slows the suite.
 
+X102  unbounded-socket
+    Network calls must carry explicit timeouts; a forgotten one is an
+    unbounded hang (the exact failure mode the session server's
+    idle/slow-loris hardening exists to prevent).  Two shapes are
+    flagged: ``socket.create_connection(...)`` without a ``timeout=``
+    keyword, and any file that creates sockets (``socket.socket(...)``)
+    or accepts connections (``.accept()``) without ever calling
+    ``.settimeout(...)`` / ``socket.setdefaulttimeout(...)``.  Code
+    that only *uses* sockets handed to it (e.g. the wire codec) is
+    untouched.
+
 Suppression: a comment ``# lint: allow=CODE[,CODE]`` on the flagged
 line or the line directly above skips those codes for that line.
 
@@ -307,6 +318,56 @@ def _check_hygiene(path: Path, tree: ast.Module) -> List[Finding]:
 
 
 # ----------------------------------------------------------------------
+# X102: sockets without explicit timeouts
+# ----------------------------------------------------------------------
+
+def _is_socket_attr(func: ast.expr, attr: str) -> bool:
+    """``socket.<attr>`` (module-qualified attribute reference)."""
+    return (isinstance(func, ast.Attribute)
+            and func.attr == attr
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "socket")
+
+
+def _check_socket_timeouts(path: Path, tree: ast.Module
+                           ) -> List[Finding]:
+    sets_timeout = False
+    creators: List[Tuple[int, str]] = []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr == "settimeout":
+            sets_timeout = True
+        elif _is_socket_attr(func, "setdefaulttimeout"):
+            sets_timeout = True
+        elif _is_socket_attr(func, "create_connection"):
+            has_timeout = (len(node.args) >= 2
+                           or any(kw.arg == "timeout"
+                                  for kw in node.keywords))
+            if not has_timeout:
+                findings.append(Finding(
+                    path, node.lineno, "X102",
+                    "socket.create_connection without an explicit "
+                    "timeout= hangs forever on a dead peer"))
+        elif _is_socket_attr(func, "socket"):
+            creators.append((node.lineno, "socket.socket(...)"))
+        elif isinstance(func, ast.Attribute) \
+                and func.attr == "accept":
+            creators.append((node.lineno, ".accept()"))
+    if not sets_timeout:
+        for lineno, what in creators:
+            findings.append(Finding(
+                path, lineno, "X102",
+                "%s in a file that never calls .settimeout() -- "
+                "blocking socket operations need an explicit bound"
+                % what))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
 
@@ -335,7 +396,8 @@ def lint_file(path: Path, event_names: Dict[str, Dict[str, tuple]]
     allowed = _suppressions(source.splitlines())
     findings = (_check_lock_consistency(path, tree)
                 + _check_event_names(path, tree, event_names)
-                + _check_hygiene(path, tree))
+                + _check_hygiene(path, tree)
+                + _check_socket_timeouts(path, tree))
     return [f for f in findings
             if f.code not in allowed.get(f.line, ())]
 
