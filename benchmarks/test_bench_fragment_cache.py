@@ -1,0 +1,177 @@
+"""E17 -- cross-session fragment caching: warm sessions reuse
+materialized fragments instead of re-navigating the sources.
+
+Paper artifact: Section 3's observation that the mediator "is not
+completely stateless" -- PR 8 extends that intra-session reuse across
+*sessions*: a process-wide ``FragmentStore`` keeps immutable
+materialized subtrees tagged with source snapshot versions, so a
+repeated or overlapping query served later grafts stored fragments
+(or adopts a completed view whole) instead of re-issuing LXP fills.
+
+Reproduction: two workloads over the homes sources, measured at the
+raw wrapper seam (``LXPStats.fills`` -- the buffer meters above the
+cache cannot see the saving):
+
+* *repeated query*: K sessions run the identical query; the first is
+  cold, the rest must collapse to (near) zero source fills.  The
+  acceptance bar is a >= 5x reduction of warm-session source fills
+  vs the cache-off run of the same session sequence.
+* *overlapping queries*: sessions ask different questions over the
+  same view; the shared prefix of their demand sets is paid once.
+"""
+
+from repro.bench import format_table
+from repro.mediator import MIXMediator
+from repro.runtime import EngineConfig
+from repro.runtime.fragcache import reset_shared_store, shared_store
+from repro.wrappers import XMLFileWrapper
+from repro.xtree import to_xml
+
+N_HOMES = 40
+SESSIONS = 6
+
+HOMES_XML = (
+    "<homes>"
+    + "".join("<home><addr>a%03d</addr><price>p%03d</price>"
+              "<zip>z%02d</zip></home>" % (i, i, i % 7)
+              for i in range(N_HOMES))
+    + "</homes>")
+
+REPEATED_QUERY = ("CONSTRUCT <hits> $A {$A} </hits> {} "
+                  "WHERE homesSrc homes.home.addr._ $A")
+
+OVERLAPPING_QUERIES = [
+    ("CONSTRUCT <hits> $A {$A} </hits> {} "
+     "WHERE homesSrc homes.home.addr._ $A"),
+    ("CONSTRUCT <prices> $P {$P} </prices> {} "
+     "WHERE homesSrc homes.home.price._ $P"),
+    ("CONSTRUCT <pairs> <pair> $A $P </pair> {$A, $P} </pairs> {} "
+     "WHERE homesSrc homes.home $H AND $H addr._ $A "
+     "AND $H price._ $P"),
+]
+
+
+def _session(query, fragment_cache):
+    """One fresh mediator session; returns (answer, wrapper fills)."""
+    wrapper = XMLFileWrapper("homesSrc", HOMES_XML, chunk_size=2)
+    med = MIXMediator(EngineConfig(fragment_cache=fragment_cache))
+    med.register_wrapper("homesSrc", wrapper)
+    answer = to_xml(med.prepare(query).materialize())
+    return answer, wrapper.stats.fills
+
+
+def _partial_session(fragment_cache):
+    """One session that only inspects the answer's first element --
+    the lazy-prefix walk of Fig. 9.  The view is never drained, so no
+    whole view is harvested: warm savings here come from
+    exact-subtree grafting, and the store counts real hits."""
+    wrapper = XMLFileWrapper("homesSrc", HOMES_XML, chunk_size=2)
+    med = MIXMediator(EngineConfig(fragment_cache=fragment_cache))
+    med.register_wrapper("homesSrc", wrapper)
+    result = med.prepare(REPEATED_QUERY)
+    first = result.root.first_child()
+    return first.tag, wrapper.stats.fills
+
+
+def _run_sequence(queries, fragment_cache):
+    """Run the session sequence; returns answers, cold fills, and the
+    total fills of every session after the first."""
+    if fragment_cache:
+        reset_shared_store()
+    answers, fills = [], []
+    for query in queries:
+        answer, session_fills = _session(query, fragment_cache)
+        answers.append(answer)
+        fills.append(session_fills)
+    return answers, fills[0], sum(fills[1:])
+
+
+def test_fragment_cache_collapses_warm_session_traffic(write_result):
+    rows = []
+    extra = {}
+
+    # -- repeated-query workload ------------------------------------
+    repeated = [REPEATED_QUERY] * SESSIONS
+    answers_off, cold_off, warm_off = _run_sequence(repeated, False)
+    answers_on, cold_on, warm_on = _run_sequence(repeated, True)
+    assert answers_on == answers_off  # byte-identical answers
+    # cache off: every warm session pays the cold cost again
+    assert warm_off == cold_off * (SESSIONS - 1)
+    # the acceptance bar: >= 5x fewer warm-session source fills
+    assert warm_off >= 5 * max(warm_on, 1)
+    factor_rep = warm_off / max(warm_on, 1)
+    rows.append(["repeated query", cold_off, warm_off, warm_on,
+                 "%.0fx" % factor_rep])
+    extra["repeated_warm_fills_off"] = warm_off
+    extra["repeated_warm_fills_on"] = warm_on
+    extra["repeated_reduction"] = factor_rep
+
+    # -- overlapping-query workload ---------------------------------
+    answers_off, cold_off, warm_off = _run_sequence(
+        OVERLAPPING_QUERIES, False)
+    answers_on, cold_on, warm_on = _run_sequence(
+        OVERLAPPING_QUERIES, True)
+    assert answers_on == answers_off
+    assert warm_off > warm_on  # the shared demand prefix is paid once
+    factor_ovl = warm_off / max(warm_on, 1)
+    rows.append(["overlapping queries", cold_off, warm_off, warm_on,
+                 "%.1fx" % factor_ovl])
+    extra["overlapping_warm_fills_off"] = warm_off
+    extra["overlapping_warm_fills_on"] = warm_on
+    extra["overlapping_reduction"] = factor_ovl
+
+    # -- partial-exploration workload (subtree grafting) ------------
+    fills_off = []
+    for _ in range(SESSIONS):
+        tag_off, fills = _partial_session(False)
+        fills_off.append(fills)
+    reset_shared_store()
+    fills_on = []
+    for _ in range(SESSIONS):
+        tag_on, fills = _partial_session(True)
+        fills_on.append(fills)
+        assert tag_on == tag_off
+    cold_off, warm_off = fills_off[0], sum(fills_off[1:])
+    warm_on = sum(fills_on[1:])
+    assert warm_off >= 5 * max(warm_on, 1)
+    factor_part = warm_off / max(warm_on, 1)
+    rows.append(["partial prefix walk", cold_off, warm_off, warm_on,
+                 "%.0fx" % factor_part])
+    extra["partial_warm_fills_off"] = warm_off
+    extra["partial_warm_fills_on"] = warm_on
+    extra["partial_reduction"] = factor_part
+
+    counters = shared_store().stats.snapshot()
+    demands = counters["hits"] + counters["misses"]
+    assert demands > 0
+    assert counters["hits"] > 0  # real subtree grafts, not adoption
+    assert counters["view_adoptions"] == 0
+    hit_ratio = counters["hits"] / demands
+    extra["hit_ratio"] = hit_ratio
+    extra["view_adoptions"] = counters["view_adoptions"]
+    reset_shared_store()
+
+    table = format_table(
+        ["workload", "cold fills", "warm fills (off)",
+         "warm fills (on)", "reduction"], rows)
+    table += "\npartial-walk store hit ratio: %.2f " \
+             "(%d hits / %d demands, no whole-view adoption)\n" \
+             % (hit_ratio, counters["hits"], demands)
+    write_result("E17_fragment_cache", table, extra)
+
+
+def test_fragment_cache_decision_is_explained():
+    reset_shared_store()
+    try:
+        wrapper = XMLFileWrapper("homesSrc", HOMES_XML, chunk_size=2)
+        med = MIXMediator(EngineConfig(fragment_cache=True))
+        med.register_wrapper("homesSrc", wrapper)
+        result = med.prepare(REPEATED_QUERY)
+        result.materialize()
+        assert "cached homesSrc" in result.explain()
+        report = result.stats()
+        assert report["fragcache"]["cached_sources"] == 1
+        assert report["fragcache"]["hits"] \
+            + report["fragcache"]["misses"] > 0
+    finally:
+        reset_shared_store()

@@ -219,6 +219,20 @@ class TreeLXPServer(LXPServer):
                                                            depth)
         self.stats = LXPStats()
 
+    def snapshot_version(self) -> object:
+        """The version stamp of the snapshot this server exports.
+
+        The capability behind cross-session fragment caching
+        (:mod:`repro.runtime.fragcache`), negotiated by presence like
+        ``push_compile``: a wrapper that cannot stamp its snapshots
+        simply doesn't implement this, and its fragments are never
+        cached.  This reference server exports one immutable in-memory
+        tree, so the version is constant; mutable sources (the
+        versioned testing harness) return a stamp that changes
+        whenever the underlying snapshot does.
+        """
+        return 0
+
     # -- helpers ----------------------------------------------------------
     def _node_at(self, path: Tuple[int, ...]) -> Tree:
         node = self.tree

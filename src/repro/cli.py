@@ -95,6 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "into one native request each (E16; "
                           "default off keeps the lazy reference "
                           "path)")
+    run.add_argument("--fragment-cache", action="store_true",
+                     help="reuse materialized fragments of versioned "
+                          "sources across sessions (E17; default off "
+                          "keeps the lazy reference path)")
     run.add_argument("--retries", type=int, default=1, metavar="N",
                      help="total attempts per source operation "
                           "(default 1 = fail fast; >1 enables "
@@ -230,6 +234,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=5000.0,
                        metavar="MS")
     serve.add_argument("--chunk-size", type=int, default=2)
+    serve.add_argument("--fragment-cache", action="store_true",
+                       help="share materialized fragments of "
+                            "versioned sources across the daemon's "
+                            "sessions (E17)")
     serve.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write Prometheus text metrics after "
                             "drain")
@@ -282,6 +290,7 @@ def _cmd_query(args) -> int:
         use_sigma=args.sigma,
         hybrid=args.hybrid,
         pushdown=args.pushdown,
+        fragment_cache=args.fragment_cache,
         chunk_size=args.chunk_size,
         retry_max_attempts=args.retries,
         retry_deadline_ms=args.retry_deadline,
@@ -345,6 +354,19 @@ def _cmd_query(args) -> int:
                 for decision in pushed["decisions"]:
                     print("  %-6s %s: %s"
                           % ("pushed" if decision["pushed"]
+                             else "kept", decision["url"],
+                             decision["detail"]), file=sys.stderr)
+            fragcache = stats.get("fragcache")
+            if fragcache:
+                print("-- fragment cache --", file=sys.stderr)
+                if "hits" in fragcache:
+                    print("  hits=%d misses=%d invalidations=%d"
+                          % (fragcache["hits"], fragcache["misses"],
+                             fragcache["invalidations"]),
+                          file=sys.stderr)
+                for decision in fragcache.get("decisions", ()):
+                    print("  %-6s %s: %s"
+                          % ("cached" if decision["cached"]
                              else "kept", decision["url"],
                              decision["detail"]), file=sys.stderr)
             resilience = stats.get("resilience")
@@ -481,6 +503,7 @@ def _serve_mediator(args) -> MIXMediator:
         serve_session_max_fills=args.session_max_fills,
         serve_session_max_bytes=args.session_max_bytes,
         serve_drain_timeout_ms=args.drain_timeout,
+        fragment_cache=args.fragment_cache,
         chunk_size=args.chunk_size,
         metrics_enabled=args.metrics_out is not None,
         observe_operators=tracing,

@@ -159,6 +159,16 @@ class QueryResult:
                 "decisions": [d.as_dict()
                               for d in self.pushdown_decisions],
             }
+        fc_decisions = self.mediator.fragcache_decisions
+        if fc_decisions:
+            # Merge with the store counters the context contributed
+            # (when the store was registered).
+            section = dict(report.get("fragcache") or {})
+            section["cached_sources"] = sum(
+                1 for d in fc_decisions if d.cached)
+            section["decisions"] = [d.as_dict()
+                                    for d in fc_decisions]
+            report["fragcache"] = section
         return report
 
     def profile(self):
@@ -223,6 +233,15 @@ class QueryResult:
                              % ("pushed" if decision.pushed
                                 else "kept", decision.url,
                                 decision.detail))
+        fc_decisions = self.mediator.fragcache_decisions
+        if fc_decisions:
+            lines.append("")
+            lines.append("fragment cache:")
+            for decision in fc_decisions:
+                lines.append("  %-6s %s: %s"
+                             % ("cached" if decision.cached
+                                else "kept", decision.url,
+                                decision.detail))
         lines.append("")
         lines.extend(self._stats_lines())
         if lint:
@@ -271,6 +290,14 @@ class QueryResult:
                 % (resilience["retries"], resilience["giveups"],
                    resilience["degraded"],
                    resilience["breaker_opens"]))
+        fragcache = stats.get("fragcache")
+        if fragcache and "hits" in fragcache:
+            lines.append(
+                "  fragcache: %d hits, %d misses, %d invalidations, "
+                "%d view adoptions"
+                % (fragcache["hits"], fragcache["misses"],
+                   fragcache["invalidations"],
+                   fragcache["view_adoptions"]))
         return lines
 
 
@@ -310,6 +337,11 @@ class MIXMediator:
         #: source schema knowledge for the static analyzer (sample
         #: Tree / InferredDTD / SchemaGraph, see register_schema)
         self._schemas: Dict[str, object] = {}
+        #: one FragcacheDecision per wrapper registered while
+        #: ``config.fragment_cache`` is on (empty otherwise): the
+        #: compile-time admissibility record, surfaced through
+        #: ``QueryResult.stats()``/``explain()``
+        self._fragcache_decisions: List = []
         #: serializes catalog registration: concurrent sessions may
         #: register sources on a shared mediator, and the name-clash
         #: check must be atomic with the insert
@@ -400,6 +432,17 @@ class MIXMediator:
         see :mod:`repro.wrappers.base`) is additionally recorded for
         the pushdown compiler pass; with ``config.pushdown`` off the
         record is never consulted.
+
+        With ``config.fragment_cache`` on, an *admissible* wrapper
+        (versioned snapshots, no side effects, browsable export --
+        see :func:`repro.runtime.fragcache.admissible`) is routed
+        through the process-wide fragment store: fills consult the
+        store before touching the source, and when the store already
+        holds the complete view at the wrapper's current snapshot
+        version the source is adopted as a pre-filled buffer without
+        a single source navigation.  The caching seam sits *below*
+        the resilience layer, so degraded ``<mix:error>``
+        placeholders are never cached.
         """
         if prefetch is None:
             prefetch = self.config.prefetch
@@ -410,14 +453,31 @@ class MIXMediator:
             # fills/bytes shipped by this wrapper land in the registry.
             stats.metrics = self.runtime.metrics
             stats.source = name
+        prefill_tree = None
+        if self.config.fragment_cache:
+            # Deferred import: with the default off, the fragment
+            # cache module is never even loaded.
+            from ..runtime.fragcache import fragment_cached, \
+                shared_store
+            store = shared_store()
+            server, prefill_tree, decision = fragment_cached(
+                name, server, store=store, tracer=self.tracer)
+            self.runtime.register_fragcache(store.stats)
+            with self._catalog_lock:
+                self._fragcache_decisions.append(decision)
         server = resilient_server(server, self.config, name=name,
                                   clock=self.clock,
                                   tracer=self.tracer,
                                   context=self.runtime)
-        buffer = buffered(server, prefetch,
-                          workers=self.config.prefetch_workers,
-                          batch=self.config.batch_navigations,
-                          tracer=self.tracer, name=name)
+        if prefill_tree is not None:
+            from ..buffer.component import BufferComponent
+            buffer = BufferComponent.prefilled(
+                prefill_tree, tracer=self.tracer, name=name)
+        else:
+            buffer = buffered(server, prefetch,
+                              workers=self.config.prefetch_workers,
+                              batch=self.config.batch_navigations,
+                              tracer=self.tracer, name=name)
         if hasattr(buffer, "stats"):
             self.runtime.register_buffer(name, buffer.stats)
         self.register_source(name, buffer, meter)
@@ -451,6 +511,14 @@ class MIXMediator:
     def _check_free(self, name: str) -> None:
         if name in self._documents or name in self._views:
             raise MediatorError("name %r is already registered" % name)
+
+    @property
+    def fragcache_decisions(self) -> Tuple:
+        """The admissibility decisions of every wrapper registered
+        under ``config.fragment_cache`` (empty when the cache is
+        off)."""
+        with self._catalog_lock:
+            return tuple(self._fragcache_decisions)
 
     @property
     def meters(self) -> Dict[str, CountingDocument]:

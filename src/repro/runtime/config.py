@@ -154,6 +154,21 @@ class EngineConfig:
         (experiment E16).  Off by default: the lazy navigation-driven
         path of the paper stays the reference behavior.
 
+    Cross-session fragment caching
+        ``fragment_cache`` routes every admissible wrapper's fills
+        through the process-wide
+        :class:`~repro.runtime.fragcache.FragmentStore`: session N
+        answers ``d``/``r``/``f`` demands from fragments session N-1
+        already paid sources for, keyed by ``(view, region)`` and
+        tagged with the source's snapshot version (stale entries are
+        invalidated, never served).  A wrapper is admissible only when
+        it advertises ``snapshot_version()``, declares no side
+        effects, and its export is browsable under Definition 2 --
+        every registered wrapper gets a decision record in
+        ``stats()``/``explain()``.  Off by default: the module is not
+        even imported and every session re-navigates from scratch, as
+        in the paper.
+
     Session server (``serve_*``)
         Hardening knobs for the socket-facing mediator daemon
         (:class:`~repro.server.daemon.MediatorServer`; the in-process
@@ -206,6 +221,7 @@ class EngineConfig:
     observe_operators: bool = False
     static_analysis: str = "off"
     pushdown: bool = False
+    fragment_cache: bool = False
     serve_host: str = "127.0.0.1"
     serve_port: int = 0
     serve_max_sessions: int = 64

@@ -308,6 +308,10 @@ class ExecutionContext:
         self.channels: Dict[str, Any] = {}
         #: resilience stats registered by name (retry/breaker seams)
         self.resilience: Dict[str, Any] = {}
+        #: the shared fragment store's stats, when fragment caching is
+        #: on (None otherwise -- the stats report then has no
+        #: "fragcache" section, keeping the default shape unchanged)
+        self.fragcache: Optional[Any] = None
         #: guards the registries: buffers and channels register from
         #: whichever thread opens them (fan-out tasks, prefetch
         #: workers), and names are minted from registry sizes
@@ -406,6 +410,14 @@ class ExecutionContext:
         with self._registry_lock:
             self.resilience[name] = stats
 
+    def register_fragcache(self, stats: Any) -> None:
+        """Attach the fragment store's hit/miss/invalidation counters
+        for aggregated reporting (one store per context: sessions
+        share the process-wide store, so later registrations of the
+        same object are idempotent)."""
+        with self._registry_lock:
+            self.fragcache = stats
+
     def adopt_registries(self, other: "ExecutionContext") -> None:
         """Share another context's registered stats objects (the
         mediator seeds each per-query context with the session-level
@@ -414,10 +426,13 @@ class ExecutionContext:
             buffers = dict(other.buffers)
             channels = dict(other.channels)
             resilience = dict(other.resilience)
+            fragcache = other.fragcache
         with self._registry_lock:
             self.buffers.update(buffers)
             self.channels.update(channels)
             self.resilience.update(resilience)
+            if fragcache is not None:
+                self.fragcache = fragcache
 
     # -- metrics -----------------------------------------------------------
     def _collect_metrics(self) -> None:
@@ -489,6 +504,9 @@ class ExecutionContext:
             buffers = dict(self.buffers)
             channels = dict(self.channels)
             resilience = dict(self.resilience)
+            fragcache = self.fragcache
+        if fragcache is not None:
+            report["fragcache"] = fragcache.snapshot()
         if buffers:
             report["buffers"] = {
                 name: {"navigations": stats.navigations,

@@ -69,6 +69,7 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "buffer": ("fill", "prefetch_fill"),
         "mediator": ("prepare",),
         "pushdown": ("compile", "execute"),
+        "fragcache": ("fill",),
         "server": ("session", "request"),
     },
     "events": {
@@ -81,6 +82,8 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
                        "breaker_open", "deadline_exceeded",
                        "degraded"),
         "pushdown": ("decision",),
+        "fragcache": ("decision", "hit", "miss", "store",
+                      "invalidate", "wait", "complete", "adopt"),
         "server": ("listen", "accept", "reject", "open", "close",
                    "kill", "drain"),
     },

@@ -2,8 +2,9 @@
 
 Everything here is test scaffolding that ships with the library (like
 ``RandomizedLXPServer``): a fake clock, scripted failure schedules,
-and flaky proxies for the two I/O seams (LXP fills and channel round
-trips).  Nothing in this package ever sleeps for real.
+flaky proxies for the two I/O seams (LXP fills and channel round
+trips), and a versioned-snapshot source for cache-invalidation tests.
+Nothing in this package ever sleeps for real.
 """
 
 from .faults import (
@@ -13,10 +14,11 @@ from .faults import (
     FlakyChannel,
     FlakyDocument,
     FlakyLXPServer,
+    VersionedLXPServer,
 )
 
 __all__ = [
     "FakeClock", "FailureSchedule",
     "FlakyLXPServer", "FlakyChannel", "FlakyDocument",
-    "DeadLXPServer",
+    "DeadLXPServer", "VersionedLXPServer",
 ]

@@ -27,7 +27,7 @@ from ..runtime.resilience import Clock
 __all__ = [
     "FakeClock", "FailureSchedule",
     "FlakyLXPServer", "FlakyChannel", "FlakyDocument",
-    "DeadLXPServer",
+    "DeadLXPServer", "VersionedLXPServer",
 ]
 
 
@@ -187,6 +187,68 @@ def DeadLXPServer(server, name: str = "dead") -> FlakyLXPServer:
     """A permanently failing wrapper (every fill raises): the
     no-hang-guarantee fixture."""
     return FlakyLXPServer(server, FailureSchedule.always(), name=name)
+
+
+class VersionedLXPServer:
+    """A source whose content *churns*: a sequence of snapshot trees.
+
+    Each snapshot is served by its own
+    :class:`~repro.buffer.lxp.TreeLXPServer`; ``advance()`` moves to
+    the next one and bumps :meth:`snapshot_version` -- the capability
+    the fragment cache (:mod:`repro.runtime.fragcache`) negotiates to
+    tag and invalidate cached fragments.
+
+    ``get_root``/``fill``/``fill_batch`` each atomically pick the
+    *current* snapshot's server, so concurrent sessions straddling an
+    ``advance()`` see a clean epoch boundary (every individual fill is
+    answered entirely from one snapshot).  One shared
+    :class:`~repro.buffer.lxp.LXPStats` spans all snapshots, so tests
+    can count total source traffic across the churn.
+    """
+
+    def __init__(self, snapshots, chunk_size=None):
+        from ..buffer.lxp import LXPStats, TreeLXPServer
+        snapshots = list(snapshots)
+        if not snapshots:
+            raise ValueError("need at least one snapshot tree")
+        self.stats = LXPStats()
+        self._servers = []
+        for tree in snapshots:
+            server = TreeLXPServer(tree, chunk_size=chunk_size)
+            server.stats = self.stats
+            self._servers.append(server)
+        self._version = 0
+        self._lock = threading.Lock()
+
+    def snapshot_version(self) -> int:
+        """The current snapshot epoch (0-based index)."""
+        with self._lock:
+            return self._version
+
+    def advance(self) -> int:
+        """Move to the next snapshot; returns the new version.
+
+        Raises :class:`IndexError` past the last snapshot.
+        """
+        with self._lock:
+            if self._version + 1 >= len(self._servers):
+                raise IndexError("no snapshot beyond version %d"
+                                 % self._version)
+            self._version += 1
+            return self._version
+
+    def _current(self):
+        with self._lock:
+            return self._servers[self._version]
+
+    def get_root(self):
+        return self._current().get_root()
+
+    def fill(self, hole_id):
+        return self._current().fill(hole_id)
+
+    def fill_batch(self, hole_ids, speculate: int = 0):
+        return self._current().fill_batch(hole_ids, speculate)
 
 
 class FlakyDocument:

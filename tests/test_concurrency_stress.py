@@ -243,6 +243,201 @@ def test_worker_failure_is_raised_on_demand_not_swallowed():
 
 
 # ----------------------------------------------------------------------
+# The cross-session fragment store under colliding concurrent sessions
+# ----------------------------------------------------------------------
+
+class _KeyCountingLXPServer:
+    """Counts source fills per hole id: the single-flight oracle --
+    across every concurrent session, each region of a stable-version
+    source must be filled at the source at most once."""
+
+    def __init__(self, server):
+        self.server = server
+        self.fill_counts = {}
+        self._lock = threading.Lock()
+
+    def get_root(self):
+        return self.server.get_root()
+
+    def fill(self, hole_id):
+        with self._lock:
+            self.fill_counts[hole_id] = \
+                self.fill_counts.get(hole_id, 0) + 1
+        return self.server.fill(hole_id)
+
+    def fill_batch(self, hole_ids, speculate: int = 0):
+        replies = []
+        for hole_id in hole_ids:
+            replies.append((hole_id, self.fill(hole_id)))
+        return replies
+
+    def snapshot_version(self) -> int:
+        return 0
+
+
+@pytest.mark.timeout(60)
+class TestFragmentStoreStress:
+    def _make_store(self):
+        from repro.runtime.fragcache import FragmentStore
+        # one shard: every key collides, maximal lock contention and
+        # a worst case for the single-flight table
+        return FragmentStore(shards=1)
+
+    def test_colliding_sessions_no_deadlock_no_duplicate_fills(self):
+        """N sessions drain the same view through one single-shard
+        store: all terminate, answers agree, and no region is ever
+        filled at the source twice (single-flight)."""
+        from repro.runtime.fragcache import fragment_cached
+
+        counting = _KeyCountingLXPServer(
+            TreeLXPServer(_homes_tree(12), chunk_size=2, depth=2))
+        store = self._make_store()
+        results = [None] * SESSIONS
+        # register every session before any fill happens: all start
+        # cold (a fast finisher must not gift later *registrations* a
+        # complete view -- that path is exercised elsewhere)
+        servers = []
+        for _ in range(SESSIONS):
+            server, whole, decision = fragment_cached(
+                "homesSrc", counting, store=store)
+            assert decision.cached
+            assert whole is None
+            servers.append(server)
+
+        def session(index):
+            buffer = BufferComponent(servers[index])
+            results[index] = _scan_all(buffer)
+
+        _run_sessions(session)
+        expected = _scan_all(BufferComponent(
+            TreeLXPServer(_homes_tree(12), chunk_size=2, depth=2)))
+        assert results == [expected] * SESSIONS
+        duplicates = {hole: n
+                      for hole, n in counting.fill_counts.items()
+                      if n > 1}
+        assert not duplicates, (
+            "region filled at the source twice: %r" % duplicates)
+        # every session demands every region exactly once, and the
+        # single-flight table lets exactly one of them miss per
+        # region: hits + misses == demands, misses == regions
+        regions = len(counting.fill_counts)
+        counters = store.stats.snapshot()
+        assert counters["misses"] == regions
+        assert counters["hits"] == (SESSIONS - 1) * regions
+
+    def test_failed_producer_hands_over_to_waiter(self):
+        """When the in-flight producer fails, a waiting session takes
+        over production instead of deadlocking or caching the error."""
+        from repro.errors import TransientSourceError
+        from repro.runtime.fragcache import FragmentStore
+
+        store = FragmentStore(shards=1)
+        # ``producing`` is set from *inside* session 0's producer, so
+        # by the time any waiter demands the key, session 0 is the
+        # registered in-flight producer -- deterministic ordering.
+        producing = threading.Event()
+        release = threading.Event()
+        produced = []
+        lock = threading.Lock()
+        outcomes = [None] * SESSIONS
+
+        def session(index):
+            if index == 0:
+                def produce():
+                    producing.set()
+                    assert release.wait(timeout=JOIN_TIMEOUT_S)
+                    raise TransientSourceError("injected")
+                try:
+                    store.fill_through(("v", "k"), 0, produce)
+                    outcomes[index] = "ok"
+                except TransientSourceError:
+                    outcomes[index] = "failed"
+            else:
+                assert producing.wait(timeout=JOIN_TIMEOUT_S)
+
+                def produce():
+                    with lock:
+                        produced.append(index)
+                    return []
+                release.set()
+                store.fill_through(("v", "k"), 0, produce)
+                outcomes[index] = "ok"
+
+        _run_sessions(session)
+        assert outcomes.count("failed") == 1
+        assert outcomes.count("ok") == SESSIONS - 1
+        # exactly one waiter took over production; the rest hit
+        assert len(produced) == 1
+        counters = store.stats.snapshot()
+        assert counters["misses"] == 1
+        assert counters["hits"] == SESSIONS - 2
+
+    def test_concurrent_churn_never_grafts_stale(self):
+        """Sessions race an epoch advance: every fill a session gets
+        back equals what the live source would answer -- under churn
+        the cache may only change *who* fills, never *what*."""
+        from repro.runtime.fragcache import FragmentStore, \
+            fragment_cached
+        from repro.testing import VersionedLXPServer
+        from repro.xtree import Tree
+
+        def snapshot(version):
+            return Tree("homes", [
+                Tree("home", [Tree("addr",
+                                   [Tree("a%d.%d" % (version, i))])])
+                for i in range(8)])
+
+        store = FragmentStore(shards=1)
+        churn = VersionedLXPServer([snapshot(0), snapshot(1)],
+                                   chunk_size=2)
+        advanced = threading.Event()
+
+        def session(index):
+            from repro.buffer.lxp import reply_holes
+            server, _, _ = fragment_cached("vs", churn, store=store)
+            frontier = [server.get_root().hole_id]
+            fills = 0
+            while frontier:
+                hole = frontier.pop(0)
+                reply = server.fill(hole)
+                fills += 1
+                if index == 0 and fills == 2 \
+                        and not advanced.is_set():
+                    churn.advance()
+                    advanced.set()
+                frontier.extend(reply_holes(reply))
+
+        _run_sessions(session)
+        # after the dust settles every surviving entry is current:
+        # a fresh session's fills all equal the live source's answers
+        from repro.buffer.lxp import reply_holes
+        server, _, _ = fragment_cached("vs", churn, store=store)
+        frontier = [server.get_root().hole_id]
+        while frontier:
+            hole = frontier.pop(0)
+            reply = server.fill(hole)
+            assert reply == churn.fill(hole)
+            frontier.extend(reply_holes(reply))
+
+    def test_fragcache_module_passes_repo_lint(self):
+        """Lock discipline (L001) and the event-name contract hold
+        for the fragment cache module."""
+        import importlib.util
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        spec = importlib.util.spec_from_file_location(
+            "lint_repro_fragcache", repo / "tools" / "lint_repro.py")
+        lint_repro = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(lint_repro)
+        event_names = lint_repro._load_event_names(repo)
+        findings = lint_repro.lint_file(
+            repo / "src" / "repro" / "runtime" / "fragcache.py",
+            event_names)
+        assert findings == [], findings
+
+
+# ----------------------------------------------------------------------
 # The socket server under mixed polite/hostile load
 # ----------------------------------------------------------------------
 

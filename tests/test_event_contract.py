@@ -103,6 +103,38 @@ class TestLiveEmissions:
         assert resilience_events, "no resilience events emitted"
         assert contract_violations(resilience_events) == []
 
+    def test_fragcache_layer_conforms(self):
+        """A cold+warm fragment-cache run emits only contracted
+        ``fragcache.*`` names, and hits every outcome event."""
+        from repro.runtime.fragcache import reset_shared_store
+        from repro.wrappers import XMLFileWrapper
+
+        xml = ("<homes>"
+               + "".join("<home><addr>a%d</addr><price>p%d</price>"
+                         "</home>" % (i, i) for i in range(6))
+               + "</homes>")
+        query = ("CONSTRUCT <hits> $A {$A} </hits> {} "
+                 "WHERE homesSrc homes.home.addr._ $A")
+        reset_shared_store()
+        try:
+            tracer = Tracer(record=True, clock=FakeClock())
+            for _ in range(2):  # cold then warm
+                med = MIXMediator(EngineConfig(fragment_cache=True),
+                                  tracer=tracer)
+                med.register_wrapper(
+                    "homesSrc",
+                    XMLFileWrapper("homesSrc", xml, chunk_size=2))
+                med.prepare(query).materialize()
+            fragcache_events = [e for e in tracer.events
+                                if e.layer == "fragcache"]
+            assert fragcache_events, "no fragcache events emitted"
+            assert contract_violations(fragcache_events) == []
+            names = {e.event for e in fragcache_events}
+            assert {"decision", "miss", "store", "complete",
+                    "adopt", "fill.begin", "fill.end"} <= names
+        finally:
+            reset_shared_store()
+
     def test_violation_detection_works(self):
         tracer = Tracer(record=True)
         tracer.emit("source", "teleport")

@@ -146,3 +146,38 @@ class TestRemoteChannelTraces:
             EngineConfig(batch_navigations=True, prefetch=4))
         assert plain == batched
         assert batched_stats.messages < plain_stats.messages
+
+
+class TestFragmentCacheTraces:
+    """The cross-session fragment cache's event stream, locked down:
+    a cold session (decision, misses, stores, the completed-view
+    harvest) followed by a warm session (decision, whole-view
+    adoption, not a single fill)."""
+
+    XML = ("<homes>"
+           + "".join("<home><addr>a%d</addr><price>p%d</price>"
+                     "</home>" % (i, i) for i in range(4))
+           + "</homes>")
+    QUERY = ("CONSTRUCT <hits> $A {$A} </hits> {} "
+             "WHERE homesSrc homes.home.addr._ $A")
+
+    def test_cold_then_warm_fragcache_trace(self):
+        from repro.runtime.fragcache import reset_shared_store
+        from repro.wrappers import XMLFileWrapper
+
+        reset_shared_store()
+        try:
+            tracer = Tracer(record=True)
+            for _ in range(2):  # cold, then warm over the same store
+                med = MIXMediator(EngineConfig(fragment_cache=True),
+                                  tracer=tracer)
+                med.register_wrapper(
+                    "homesSrc",
+                    XMLFileWrapper("homesSrc", self.XML,
+                                   chunk_size=2))
+                med.prepare(self.QUERY).materialize()
+            _assert_matches_golden(
+                "fragcache_cold_warm",
+                _event_lines(tracer, layer="fragcache"))
+        finally:
+            reset_shared_store()
