@@ -60,13 +60,17 @@ class SessionOutcome:
         self.pattern = pattern
         self.ok = False
         self.error = ""           # "" | "busy" | "draining" | code
+        self.opened = False       # the open request was answered ok
         self.fills = 0
+        self.requests = 0         # ok replies received (any op)
         self.latencies_ms: List[float] = []  # per navigation round trip
 
     def as_dict(self) -> Dict[str, Any]:
         return {"index": self.index, "pattern": self.pattern,
                 "ok": self.ok, "error": self.error,
+                "opened": self.opened,
                 "fills": self.fills,
+                "requests": self.requests,
                 "mean_latency_ms": (
                     sum(self.latencies_ms) / len(self.latencies_ms)
                     if self.latencies_ms else 0.0)}
@@ -76,11 +80,19 @@ class LoadReport:
     """The aggregate of one load run."""
 
     def __init__(self, outcomes: List[SessionOutcome],
-                 wall_s: float) -> None:
+                 wall_s: float,
+                 server_correlation: Optional[Dict[str, Any]] = None
+                 ) -> None:
         self.outcomes = outcomes
         self.wall_s = wall_s
         self.latencies_ms = [latency for outcome in outcomes
                              for latency in outcome.latencies_ms]
+        #: client-vs-server counter reconciliation (see
+        #: :func:`run_load`); ``{"available": False}`` when the
+        #: daemon's status endpoint could not be probed
+        self.server_correlation = (server_correlation
+                                   if server_correlation is not None
+                                   else {"available": False})
 
     @property
     def completed(self) -> int:
@@ -135,6 +147,7 @@ class LoadReport:
                 pattern: round(value, 3)
                 for pattern, value in
                 self.mean_latency_by_pattern().items()},
+            "server_correlation": self.server_correlation,
         }
 
 
@@ -207,6 +220,8 @@ def run_session(host: str, port: int, query: str, outcome:
                              "draining" if error == "mix:draining"
                              else error)
             return outcome
+        outcome.opened = True
+        outcome.requests += 1
         frontier: List[int] = [reply["root"]]
         for _ in range(rounds):
             if not frontier:
@@ -234,13 +249,16 @@ def run_session(host: str, port: int, query: str, outcome:
                 return outcome
             outcome.latencies_ms.append(elapsed_ms)
             outcome.fills += asked
+            outcome.requests += 1
             if "replies" in reply:
                 for pair in reply["replies"]:
                     frontier.extend(_holes_of(pair[1]))
             else:
                 frontier.extend(_holes_of(reply.get("fragments", [])))
         _send(sock, {"op": "close"})
-        _recv(sock)
+        reply = _recv(sock)
+        if reply is not None and reply.get("ok"):
+            outcome.requests += 1
         outcome.ok = True
         return outcome
     except (socket.timeout, OSError) as err:
@@ -254,12 +272,104 @@ def run_session(host: str, port: int, query: str, outcome:
 # the fleet
 # ----------------------------------------------------------------------
 
+def _fetch_status(host: str, port: int,
+                  timeout_ms: float) -> Optional[Dict[str, Any]]:
+    """One raw ``mix:status`` probe; None when the daemon cannot be
+    reached or replies with anything but a status object."""
+    try:
+        sock = socket.create_connection((host, port),
+                                        timeout=timeout_ms / 1000.0)
+    except OSError:
+        return None
+    try:
+        _send(sock, {"op": "status"})
+        reply = _recv(sock)
+    except (socket.timeout, OSError):
+        return None
+    finally:
+        sock.close()
+    if reply is None or not reply.get("ok"):
+        return None
+    status = reply.get("status")
+    return status if isinstance(status, dict) else None
+
+
+_CORRELATED = ("sessions_opened", "requests", "fills")
+
+
+def _settled_status(host: str, port: int, timeout_ms: float,
+                    settle_s: float = 2.0
+                    ) -> Optional[Dict[str, Any]]:
+    """A status snapshot taken once the daemon's counters go quiet.
+
+    The daemon bumps its delivered-request counters *after* a reply
+    hits the wire, so a probe fired the instant the last client
+    socket closes can catch a handler mid-bump.  Re-probe until two
+    consecutive snapshots agree (bounded by ``settle_s``)."""
+    status = _fetch_status(host, port, timeout_ms)
+    if status is None:
+        return None
+    deadline = time.monotonic() + settle_s
+    while time.monotonic() < deadline:
+        # The generator measures a live daemon on the wall clock; a
+        # real (bounded) sleep between probes is the point here.
+        time.sleep(0.05)  # lint: allow=X101
+        again = _fetch_status(host, port, timeout_ms)
+        if again is None:
+            return status
+        if again.get("server") == status.get("server"):
+            return again
+        status = again
+    return status
+
+
+def _correlate(before: Optional[Dict[str, Any]],
+               after: Optional[Dict[str, Any]],
+               outcomes: List[SessionOutcome]) -> Dict[str, Any]:
+    """Reconcile the fleet's client-observed counters against the
+    daemon's lifetime counter deltas over the run.
+
+    Mismatches are *reported*, never silently dropped: a reply the
+    server delivered but the client timed out on is exactly the kind
+    of disagreement this section exists to surface.
+    """
+    client = {
+        "sessions_opened": sum(1 for o in outcomes if o.opened),
+        "requests": sum(o.requests for o in outcomes),
+        "fills": sum(o.fills for o in outcomes),
+    }
+    if before is None or after is None:
+        return {"available": False, "client": client}
+    before_server = before.get("server") or {}
+    after_server = after.get("server") or {}
+    delta = {}
+    for key in _CORRELATED:
+        try:
+            delta[key] = int(after_server.get(key, 0)) \
+                - int(before_server.get(key, 0))
+        except (TypeError, ValueError):
+            delta[key] = None
+    mismatches = [
+        "%s: client %s != server %s"
+        % (key, client[key], delta[key])
+        for key in _CORRELATED if delta[key] != client[key]]
+    return {"available": True, "client": client,
+            "server_delta": delta, "mismatches": mismatches,
+            "reconciled": not mismatches}
+
+
 def run_load(host: str, port: int, query: str,
              sessions: int = 100, concurrency: int = 16,
              rounds: int = 4, timeout_ms: float = 10000.0,
-             patterns: Sequence[str] = PATTERNS) -> LoadReport:
+             patterns: Sequence[str] = PATTERNS,
+             correlate: bool = True) -> LoadReport:
     """Drive ``sessions`` sessions with ``concurrency`` worker
-    threads; patterns rotate round-robin over the session index."""
+    threads; patterns rotate round-robin over the session index.
+
+    With ``correlate`` (the default) the daemon's ``mix:status``
+    counters are snapshotted before and after the fleet and the
+    deltas reconciled against what the clients observed
+    (``report.server_correlation``)."""
     outcomes = [SessionOutcome(i, patterns[i % len(patterns)])
                 for i in range(sessions)]
     cursor = {"next": 0}
@@ -275,6 +385,8 @@ def run_load(host: str, port: int, query: str,
             run_session(host, port, query, outcomes[index],
                         rounds, timeout_ms)
 
+    before = (_fetch_status(host, port, timeout_ms)
+              if correlate else None)
     started = time.perf_counter()
     threads = [threading.Thread(target=worker, name="loadgen-%d" % i,
                                 daemon=True)
@@ -283,4 +395,9 @@ def run_load(host: str, port: int, query: str,
         thread.start()
     for thread in threads:
         thread.join()
-    return LoadReport(outcomes, time.perf_counter() - started)
+    wall_s = time.perf_counter() - started
+    correlation: Optional[Dict[str, Any]] = None
+    if correlate:
+        after = _settled_status(host, port, timeout_ms)
+        correlation = _correlate(before, after, outcomes)
+    return LoadReport(outcomes, wall_s, correlation)

@@ -244,6 +244,48 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None, metavar="FILE",
                        help="write the causal span stream (jsonl) "
                             "after drain")
+    serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                       metavar="R",
+                       help="fraction of traces recorded (hash-based, "
+                            "deterministic per trace id)")
+    serve.add_argument("--slow-request", type=float, default=None,
+                       metavar="MS",
+                       help="log requests at or over MS to the "
+                            "flight recorder")
+    serve.add_argument("--flight-recorder", type=int, default=256,
+                       metavar="N",
+                       help="flight-recorder ring capacity (last N "
+                            "operational events)")
+    serve.add_argument("--incident-dir", default=None, metavar="DIR",
+                       help="dump flight-recorder contents to DIR "
+                            "on session kill and drain")
+
+    status = sub.add_parser(
+        "status", help="query a running serve daemon's live "
+                       "operational state (mix:status)")
+    status.add_argument("address", metavar="HOST:PORT",
+                        help="the daemon's listen address")
+    status.add_argument("--json", default=None, metavar="FILE",
+                        help="write the raw status reply as JSON "
+                             "('-' for stdout)")
+    status.add_argument("--prometheus", action="store_true",
+                        help="print the daemon's Prometheus text "
+                             "exposition instead of the table")
+    status.add_argument("--timeout", type=float, default=5000.0,
+                        metavar="MS")
+
+    trace = sub.add_parser(
+        "trace", help="work with exported trace JSONL files")
+    trace_sub = trace.add_subparsers(dest="trace_command",
+                                     required=True)
+    merge = trace_sub.add_parser(
+        "merge", help="join a client and a server trace export into "
+                      "one causal forest")
+    merge.add_argument("client_trace", metavar="CLIENT.jsonl")
+    merge.add_argument("server_trace", metavar="SERVER.jsonl")
+    merge.add_argument("-o", "--out", default=None, metavar="FILE",
+                       help="write the merged stream as JSONL "
+                            "('-' for stdout)")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive concurrent sessions into a running "
@@ -507,6 +549,10 @@ def _serve_mediator(args) -> MIXMediator:
         chunk_size=args.chunk_size,
         metrics_enabled=args.metrics_out is not None,
         observe_operators=tracing,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_request_ms=args.slow_request,
+        serve_flight_recorder_events=args.flight_recorder,
+        serve_incident_dir=args.incident_dir,
     )
     tracer = Tracer(record=True) if tracing else None
     mediator = MIXMediator(config, tracer=tracer)
@@ -571,6 +617,136 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _format_status_table(status: Dict[str, object]) -> str:
+    """The human-facing ``repro status`` rendering: a header line,
+    the lifetime counters, and one row per live session."""
+    lines: List[str] = []
+    address = status.get("address")
+    where = ("%s:%s" % tuple(address)
+             if isinstance(address, list) and len(address) == 2
+             else "?")
+    state = "DRAINING" if status.get("draining") else "serving"
+    lines.append("mix daemon at %s: %s, %s active session(s)"
+                 % (where, state, status.get("active_sessions", 0)))
+    server = status.get("server")
+    if isinstance(server, dict):
+        lines.append("  lifetime: " + "  ".join(
+            "%s=%s" % (key, server[key]) for key in sorted(server)))
+    fragcache = status.get("fragcache")
+    if isinstance(fragcache, dict):
+        lines.append("  fragcache: " + "  ".join(
+            "%s=%s" % (key, fragcache[key])
+            for key in sorted(fragcache)))
+    recorder = status.get("flight_recorder")
+    if isinstance(recorder, dict):
+        lines.append("  flight recorder: %s/%s events, %s recorded, "
+                     "%s incident(s)"
+                     % (recorder.get("size"), recorder.get("capacity"),
+                        recorder.get("recorded"),
+                        recorder.get("incidents")))
+    sessions = status.get("sessions")
+    if isinstance(sessions, list) and sessions:
+        header = ("  %-14s %10s %8s %6s %12s %14s %10s"
+                  % ("session", "age_ms", "reqs", "fills",
+                     "bytes", "budget_fills", "in_flight"))
+        lines.append(header)
+        for row in sessions:
+            if not isinstance(row, dict):
+                continue
+            budget = row.get("budget_remaining") or {}
+            fills_left = (budget.get("fills")
+                          if isinstance(budget, dict) else None)
+            age = row.get("age_ms")
+            lines.append(
+                "  %-14s %10s %8s %6s %12s %14s %10s"
+                % (row.get("session"),
+                   "%.0f" % age if isinstance(age, (int, float))
+                   else "-",
+                   row.get("requests"), row.get("fills"),
+                   row.get("bytes_shipped"),
+                   fills_left if fills_left is not None else "-",
+                   row.get("in_flight") or "-"))
+    else:
+        lines.append("  (no live sessions)")
+    return "\n".join(lines)
+
+
+def _cmd_status(args) -> int:
+    import json as json_module
+
+    from .errors import SourceError
+    from .server.client import fetch_status
+
+    host, colon, port_text = args.address.rpartition(":")
+    if not colon or not host or not port_text.isdigit():
+        raise SystemExit("bad address %r (expected HOST:PORT)"
+                         % args.address)
+    want_prometheus = args.prometheus
+    try:
+        status = fetch_status(host, int(port_text),
+                              timeout_ms=args.timeout,
+                              prometheus=want_prometheus)
+    except (SourceError, OSError) as err:
+        print("status: %s unreachable: %s" % (args.address, err),
+              file=sys.stderr)
+        return 2
+    if args.json is not None:
+        text = json_module.dumps(status, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print("-- status -> %s --" % args.json, file=sys.stderr)
+    if want_prometheus:
+        print(status.get("prometheus", ""), end="")
+    elif args.json is None:
+        print(_format_status_table(status))
+    return 1 if status.get("draining") else 0
+
+
+def _cmd_trace(args) -> int:
+    import json as json_module
+
+    from .runtime.observability import (build_span_tree,
+                                        contract_violations,
+                                        load_jsonl, merge_traces)
+
+    if args.trace_command != "merge":
+        raise SystemExit("unknown trace command %r"
+                         % args.trace_command)
+    client_records = load_jsonl(args.client_trace)
+    server_records = load_jsonl(args.server_trace)
+    merged = merge_traces(client_records, server_records)
+    forest = build_span_tree(merged)
+    violations = contract_violations(merged)
+    print("trace merge: %d client + %d server = %d events, "
+          "%d root span(s)"
+          % (len(client_records), len(server_records), len(merged),
+             len(forest.roots)))
+    problems = len(forest.orphans) + len(violations)
+    for label, items in (("orphans",
+                          ["%s (span %s)" % (node.name, node.span_id)
+                           for node in forest.orphans]),
+                         ("contract violations", violations)):
+        if items:
+            print("  %s (%d):" % (label, len(items)))
+            for item in items[:10]:
+                print("    %s" % (item,))
+    if args.out is not None:
+        lines = [json_module.dumps(record.to_dict(), sort_keys=True)
+                 for record in merged]
+        if args.out == "-":
+            for line in lines:
+                print(line)
+        else:
+            with open(args.out, "w") as handle:
+                handle.write("\n".join(lines) + "\n")
+            print("-- merged trace -> %s --" % args.out,
+                  file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_loadgen(args) -> int:
     import json as json_module
 
@@ -588,6 +764,17 @@ def _cmd_loadgen(args) -> int:
              report.rejected_busy, report.failed,
              report.sessions_per_sec,
              report.latency_ms(0.50), report.latency_ms(0.99)))
+    correlation = report.server_correlation
+    if not correlation.get("available"):
+        print("loadgen: server correlation unavailable "
+              "(status probe failed)", file=sys.stderr)
+    elif correlation.get("reconciled"):
+        print("loadgen: server counters reconciled "
+              "(sessions/requests/fills match)")
+    else:
+        for mismatch in correlation.get("mismatches", []):
+            print("loadgen: counter mismatch -- %s" % mismatch,
+                  file=sys.stderr)
     text = json_module.dumps(payload, indent=2, sort_keys=True)
     if args.json == "-":
         print(text)
@@ -613,6 +800,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     raise SystemExit("unknown command %r" % args.command)

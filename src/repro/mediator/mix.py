@@ -321,6 +321,12 @@ class MIXMediator:
                 "MIXMediator(EngineConfig(...)))" % (config,))
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer()
+        if config.trace_sample_rate < 1.0 and self.tracer.configured:
+            # Head-based sampling: one deterministic verdict per
+            # trace id, decided before any span is minted, so the
+            # sampled-out path never pays span-bookkeeping cost.
+            self.tracer.ensure_trace_id()
+            self.tracer.sample(config.trace_sample_rate)
         #: time source for retry backoff and breaker windows (tests
         #: inject a fake clock so nothing really sleeps)
         self.clock = clock

@@ -26,16 +26,21 @@ from .context import ExecutionContext, TraceEvent, Tracer
 from .observability import (
     EVENT_NAMES,
     Counter,
+    FlightRecorder,
     Gauge,
     Histogram,
     MetricsRegistry,
     SpanForest,
     SpanNode,
+    TraceRecord,
     build_span_tree,
     contract_violations,
     export_chrome_trace,
     export_jsonl,
     export_prometheus,
+    load_jsonl,
+    merge_traces,
+    sample_trace,
 )
 from .parallel import FanoutDispatcher
 from .resilience import (
@@ -71,4 +76,6 @@ __all__ = [
     "SpanNode", "SpanForest", "build_span_tree",
     "export_jsonl", "export_chrome_trace", "export_prometheus",
     "EVENT_NAMES", "contract_violations",
+    "FlightRecorder", "TraceRecord",
+    "load_jsonl", "merge_traces", "sample_trace",
 ]

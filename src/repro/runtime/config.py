@@ -194,6 +194,26 @@ class EngineConfig:
         a predictable volume; ``serve_drain_timeout_ms`` is how long a
         SIGTERM drain waits for in-flight sessions before
         force-closing the stragglers.
+
+    Distributed tracing & live telemetry
+        ``trace_sample_rate`` is the fraction of traces actually
+        recorded when tracing is armed (a recording tracer or
+        subscribers): the decision is a deterministic hash of the
+        trace id (:func:`~repro.runtime.observability.sample_trace`),
+        so the same trace id samples the same way in every process,
+        and the sampled bit travels on the LXP wire so the daemon
+        skips ``server.request`` spans for unsampled traces.  1.0
+        (the default) records everything; the default-off path (no
+        tracer armed) never consults it.  ``slow_request_ms`` is the
+        daemon's slow-request threshold: requests that take at least
+        this long are logged through the always-on flight recorder
+        (and as ``server.slow_request`` events when tracing); None
+        disables the log.  ``serve_flight_recorder_events`` bounds
+        the daemon's flight-recorder ring (the last N operational
+        entries kept for incident dumps); ``serve_incident_dir``
+        names a directory where each session kill / drain dumps the
+        ring as a JSONL incident file (None keeps incident snapshots
+        in memory only).
     """
 
     optimize_plans: bool = True
@@ -234,6 +254,10 @@ class EngineConfig:
     serve_max_frame_bytes: int = 1 << 20
     serve_send_buffer_bytes: Optional[int] = None
     serve_drain_timeout_ms: float = 5000.0
+    trace_sample_rate: float = 1.0
+    slow_request_ms: Optional[float] = None
+    serve_flight_recorder_events: int = 256
+    serve_incident_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache_budget is not None and self.cache_budget < 0:
@@ -301,6 +325,20 @@ class EngineConfig:
                 "serve_send_buffer_bytes must be >= 1024 or None")
         if self.serve_drain_timeout_ms < 0:
             raise ConfigError("serve_drain_timeout_ms must be >= 0")
+        if not (0.0 <= self.trace_sample_rate <= 1.0):
+            raise ConfigError(
+                "trace_sample_rate must be in [0.0, 1.0]")
+        if self.slow_request_ms is not None \
+                and self.slow_request_ms < 0:
+            raise ConfigError(
+                "slow_request_ms must be >= 0 or None")
+        if self.serve_flight_recorder_events < 1:
+            raise ConfigError(
+                "serve_flight_recorder_events must be >= 1")
+        if self.serve_incident_dir is not None \
+                and not self.serve_incident_dir:
+            raise ConfigError(
+                "serve_incident_dir must be non-empty or None")
 
     @property
     def resilience_active(self) -> bool:

@@ -120,13 +120,26 @@ class Tracer:
     ``clock`` supplies the event timestamps; tests inject a
     :class:`~repro.testing.faults.FakeClock` so traces are
     deterministic.  The default reads the system monotonic clock.
+
+    **Trace identity & sampling.**  :attr:`trace_id` names the whole
+    causal trace (one id per client session; minted lazily by
+    :meth:`ensure_trace_id`); it travels on the LXP wire so client
+    and server exports can be merged into one forest.  :meth:`sample`
+    applies the deterministic hash decision of
+    :func:`~repro.runtime.observability.sample_trace` and flips
+    :attr:`sampled`; an unsampled tracer reports :attr:`active` False
+    even while recording, so sampling bounds the record-mode cost
+    without touching any emit site.
     """
 
     def __init__(self, record: bool = False,
-                 clock: Optional["Clock"] = None) -> None:
+                 clock: Optional["Clock"] = None,
+                 trace_id: Optional[str] = None) -> None:
         self._callbacks: List[Callable[[TraceEvent], None]] = []
         self.record = record
         self.events: List[TraceEvent] = []
+        self.trace_id = trace_id
+        self.sampled = True
         self._lock = threading.Lock()
         self._clock = clock
         self._span_ids = itertools.count(1)
@@ -135,7 +148,41 @@ class Tracer:
     @property
     def active(self) -> bool:
         """Whether emitting is observable at all."""
+        return self.sampled and (self.record or bool(self._callbacks))
+
+    @property
+    def configured(self) -> bool:
+        """Whether anything asked for tracing (pre-sampling).
+
+        Distinct from :attr:`active`: a recording tracer whose trace
+        was sampled *out* is configured but not active.  The client
+        only mints and ships trace context on the wire when this is
+        true, so the default-off path stays byte-identical.
+        """
         return self.record or bool(self._callbacks)
+
+    def ensure_trace_id(self) -> str:
+        """The trace id, minted on first use.
+
+        The lazy ``uuid`` import is deliberate: the default path never
+        calls this, and the E18 subprocess proof asserts the module
+        stays unimported.
+        """
+        if self.trace_id is None:
+            import uuid
+            self.trace_id = uuid.uuid4().hex[:16]
+        return self.trace_id
+
+    def sample(self, rate: float) -> bool:
+        """Apply the deterministic sampling decision for ``rate``.
+
+        Ensures a trace id, hashes it through
+        :func:`~repro.runtime.observability.sample_trace`, records the
+        verdict in :attr:`sampled`, and returns it.
+        """
+        from .observability import sample_trace
+        self.sampled = sample_trace(self.ensure_trace_id(), rate)
+        return self.sampled
 
     def _now(self) -> float:
         clock = self._clock

@@ -37,17 +37,24 @@ with :mod:`repro.runtime.context`.
 
 from __future__ import annotations
 
+import collections
+import itertools
 import json
+import os
 import threading
+import time
+import zlib
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Iterable, List, Optional,
-                    Sequence, Tuple, cast)
+from typing import (Any, Callable, Deque, Dict, Iterable, List,
+                    Optional, Sequence, Tuple, cast)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "SpanNode", "SpanForest", "build_span_tree",
     "export_jsonl", "export_chrome_trace", "export_prometheus",
     "EVENT_NAMES", "contract_violations", "span_name_of",
+    "FlightRecorder", "TraceRecord", "load_jsonl", "merge_traces",
+    "sample_trace",
 ]
 
 
@@ -85,7 +92,9 @@ EVENT_NAMES: Dict[str, Dict[str, Tuple[str, ...]]] = {
         "fragcache": ("decision", "hit", "miss", "store",
                       "invalidate", "wait", "complete", "adopt"),
         "server": ("listen", "accept", "reject", "open", "close",
-                   "kill", "drain"),
+                   "kill", "drain", "status", "incident",
+                   "slow_request"),
+        "trace": ("sample", "adopt"),
     },
 }
 
@@ -128,6 +137,36 @@ def span_name_of(event: Any) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# Trace sampling
+# ----------------------------------------------------------------------
+
+#: hash-space granularity of the sampling decision: rates are
+#: effectively quantized to 1/10000.
+_SAMPLE_BUCKETS = 10000
+
+
+def sample_trace(trace_id: str, rate: float) -> bool:
+    """The deterministic head-sampling decision for one trace.
+
+    Hashes the trace id (CRC32, the repo's convention for
+    deterministic decisions -- retry jitter and fragment-store
+    sharding use the same trick) into one of ``_SAMPLE_BUCKETS``
+    buckets and keeps the trace when its bucket falls under ``rate``.
+    The decision is a pure function of ``(trace_id, rate)``: every
+    process that sees the same trace id -- the client that minted it
+    and the daemon that adopted it off the wire -- reaches the same
+    verdict without coordination, so a trace is always recorded
+    end-to-end or not at all.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = zlib.crc32(trace_id.encode("utf-8")) % _SAMPLE_BUCKETS
+    return bucket < int(rate * _SAMPLE_BUCKETS)
+
+
+# ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
 
@@ -146,6 +185,7 @@ class _Instrument:
     def __init__(self, name: str,
                  registry: "MetricsRegistry") -> None:
         self.name = name
+        self.help = ""
         self._registry = registry
         self._series: Dict[LabelKey, object] = {}
 
@@ -264,36 +304,50 @@ class MetricsRegistry:
         self._lock = threading.RLock()
         self._instruments: Dict[str, _Instrument] = {}
 
-    def _get(self, name: str, factory: Callable) -> _Instrument:
+    def _get(self, name: str, factory: Callable,
+             help_text: Optional[str] = None) -> _Instrument:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
                 instrument = factory()
                 self._instruments[name] = instrument
+            if help_text and not instrument.help:
+                instrument.help = help_text
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        """Get-or-create the counter called ``name``."""
-        instrument = self._get(name, lambda: Counter(name, self))
+    def counter(self, name: str,
+                help_text: Optional[str] = None) -> Counter:
+        """Get-or-create the counter called ``name``.
+
+        ``help_text``, when given on any call, becomes the metric's
+        ``# HELP`` line in the Prometheus exposition (first writer
+        wins; instruments without help render no HELP line, as
+        before).
+        """
+        instrument = self._get(name, lambda: Counter(name, self),
+                               help_text)
         if not isinstance(instrument, Counter):
             raise TypeError("%r is a %s, not a counter"
                             % (name, instrument.kind))
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              help_text: Optional[str] = None) -> Gauge:
         """Get-or-create the gauge called ``name``."""
-        instrument = self._get(name, lambda: Gauge(name, self))
+        instrument = self._get(name, lambda: Gauge(name, self),
+                               help_text)
         if not isinstance(instrument, Gauge):
             raise TypeError("%r is a %s, not a gauge"
                             % (name, instrument.kind))
         return instrument
 
     def histogram(self, name: str,
-                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  help_text: Optional[str] = None,
                   ) -> Histogram:
         """Get-or-create the histogram called ``name``."""
         instrument = self._get(
-            name, lambda: Histogram(name, self, buckets))
+            name, lambda: Histogram(name, self, buckets), help_text)
         if not isinstance(instrument, Histogram):
             raise TypeError("%r is a %s, not a histogram"
                             % (name, instrument.kind))
@@ -315,6 +369,9 @@ class MetricsRegistry:
             instruments = sorted(self._instruments.items())
         for name, instrument in instruments:
             metric = _prometheus_name(name)
+            if instrument.help:
+                lines.append("# HELP %s %s"
+                             % (metric, _escape_help(instrument.help)))
             lines.append("# TYPE %s %s" % (metric, instrument.kind))
             with self._lock:
                 series = sorted(instrument._series.items())
@@ -341,12 +398,28 @@ def _format_number(value: object) -> str:
     return str(value)
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the text exposition format: backslash
+    and line feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the text exposition format:
+    backslash, double quote, and line feed."""
+    return (value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prometheus_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()
                        ) -> str:
     pairs = tuple(key) + tuple(extra)
     if not pairs:
         return ""
-    return "{%s}" % ",".join('%s="%s"' % kv for kv in pairs)
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, _escape_label_value(value))
+        for name, value in pairs)
 
 
 def _prometheus_histogram(metric: str, buckets: Tuple[float, ...],
@@ -570,3 +643,266 @@ def export_prometheus(registry: MetricsRegistry, sink: Any) -> str:
         if owned:
             handle.close()
     return text
+
+
+# ----------------------------------------------------------------------
+# The flight recorder
+# ----------------------------------------------------------------------
+
+class FlightRecorder:
+    """A bounded ring of the last N operational entries, always on.
+
+    The daemon's black box: unlike the tracer (armed only when
+    someone asks for a trace) the flight recorder runs
+    unconditionally, so when a session dies there is *always* a
+    recent history to dump.  Recording is one lock acquire plus a
+    ``deque`` append onto a ``maxlen`` ring -- cheap enough to sit on
+    the request path of every dispatch.
+
+    :meth:`incident` freezes the ring into an incident record: kept
+    in the bounded :attr:`incidents` history, and -- when
+    ``incident_dir`` is configured -- dumped as a JSONL file (one
+    header object naming the reason/session, then one entry per
+    line, newest last).  The daemon calls it on every session kill,
+    on unhandled handler errors, and once on drain.
+
+    ``clock`` is any object with ``now_ms()`` (tests inject a
+    :class:`~repro.testing.faults.FakeClock`); the default reads the
+    system monotonic clock.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 incident_dir: Optional[str] = None,
+                 max_incidents: int = 32,
+                 clock: Optional[Any] = None) -> None:
+        self.capacity = max(1, int(capacity))
+        self.incident_dir = incident_dir
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, Any]] = collections.deque(
+            maxlen=self.capacity)
+        self._recorded = 0
+        self._serials = itertools.count(1)
+        #: bounded history of incident summaries (no event payloads)
+        self.incidents: Deque[Dict[str, Any]] = collections.deque(
+            maxlen=max(1, int(max_incidents)))
+
+    def _now_ms(self) -> float:
+        clock = self._clock
+        if clock is not None:
+            return float(clock.now_ms())
+        return time.monotonic() * 1000.0
+
+    def record(self, layer: str, event: str, **data: object) -> None:
+        """Append one entry to the ring (evicting the oldest)."""
+        entry: Dict[str, Any] = {"layer": layer, "event": event,
+                                 "data": data,
+                                 "ts_ms": self._now_ms()}
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+
+    def record_trace_event(self, event: Any) -> None:
+        """Mirror a :class:`TraceEvent`-shaped record into the ring
+        (the subscriber form, for daemons that also trace)."""
+        with self._lock:
+            self._ring.append(event.to_dict())
+            self._recorded += 1
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The ring's entries, oldest first (shallow copies)."""
+        with self._lock:
+            return [dict(entry) for entry in self._ring]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"capacity": self.capacity,
+                    "size": len(self._ring),
+                    "recorded": self._recorded,
+                    "incidents": len(self.incidents)}
+
+    def incident(self, reason: str, session: Optional[str] = None,
+                 detail: str = "") -> Dict[str, Any]:
+        """Freeze the ring into an incident record (and maybe a file).
+
+        Returns the full record including the frozen ``events``; the
+        bounded :attr:`incidents` history keeps only the summary.
+        ``path`` is the JSONL dump's location, or None when no
+        ``incident_dir`` is configured (or the write failed -- an
+        incident dump must never take the daemon down with it).
+        """
+        with self._lock:
+            serial = next(self._serials)
+            events = [dict(entry) for entry in self._ring]
+        record: Dict[str, Any] = {
+            "incident": serial,
+            "reason": str(reason),
+            "session": session,
+            "detail": str(detail),
+            "ts_ms": self._now_ms(),
+            "path": None,
+            "events": events,
+        }
+        if self.incident_dir is not None:
+            slug = "".join(c if c.isalnum() else "-"
+                           for c in str(reason)) or "unknown"
+            path = os.path.join(
+                self.incident_dir,
+                "incident-%03d-%s.jsonl" % (serial, slug))
+            try:
+                os.makedirs(self.incident_dir, exist_ok=True)
+                with open(path, "w") as handle:
+                    header = {key: value
+                              for key, value in record.items()
+                              if key not in ("events", "path")}
+                    header["events"] = len(events)
+                    handle.write(json.dumps(header, sort_keys=True,
+                                            default=repr) + "\n")
+                    for entry in events:
+                        handle.write(json.dumps(entry, sort_keys=True,
+                                                default=repr) + "\n")
+                record["path"] = path
+            except OSError:
+                record["path"] = None
+        summary = {key: record[key]
+                   for key in ("incident", "reason", "session",
+                               "detail", "ts_ms", "path")}
+        with self._lock:
+            self.incidents.append(summary)
+        return record
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace merging
+# ----------------------------------------------------------------------
+
+@dataclass
+class TraceRecord:
+    """A concrete event record with the duck-typed trace shape.
+
+    What :func:`load_jsonl` yields and :func:`merge_traces` returns:
+    structurally identical to
+    :class:`~repro.runtime.context.TraceEvent` (every exporter and
+    :func:`build_span_tree` accept either), but plain data -- no
+    tracer attached, ``thread`` may be a normalized token rather
+    than a live thread id.
+    """
+
+    layer: str
+    event: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    ts_ms: Optional[float] = None
+    thread: Optional[object] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "layer": self.layer,
+            "event": self.event,
+            "data": {str(k): v for k, v in self.data.items()},
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts_ms": self.ts_ms,
+            "thread": self.thread,
+        }
+
+
+def _as_record(event: Any) -> TraceRecord:
+    return TraceRecord(
+        layer=event.layer, event=event.event, data=dict(event.data),
+        span_id=event.span_id, parent_id=event.parent_id,
+        ts_ms=event.ts_ms, thread=event.thread)
+
+
+def load_jsonl(source: Any) -> List[TraceRecord]:
+    """Load a JSONL trace export (the :func:`export_jsonl` format)
+    back into :class:`TraceRecord` objects.
+
+    ``source`` is a path or a readable file object.  Blank lines are
+    skipped; missing fields default (old or hand-built exports stay
+    loadable).
+    """
+    handle, owned = _open_sink(source, mode="r")
+    records: List[TraceRecord] = []
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            records.append(TraceRecord(
+                layer=str(payload.get("layer", "")),
+                event=str(payload.get("event", "")),
+                data=dict(payload.get("data") or {}),
+                span_id=payload.get("span_id"),
+                parent_id=payload.get("parent_id"),
+                ts_ms=payload.get("ts_ms"),
+                thread=payload.get("thread")))
+    finally:
+        if owned:
+            handle.close()
+    return records
+
+
+def merge_traces(client_events: Iterable[Any],
+                 server_events: Iterable[Any]) -> List[TraceRecord]:
+    """Join a client and a server trace into one causal stream.
+
+    Each process mints span ids from its own counter, so the two id
+    spaces collide; the server's ids are remapped above the client's
+    maximum.  The stitch is the wire trace context: a
+    ``server.request`` span that adopted one carries the client's
+    issuing span id as ``client_parent`` in its span data, and every
+    such span is re-parented under that client span -- after which
+    :func:`build_span_tree` over the merged stream reconstructs one
+    forest whose client navigations *contain* the server work they
+    caused.  Thread identities are normalized to ``c<n>``/``s<n>``
+    tokens in first-seen order, so merged exports of deterministic
+    runs are byte-stable.
+    """
+    client = [_as_record(event) for event in client_events]
+    server = [_as_record(event) for event in server_events]
+    client_ids = {record.span_id for record in client
+                  if isinstance(record.span_id, int)}
+    used = [record.span_id for record in client
+            if isinstance(record.span_id, int)]
+    used += [record.parent_id for record in client
+             if isinstance(record.parent_id, int)]
+    offset = max(used, default=0)
+
+    mapping: Dict[int, int] = {}
+
+    def remap(old: Optional[int]) -> Optional[int]:
+        if not isinstance(old, int):
+            return old
+        if old not in mapping:
+            mapping[old] = offset + len(mapping) + 1
+        return mapping[old]
+
+    threads: Dict[Tuple[str, object], str] = {}
+
+    def thread_token(prefix: str, raw: object) -> str:
+        key = (prefix, raw)
+        token = threads.get(key)
+        if token is None:
+            ordinal = sum(1 for existing in threads
+                          if existing[0] == prefix) + 1
+            token = threads[key] = "%s%d" % (prefix, ordinal)
+        return token
+
+    merged: List[TraceRecord] = []
+    for record in client:
+        record.thread = thread_token("c", record.thread)
+        merged.append(record)
+    for record in server:
+        record.span_id = remap(record.span_id)
+        client_parent = record.data.get("client_parent")
+        if isinstance(client_parent, int) \
+                and client_parent in client_ids:
+            record.parent_id = client_parent
+        else:
+            record.parent_id = remap(record.parent_id)
+        record.thread = thread_token("s", record.thread)
+        merged.append(record)
+    return merged

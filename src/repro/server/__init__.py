@@ -31,6 +31,7 @@ from .client import (
     ServerReplyError,
     SocketChannel,
     connect,
+    fetch_status,
 )
 from .daemon import MediatorServer, ServerStats
 from .wire import (
@@ -42,7 +43,7 @@ from .wire import (
 
 __all__ = [
     "MediatorServer", "ServerStats",
-    "SocketChannel", "RemoteSession", "connect",
+    "SocketChannel", "RemoteSession", "connect", "fetch_status",
     "ServerBusyError", "ServerDrainingError", "ServerReplyError",
     "WireError", "MalformedFrameError", "TruncatedFrameError",
     "FrameTooLargeError",

@@ -38,18 +38,21 @@ from ..client.remote import ChannelStats
 from ..errors import PermanentSourceError, TransientSourceError
 from ..buffer.lxp import LXPServer
 from ..runtime.config import EngineConfig
-from ..runtime.context import ExecutionContext
+from ..runtime.context import ExecutionContext, Tracer
 from ..runtime.resilience import Clock, resilient_server
 from .wire import (
     MAX_FRAME_BYTES,
+    TRACE_KEY,
     WireError,
     decode_fragments,
+    encode_trace_context,
     recv_frame_sized,
     send_frame,
 )
 
 __all__ = ["ServerBusyError", "ServerDrainingError", "ServerReplyError",
-           "SocketChannel", "RemoteSession", "connect"]
+           "SocketChannel", "RemoteSession", "connect",
+           "fetch_status"]
 
 
 class ServerBusyError(TransientSourceError):
@@ -98,17 +101,30 @@ class SocketChannel(LXPServer):
     ``stats`` is a plain :class:`~repro.client.remote.ChannelStats`
     charged with real bytes on the wire (header included), so every
     existing report/metric over channel traffic works unchanged.
+
+    When the session carries a trace (``trace_id`` set), every
+    request frame gains the wire trace envelope: the trace id, the
+    client span open at call time (the server adopts it as the
+    parent of its ``server.request`` span), and the sampling
+    verdict.  With the default ``trace_id=None`` -- any client whose
+    tracer is idle -- frames are byte-identical to before.
     """
 
     def __init__(self, sock: socket.socket, root_wire_id: int,
                  timeout_ms: float,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 name: str = "") -> None:
+                 name: str = "",
+                 tracer: Optional[Tracer] = None,
+                 trace_id: Optional[str] = None,
+                 sampled: bool = True) -> None:
         self.sock = sock
         self.root_wire_id = root_wire_id
         self.timeout_ms = timeout_ms
         self.max_frame_bytes = max_frame_bytes
         self.name = name
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.sampled = sampled
         self.stats = ChannelStats()
         self._lock = threading.Lock()
         self.closed = False
@@ -117,6 +133,12 @@ class SocketChannel(LXPServer):
     def call(self, request: Dict[str, Any],
              commands: int = 1) -> Dict[str, Any]:
         """One request/reply exchange, serialized and accounted."""
+        if self.trace_id is not None:
+            parent = (self.tracer.current_span()
+                      if self.tracer is not None else None)
+            request = dict(request)
+            request[TRACE_KEY] = encode_trace_context(
+                self.trace_id, parent, self.sampled)
         with self._lock:
             if self.closed:
                 raise ServerReplyError("mix:closed",
@@ -147,6 +169,9 @@ class SocketChannel(LXPServer):
                 self.stats.messages += 1
                 self.stats.commands += commands
                 self.stats.bytes_transferred += sent + received
+        if self.tracer is not None and self.tracer.active:
+            self.tracer.emit("channel", "round_trip",
+                             bytes=sent + received, commands=commands)
         if reply is None:
             with self._lock:
                 self.closed = True
@@ -320,9 +345,24 @@ def connect(host: str, port: int, query: str,
         raise ServerReplyError(
             "mix:protocol",
             "open reply carries no root hole id: %r" % (reply,))
+    # Trace context only exists when someone asked for tracing: an
+    # idle tracer mints no id and ships no envelope, so the default
+    # wire dialogue is byte-identical to a traceless build.
+    tracer = context.tracer
+    trace_id: Optional[str] = None
+    sampled = True
+    if tracer.configured:
+        trace_id = tracer.ensure_trace_id()
+        sampled = tracer.sample(engine_config.trace_sample_rate)
+        if tracer.active:
+            tracer.emit("trace", "sample", trace_id=trace_id,
+                        sampled=sampled,
+                        rate=engine_config.trace_sample_rate)
     channel = SocketChannel(sock, root_wire, timeout_ms=timeout_ms,
                             max_frame_bytes=(
-                                engine_config.serve_max_frame_bytes))
+                                engine_config.serve_max_frame_bytes),
+                            tracer=tracer, trace_id=trace_id,
+                            sampled=sampled)
     name = context.register_channel_auto(channel.stats)
     channel.name = name
     transport = resilient_server(channel, engine_config, name=name,
@@ -335,3 +375,46 @@ def connect(host: str, port: int, query: str,
     context.register_buffer_auto(buffer.stats)
     root = XMLElement(buffer, buffer.root())
     return RemoteSession(session_id, root, channel, context)
+
+
+def fetch_status(host: str, port: int,
+                 timeout_ms: float = 5000.0,
+                 prometheus: bool = False,
+                 max_frame_bytes: int = MAX_FRAME_BYTES
+                 ) -> Dict[str, Any]:
+    """One-shot ``mix:status`` probe: connect, ask, disconnect.
+
+    The admin verb needs no session: ``status`` is legal as a
+    connection's first (and only) frame, and the daemon closes the
+    connection after answering.  Returns the reply's ``status``
+    payload; ``prometheus=True`` asks the daemon to inline its
+    Prometheus text exposition under the ``"prometheus"`` key.
+
+    Raises ``OSError``/``ConnectionError`` when the daemon is
+    unreachable and the usual typed errors on an error reply.
+    """
+    sock = socket.create_connection(
+        (host, port), timeout=timeout_ms / 1000.0)
+    try:
+        sock.settimeout(timeout_ms / 1000.0)
+        request: Dict[str, Any] = {"op": "status"}
+        if prometheus:
+            request["prometheus"] = True
+        send_frame(sock, request, max_frame_bytes)
+        reply, _ = recv_frame_sized(sock, max_frame_bytes)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    if reply is None:
+        raise TransientSourceError(
+            "server closed the connection before answering 'status'")
+    if not reply.get("ok"):
+        _raise_error_reply(reply)
+    status = reply.get("status")
+    if not isinstance(status, dict):
+        raise ServerReplyError(
+            "mix:protocol",
+            "status reply carries no status object: %r" % (reply,))
+    return status

@@ -47,14 +47,22 @@ Hardening (all knobs on :class:`~repro.runtime.config.EngineConfig`,
 
 from __future__ import annotations
 
+import contextlib
+import io
 import socket
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (Any, ContextManager, Dict, List, Optional,
+                    Tuple)
 
 from ..errors import ReproError
 from ..mediator.mix import MIXMediator
 from ..runtime.config import EngineConfig
+from ..runtime.observability import (
+    FlightRecorder,
+    MetricsRegistry,
+    export_prometheus,
+)
 from ..runtime.resilience import SYSTEM_CLOCK, Clock
 from .session import (
     DeadlineDocument,
@@ -62,7 +70,13 @@ from .session import (
     Session,
     SessionBudgetError,
 )
-from .wire import WireError, encode_fragments, recv_frame, send_frame
+from .wire import (
+    WireError,
+    decode_trace_context,
+    encode_fragments,
+    recv_frame,
+    send_frame,
+)
 from ..client.remote import NavigableLXPServer
 
 __all__ = ["ServerStats", "MediatorServer"]
@@ -70,6 +84,9 @@ __all__ = ["ServerStats", "MediatorServer"]
 #: accept-loop poll granularity: how often the loop wakes to notice
 #: a drain request (the listener socket's timeout, in seconds)
 _ACCEPT_POLL_S = 0.05
+
+#: latency buckets of the always-on per-request histogram (ms)
+_REQUEST_MS_BUCKETS = (1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0)
 
 
 class ServerStats:
@@ -86,6 +103,13 @@ class ServerStats:
         self.rejected_draining = 0
         self.sessions_opened = 0
         self.sessions_closed = 0
+        #: requests answered successfully (any session-protocol op;
+        #: admin ``status`` probes are counted separately)
+        self.requests = 0
+        #: fill commands answered (``fill`` = 1, ``fill_batch`` = its
+        #: hole count) -- what client-side fill accounting reconciles
+        #: against
+        self.fills = 0
         self.protocol_kills = 0
         self.idle_kills = 0
         self.stalled_kills = 0
@@ -151,6 +175,18 @@ class MediatorServer:
         self.stats = ServerStats()
         self.tracer = mediator.tracer
         self.metrics = mediator.runtime.metrics
+        #: always-on operational telemetry, independent of the
+        #: mediator's gated ``metrics_enabled`` registry: the daemon
+        #: must be scrapeable (``mix:status``) even on a default
+        #: config.  Touched only at server-level events (per request,
+        #: not per navigation), so the cost is a few lock-guarded
+        #: increments per round trip.
+        self.telemetry = MetricsRegistry(enabled=True)
+        #: the flight recorder: always on, dumped on kills and drain
+        self.recorder = FlightRecorder(
+            capacity=self.config.serve_flight_recorder_events,
+            incident_dir=self.config.serve_incident_dir,
+            clock=self.clock)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._handlers: List[_Handler] = []
@@ -181,6 +217,8 @@ class MediatorServer:
         self.tracer.emit("server", "listen", host=self.address[0],
                          port=self.address[1],
                          max_sessions=config.serve_max_sessions)
+        self.recorder.record("server", "listen", host=self.address[0],
+                             port=self.address[1])
         thread = threading.Thread(target=self._accept_loop,
                                   name="mix-accept", daemon=True)
         self._accept_thread = thread
@@ -270,15 +308,24 @@ class MediatorServer:
 
     def _kill(self, handler: _Handler, reason: str,
               counter: str, detail: str = "") -> None:
-        """Terminate one session (never the server)."""
+        """Terminate one session (never the server), leaving a full
+        incident dump of the flight-recorder ring behind."""
         self.stats.bump(counter)
         session_id = (handler.session.session_id
                       if handler.session is not None else None)
         self.tracer.emit("server", "kill", session=session_id,
                          reason=reason, detail=detail)
+        self.recorder.record("server", "kill", session=session_id,
+                             reason=reason, detail=detail)
+        self.telemetry.counter(
+            "server_kills_total",
+            help_text="Sessions killed by the daemon, by reason."
+        ).inc(reason=reason)
         if self.metrics.enabled:
             self.metrics.counter("server_kills_total").inc(
                 reason=reason)
+        self.recorder.incident(reason, session=session_id,
+                               detail=detail)
 
     def _next_session_id(self) -> str:
         with self._lock:
@@ -306,13 +353,21 @@ class MediatorServer:
             self._next_session_id(), result, exporter,
             deadline_document,
             max_fills=config.serve_session_max_fills,
-            max_bytes=config.serve_session_max_bytes)
+            max_bytes=config.serve_session_max_bytes,
+            opened_at_ms=self.clock.now_ms())
         exporter.stats.source = session.session_id
         handler.session = session
         root_wire = session.holes.intern(exporter.get_root().hole_id)
         self.stats.bump("sessions_opened")
         self.tracer.emit("server", "open", session=session.session_id,
                          peer=handler.address[0])
+        self.recorder.record("server", "open",
+                             session=session.session_id,
+                             peer=handler.address[0])
+        self.telemetry.counter(
+            "server_sessions_total",
+            help_text="Sessions opened over the daemon's lifetime."
+        ).inc()
         if self.metrics.enabled:
             self.metrics.counter("server_sessions_total").inc()
             self.metrics.gauge("server_active_sessions").set(
@@ -329,6 +384,18 @@ class MediatorServer:
         """
         op = frame.get("op")
         session = handler.session
+        if op == "status":
+            # The admin verb: legal as a connection's *first* frame
+            # (no session required -- `repro status` probes this way,
+            # and the connection closes after the answer) or
+            # mid-session (the dialogue continues).
+            self.telemetry.counter(
+                "server_status_requests_total",
+                help_text="Admin status probes answered."
+            ).inc()
+            reply = {"ok": True, "status": self.status(
+                include_prometheus=bool(frame.get("prometheus")))}
+            return reply, session is not None
         if session is None:
             if op != "open":
                 raise WireError(
@@ -470,11 +537,28 @@ class MediatorServer:
                 if self.draining:
                     self.stats.bump("drained")
                 return
-            if handler.session is not None:
-                handler.session.requests += 1
+            trace_context = decode_trace_context(frame)
+            op = str(frame.get("op"))
+            session = handler.session
+            if session is not None:
+                session.requests += 1
+                session.in_flight = op
+                if trace_context is not None:
+                    # The adopt event (like the server.request spans)
+                    # honors the client's sampling verdict: a
+                    # sampled-out trace leaves no record server-side.
+                    if session.trace_context is None \
+                            and trace_context["sampled"] \
+                            and self.tracer.active:
+                        self.tracer.emit(
+                            "trace", "adopt",
+                            session=session.session_id,
+                            trace_id=trace_context["id"],
+                            sampled=trace_context["sampled"])
+                    session.trace_context = trace_context
+            started_ms = self.clock.now_ms()
             try:
-                with self.tracer.span("server", "request",
-                                      op=str(frame.get("op"))):
+                with self._request_span(trace_context, op):
                     reply, keep_going = self._dispatch(handler, frame)
             except RequestDeadlineError as err:
                 self._kill(handler, "deadline", "deadline_kills")
@@ -502,6 +586,16 @@ class MediatorServer:
                 self._error_reply(handler, "mix:error",
                                   "%s: %s" % (type(err).__name__, err))
                 return
+            elapsed_ms = self.clock.now_ms() - started_ms
+            if handler.session is not None:
+                handler.session.in_flight = None
+            fills = 0
+            if op == "fill":
+                fills = 1
+            elif op == "fill_batch":
+                holes = frame.get("holes")
+                fills = len(holes) if isinstance(holes, list) else 0
+            self._observe_request(handler, op, elapsed_ms, fills)
             try:
                 self._reply(handler, reply)
             except socket.timeout:
@@ -517,8 +611,148 @@ class MediatorServer:
             except (ConnectionError, OSError):
                 self._kill(handler, "disconnect", "disconnect_kills")
                 return
+            # Delivered: these are the counters client-side accounting
+            # reconciles against, so they only move once the reply is
+            # actually on the wire.  Admin status probes stay out of
+            # the session-protocol counters (they have their own
+            # telemetry counter) so a monitoring scrape never skews a
+            # load run's client/server reconciliation.
+            if op != "status":
+                self.stats.bump("requests")
+                if fills:
+                    self.stats.bump("fills", fills)
             if not keep_going:
                 return
+
+    # -- observability -----------------------------------------------------
+    def _request_span(self, trace_context: Optional[Dict[str, Any]],
+                      op: str) -> ContextManager[Any]:
+        """The ``server.request`` span for one dispatch.
+
+        When the request carries a wire trace context, its client
+        span id and trace id ride in the span data (``client_parent``
+        / ``trace_id``) -- what :func:`~repro.runtime.observability.
+        merge_traces` uses to stitch the server's spans under the
+        client navigation that caused them.  A context whose
+        ``sampled`` bit is off suppresses the span entirely: the
+        client's deterministic sampling verdict governs both
+        processes.
+        """
+        if trace_context is not None and not trace_context["sampled"]:
+            return contextlib.nullcontext()
+        data: Dict[str, Any] = {"op": op}
+        if trace_context is not None:
+            data["trace_id"] = trace_context["id"]
+            if trace_context["parent"] is not None:
+                data["client_parent"] = trace_context["parent"]
+        return self.tracer.span("server", "request", **data)
+
+    def _observe_request(self, handler: _Handler, op: str,
+                         elapsed_ms: float, fills: int) -> None:
+        """Per-request operational accounting: flight-recorder entry,
+        always-on telemetry, and the slow-request log."""
+        session = handler.session
+        session_id = (session.session_id
+                      if session is not None else None)
+        self.recorder.record("server", "request", session=session_id,
+                             op=op, elapsed_ms=round(elapsed_ms, 3),
+                             fills=fills)
+        self.telemetry.counter(
+            "server_requests_total",
+            help_text="Requests answered, by op."
+        ).inc(op=op)
+        if fills:
+            self.telemetry.counter(
+                "server_fills_total",
+                help_text="Fill commands answered (batch holes "
+                          "counted individually)."
+            ).inc(fills)
+        self.telemetry.histogram(
+            "server_request_ms", buckets=_REQUEST_MS_BUCKETS,
+            help_text="Request dispatch latency in milliseconds, "
+                      "by op."
+        ).observe(elapsed_ms, op=op)
+        threshold = self.config.slow_request_ms
+        if threshold is not None and elapsed_ms >= threshold:
+            self.recorder.record(
+                "server", "slow_request", session=session_id, op=op,
+                elapsed_ms=round(elapsed_ms, 3),
+                threshold_ms=threshold)
+            self.telemetry.counter(
+                "server_slow_requests_total",
+                help_text="Requests at or over the slow-request "
+                          "threshold, by op."
+            ).inc(op=op)
+            if self.tracer.active:
+                self.tracer.emit(
+                    "server", "slow_request", session=session_id,
+                    op=op, elapsed_ms=round(elapsed_ms, 3),
+                    threshold_ms=threshold)
+
+    def _fragcache_stats(self) -> Optional[Dict[str, Any]]:
+        """The shared fragment store's counters, or None when the
+        feature is off (the module stays unimported, per its
+        contract)."""
+        if not self.config.fragment_cache:
+            return None
+        from ..runtime.fragcache import shared_store
+        store = shared_store()
+        stats: Dict[str, Any] = dict(store.stats.snapshot())
+        stats["entries"] = store.entry_count()
+        stats["shards"] = store.shards
+        return stats
+
+    def status(self, include_prometheus: bool = False
+               ) -> Dict[str, Any]:
+        """The daemon's live operational picture (the ``mix:status``
+        reply body; schema documented in PROTOCOLS.md)."""
+        with self._lock:
+            handlers = list(self._handlers)
+            draining = self._draining
+        now_ms = self.clock.now_ms()
+        sessions = []
+        for handler in handlers:
+            session = handler.session
+            if session is None:
+                continue
+            row = session.status_row(now_ms)
+            row["peer"] = handler.address[0]
+            sessions.append(row)
+        sessions.sort(key=lambda row: str(row["session"]))
+        payload: Dict[str, Any] = {
+            "draining": draining,
+            "address": (list(self.address)
+                        if self.address is not None else None),
+            "active_sessions": self.active_sessions,
+            "server": self.stats.snapshot(),
+            "sessions": sessions,
+            "fragcache": self._fragcache_stats(),
+            "flight_recorder": self.recorder.stats(),
+            "incidents": list(self.recorder.incidents),
+        }
+        if include_prometheus:
+            payload["prometheus"] = self.prometheus_text()
+        self.tracer.emit("server", "status", sessions=len(sessions),
+                         draining=draining)
+        return payload
+
+    def prometheus_text(self) -> str:
+        """The always-on telemetry as Prometheus text exposition.
+
+        The lifetime :class:`ServerStats` counters are folded in as a
+        labelled gauge at scrape time, so a scrape always reflects
+        the current counter state without per-event double writes.
+        """
+        gauge = self.telemetry.gauge(
+            "server_lifetime_count",
+            help_text="Lifetime daemon counters, by counter name.")
+        for name, value in self.stats.snapshot().items():
+            gauge.set(value, counter=name)
+        self.telemetry.gauge(
+            "server_sessions_active",
+            help_text="Currently admitted sessions."
+        ).set(self.active_sessions)
+        return export_prometheus(self.telemetry, io.StringIO())
 
     # -- drain -------------------------------------------------------------
     def drain(self, timeout_ms: Optional[float] = None) -> bool:
@@ -601,4 +835,8 @@ class MediatorServer:
         self.tracer.emit("server", "drain", phase="end",
                          clean=clean,
                          drained=self.stats.snapshot()["drained"])
+        if not already:
+            self.recorder.record("server", "drain", clean=clean,
+                                 drained=self.stats.snapshot()["drained"])
+            self.recorder.incident("drain", detail="clean=%s" % clean)
         return clean

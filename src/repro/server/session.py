@@ -173,7 +173,8 @@ class Session:
                  exporter: NavigableLXPServer,
                  deadline_document: DeadlineDocument,
                  max_fills: Optional[int] = None,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 opened_at_ms: Optional[float] = None) -> None:
         self.session_id = session_id
         self.result = result
         self.exporter = exporter
@@ -187,6 +188,13 @@ class Session:
         self.bytes_shipped = 0
         #: requests answered (any op)
         self.requests = 0
+        #: server-clock reading at ``open`` (for status age reporting)
+        self.opened_at_ms = opened_at_ms
+        #: the op currently being dispatched (handler-thread written;
+        #: status readers see at worst a stale op name)
+        self.in_flight: Optional[str] = None
+        #: the wire trace context last adopted for this session
+        self.trace_context: Optional[Dict[str, Any]] = None
 
     def charge(self, fills: int, fragments: Iterator[Any]) -> None:
         """Account one reply against the session budgets."""
@@ -206,6 +214,31 @@ class Session:
             raise SessionBudgetError(
                 "session %s exhausted its %d-byte ship budget"
                 % (self.session_id, self.max_bytes))
+
+    def budget_remaining(self) -> Dict[str, Optional[int]]:
+        """How much of each budget is left (None = unbudgeted)."""
+        fills_left = (None if self.max_fills is None
+                      else max(0, self.max_fills - self.fills))
+        bytes_left = (None if self.max_bytes is None
+                      else max(0, self.max_bytes - self.bytes_shipped))
+        return {"fills": fills_left, "bytes": bytes_left}
+
+    def status_row(self, now_ms: Optional[float] = None
+                   ) -> Dict[str, Any]:
+        """One row of the daemon's per-session status table."""
+        age_ms: Optional[float] = None
+        if now_ms is not None and self.opened_at_ms is not None:
+            age_ms = max(0.0, now_ms - self.opened_at_ms)
+        return {
+            "session": self.session_id,
+            "age_ms": age_ms,
+            "requests": self.requests,
+            "fills": self.fills,
+            "bytes_shipped": self.bytes_shipped,
+            "budget_remaining": self.budget_remaining(),
+            "in_flight": self.in_flight,
+            "trace_id": (self.trace_context or {}).get("id"),
+        }
 
     def stats(self) -> Dict[str, Any]:
         """The session's consumption and its context's live stats

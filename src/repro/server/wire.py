@@ -39,6 +39,7 @@ __all__ = [
     "MAX_FRAME_BYTES", "send_frame", "recv_frame", "recv_frame_sized",
     "encode_fragment", "decode_fragment",
     "encode_fragments", "decode_fragments",
+    "TRACE_KEY", "encode_trace_context", "decode_trace_context",
 ]
 
 #: default per-frame size ceiling (overridable per server/client via
@@ -151,6 +152,56 @@ def recv_frame_sized(sock: socket.socket,
             "frame payload must be a JSON object, got %s"
             % type(payload).__name__)
     return payload, _HEADER.size + length
+
+
+# ----------------------------------------------------------------------
+# Trace context envelope
+# ----------------------------------------------------------------------
+
+#: the optional request-envelope field carrying trace context
+TRACE_KEY = "trace"
+
+
+def encode_trace_context(trace_id: str,
+                         parent_span_id: Optional[int],
+                         sampled: bool) -> Dict[str, Any]:
+    """The request-envelope trace context shape.
+
+    ``id`` names the whole cross-process trace, ``parent`` is the
+    client span issuing this request (the server adopts it as the
+    causal parent of its ``server.request`` span), and ``sampled``
+    is the deterministic sampling verdict -- a server never records
+    spans for a trace the client sampled out, so one decision
+    governs both processes.
+    """
+    return {"id": trace_id, "parent": parent_span_id,
+            "sampled": bool(sampled)}
+
+
+def decode_trace_context(frame: Dict[str, Any]
+                         ) -> Optional[Dict[str, Any]]:
+    """Pop and validate a request frame's trace context, in place.
+
+    Returns the normalized ``{"id", "parent", "sampled"}`` dict, or
+    None when the frame carries no (or a malformed) context.
+    Deliberately *tolerant*: observability must never break
+    navigation, so a bad envelope is dropped rather than killing the
+    session -- the request itself is still well-formed without it.
+    """
+    raw = frame.pop(TRACE_KEY, None)
+    if not isinstance(raw, dict):
+        return None
+    trace_id = raw.get("id")
+    parent = raw.get("parent")
+    sampled = raw.get("sampled", True)
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    if parent is not None and (not isinstance(parent, int)
+                               or isinstance(parent, bool)):
+        return None
+    if not isinstance(sampled, bool):
+        return None
+    return {"id": trace_id, "parent": parent, "sampled": sampled}
 
 
 # ----------------------------------------------------------------------

@@ -215,3 +215,62 @@ class TestDriver:
         assert lint_repro.main([str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "bad.py:2: X101" in out
+
+
+class TestMetricLabelCardinality:
+    """E003: metric labels must come from a closed vocabulary.
+
+    A per-session or per-trace label value mints a new Prometheus
+    series per session -- a cardinality leak that grows without
+    bound.  Identity-shaped data belongs in trace events or the
+    flight recorder, never in metric labels.
+    """
+
+    def test_unbounded_label_on_inc_is_flagged(self, tmp_path):
+        source = ("metrics.counter('kills').inc("
+                  "session=session_id)\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["E003"]
+
+    def test_unbounded_label_flagged_even_off_a_variable(
+            self, tmp_path):
+        # The receiver is a plain name, not a factory chain, but
+        # `trace_id` is on the always-forbidden list.
+        source = "counter.inc(trace_id=tid)\n"
+        assert _codes(_lint_source(tmp_path, source)) == ["E003"]
+
+    def test_unknown_label_off_factory_chain_is_flagged(
+            self, tmp_path):
+        source = ("metrics.counter('hits').inc("
+                  "shard_name=name)\n")
+        findings = _lint_source(tmp_path, source)
+        assert _codes(findings) == ["E003"]
+        assert "closed label vocabulary" in findings[0].message
+
+    def test_unknown_label_on_gauge_set_is_flagged(self, tmp_path):
+        source = ("metrics.gauge('depth').set(3, "
+                  "widget=widget_id)\n")
+        assert _codes(_lint_source(tmp_path, source)) == ["E003"]
+
+    def test_bounded_labels_pass(self, tmp_path):
+        source = ("metrics.counter('kills').inc(reason='idle')\n"
+                  "metrics.histogram('ms').observe(5.0, op='fill')\n"
+                  "metrics.gauge('n').set(2, counter='requests')\n")
+        assert _lint_source(tmp_path, source) == []
+
+    def test_event_set_is_not_a_metric_write(self, tmp_path):
+        # threading.Event.set() shares a method name with Gauge.set;
+        # without a factory chain and without kwargs it must not trip.
+        source = "stop.set()\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_unknown_label_off_plain_receiver_passes(self, tmp_path):
+        # Off a plain variable the vocabulary check stays quiet (we
+        # cannot know it is an instrument); only the always-forbidden
+        # identity labels are flagged there.
+        source = "thing.set(1, shard_name=name)\n"
+        assert _lint_source(tmp_path, source) == []
+
+    def test_suppression_comment_silences_e003(self, tmp_path):
+        source = ("metrics.counter('kills').inc("
+                  "session=sid)  # lint: allow=E003\n")
+        assert _lint_source(tmp_path, source) == []

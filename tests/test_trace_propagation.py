@@ -1,0 +1,445 @@
+"""Cross-process trace propagation over LXP (the PR 9 tentpole).
+
+The claim under test: a client session whose tracer is armed stamps
+``(trace_id, parent_span_id, sampled)`` onto every request frame, the
+daemon adopts it as the causal parent of its ``server.request``
+spans, and :func:`~repro.runtime.observability.merge_traces` over the
+two JSONL exports reconstructs ONE forest in which every piece of
+server work hangs under the client navigation that caused it --
+zero orphans, zero contract violations, and fill counts that
+reconcile exactly between :class:`~repro.client.remote.ChannelStats`
+and :class:`~repro.server.daemon.ServerStats`.
+
+Equally load-bearing: the *default* path (idle tracer) ships no
+envelope at all -- frames are byte-identical to a traceless build and
+the ``uuid`` module is never even imported (proven in a subprocess,
+PR 6/8 style).
+
+The merged stream is locked down as a golden file
+(``tests/golden/cross_process_merged.jsonl``); regenerate after an
+intentional change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_trace_propagation.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.bench.workloads import homes_and_schools
+from repro.mediator.mix import MIXMediator
+from repro.navigation.materialized import MaterializedDocument
+from repro.runtime.config import EngineConfig
+from repro.runtime.context import ExecutionContext, Tracer
+from repro.runtime.observability import (
+    build_span_tree,
+    contract_violations,
+    load_jsonl,
+    merge_traces,
+    sample_trace,
+)
+from repro.server import MediatorServer, connect
+from repro.server.wire import (
+    TRACE_KEY,
+    decode_trace_context,
+    encode_trace_context,
+    recv_frame,
+    send_frame,
+)
+from repro.testing.faults import FakeClock
+
+from .test_server_sessions import QUERY, wait_until
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+GOLDEN = GOLDEN_DIR / "cross_process_merged.jsonl"
+REGEN = os.environ.get("REGEN_GOLDEN") == "1"
+
+
+def _make_traced_server(n_homes=3):
+    """A daemon whose mediator records a deterministic trace."""
+    clock = FakeClock()
+    tracer = Tracer(record=True, clock=clock)
+    config = EngineConfig(serve_port=0)
+    mediator = MIXMediator(config, tracer=tracer, clock=clock)
+    tree = homes_and_schools(n_homes)["homesSrc"]
+    mediator.register_source("homesSrc", MaterializedDocument(tree))
+    server = MediatorServer(mediator, clock=clock)
+    host, port = server.start()
+    return server, host, port, tracer
+
+
+# ----------------------------------------------------------------------
+# the wire envelope
+# ----------------------------------------------------------------------
+
+class TestWireEnvelope:
+    def test_roundtrip(self):
+        frame = {"op": "fill", "hole": 3,
+                 TRACE_KEY: encode_trace_context("t-1", 12, True)}
+        context = decode_trace_context(frame)
+        assert context == {"id": "t-1", "parent": 12, "sampled": True}
+        assert TRACE_KEY not in frame  # popped in place
+
+    def test_parent_may_be_none(self):
+        frame = {TRACE_KEY: encode_trace_context("t-1", None, False)}
+        context = decode_trace_context(frame)
+        assert context == {"id": "t-1", "parent": None,
+                           "sampled": False}
+
+    def test_absent_context_is_none(self):
+        assert decode_trace_context({"op": "fill"}) is None
+
+    @pytest.mark.parametrize("bad", [
+        "not-a-dict",
+        {"parent": 1, "sampled": True},            # no id
+        {"id": "", "parent": 1, "sampled": True},  # empty id
+        {"id": 7, "parent": 1, "sampled": True},   # non-string id
+        {"id": "t", "parent": "x", "sampled": True},
+        {"id": "t", "parent": True, "sampled": True},  # bool parent
+        {"id": "t", "parent": 1, "sampled": "yes"},
+    ])
+    def test_malformed_contexts_are_dropped_not_fatal(self, bad):
+        """Tolerant decoding: observability never kills a session."""
+        frame = {"op": "fill", TRACE_KEY: bad}
+        assert decode_trace_context(frame) is None
+        assert TRACE_KEY not in frame
+
+    def test_sampled_defaults_true(self):
+        frame = {TRACE_KEY: {"id": "t-1", "parent": None}}
+        context = decode_trace_context(frame)
+        assert context is not None and context["sampled"] is True
+
+
+# ----------------------------------------------------------------------
+# deterministic sampling
+# ----------------------------------------------------------------------
+
+class TestSampling:
+    def test_rate_bounds(self):
+        assert sample_trace("anything", 1.0) is True
+        assert sample_trace("anything", 0.0) is False
+
+    def test_deterministic_per_trace_id(self):
+        """The same id gets the same verdict everywhere -- that is
+        what lets one decision govern both processes."""
+        for trace_id in ("t-%d" % i for i in range(50)):
+            first = sample_trace(trace_id, 0.3)
+            assert all(sample_trace(trace_id, 0.3) == first
+                       for _ in range(3))
+
+    def test_rate_is_roughly_honored(self):
+        verdicts = [sample_trace("trace-%d" % i, 0.2)
+                    for i in range(2000)]
+        fraction = sum(verdicts) / len(verdicts)
+        assert 0.1 < fraction < 0.3
+
+    def test_monotone_in_rate(self):
+        """A trace sampled at rate r stays sampled at any r' > r."""
+        for i in range(100):
+            trace_id = "mono-%d" % i
+            if sample_trace(trace_id, 0.1):
+                assert sample_trace(trace_id, 0.5)
+                assert sample_trace(trace_id, 0.9)
+
+    def test_sampled_out_tracer_goes_quiet(self):
+        tracer = Tracer(record=True, trace_id="t-x")
+        assert tracer.configured and tracer.active
+        tracer.sampled = False
+        assert tracer.configured and not tracer.active
+        tracer.emit("trace", "sample", rate=0.0)
+        tracer.emit("source", "d")
+        with tracer.span("client", "down"):
+            pass
+        assert tracer.events == []
+
+    def test_tracer_sample_applies_hash_verdict(self):
+        tracer = Tracer(record=True, trace_id="t-verdict")
+        verdict = tracer.sample(0.25)
+        assert verdict == sample_trace("t-verdict", 0.25)
+        assert tracer.sampled is verdict
+
+
+# ----------------------------------------------------------------------
+# the default path ships nothing
+# ----------------------------------------------------------------------
+
+class TestDefaultPathUnchanged:
+    def test_untraced_channel_frames_carry_no_envelope(self):
+        """With an idle tracer the request frames are byte-identical
+        to a traceless build: no 'trace' key, ever."""
+        from repro.server.client import SocketChannel
+
+        left, right = socket.socketpair()
+        seen = []
+
+        def echo():
+            right.settimeout(5.0)
+            while True:
+                frame = recv_frame(right)
+                if frame is None or frame.get("op") == "close":
+                    return
+                seen.append(frame)
+                send_frame(right, {"ok": True, "fragments": []})
+
+        thread = threading.Thread(target=echo, daemon=True)
+        thread.start()
+        try:
+            channel = SocketChannel(left, root_wire_id=1,
+                                    timeout_ms=5000.0)
+            channel.fill(1)
+            channel.fill(1)
+        finally:
+            left.close()
+            thread.join(5.0)
+        assert len(seen) == 2
+        for frame in seen:
+            assert TRACE_KEY not in frame
+            assert sorted(frame) == ["hole", "op"]
+
+    def test_traced_channel_frames_carry_envelope(self):
+        server, host, port, _ = _make_traced_server()
+        try:
+            tracer = Tracer(record=True, clock=FakeClock(),
+                            trace_id="t-envelope")
+            context = ExecutionContext(EngineConfig(), tracer=tracer)
+            with connect(host, port, QUERY,
+                         context=context) as session:
+                session.root.first_child()
+            adopted = [e for e in server.tracer.events
+                       if e.layer == "trace" and e.event == "adopt"]
+            assert len(adopted) == 1
+            assert adopted[0].data["trace_id"] == "t-envelope"
+            assert adopted[0].data["sampled"] is True
+        finally:
+            server.drain()
+
+    def test_default_run_never_imports_uuid(self):
+        """Subprocess proof (PR 6/8 style): a full remote session on
+        a default config leaves ``uuid`` unimported -- the lazy
+        import inside ``ensure_trace_id`` is the only way in."""
+        script = r"""
+import sys
+from repro.bench.workloads import homes_and_schools
+from repro.mediator.mix import MIXMediator
+from repro.navigation.materialized import MaterializedDocument
+from repro.runtime.config import EngineConfig
+from repro.server import MediatorServer, connect
+
+QUERY = '''
+CONSTRUCT <result> <home> $A {$A} </home> {$H} </result> {}
+WHERE homesSrc homes.home $H AND $H addr._ $A
+'''
+mediator = MIXMediator(EngineConfig(serve_port=0))
+tree = homes_and_schools(3)["homesSrc"]
+mediator.register_source("homesSrc", MaterializedDocument(tree))
+server = MediatorServer(mediator)
+host, port = server.start()
+try:
+    with connect(host, port, QUERY) as session:
+        session.root.to_tree()
+finally:
+    server.drain()
+assert "uuid" not in sys.modules, "default path imported uuid"
+print("NO-UUID-OK")
+"""
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).parent.parent / "src")
+        env["PYTHONPATH"] = src
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True,
+                              timeout=120, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "NO-UUID-OK" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# the merged cross-process forest
+# ----------------------------------------------------------------------
+
+def _traced_remote_run():
+    """One fully traced remote session; returns everything both
+    sides observed."""
+    server, host, port, server_tracer = _make_traced_server()
+    try:
+        client_tracer = Tracer(record=True, clock=FakeClock(),
+                               trace_id="t-golden")
+        context = ExecutionContext(EngineConfig(),
+                                   tracer=client_tracer)
+        with connect(host, port, QUERY, context=context) as session:
+            answer = session.root.to_tree()
+            channel_stats = session.stats.snapshot()
+        wait_until(lambda: server.active_sessions == 0,
+                   message="session teardown")
+        server_stats = server.stats.snapshot()
+        server_events = list(server_tracer.events)
+    finally:
+        server.drain()
+    return (answer, channel_stats, server_stats,
+            list(client_tracer.events), server_events)
+
+
+def _normalized_merge(client_events, server_events):
+    merged = merge_traces(client_events, server_events)
+    for record in merged:
+        # The only nondeterministic payload: the ephemeral port.
+        if record.layer == "server" and record.event == "listen":
+            record.data["port"] = 0
+    return merged
+
+
+class TestCrossProcessForest:
+    def test_merged_exports_form_one_rooted_forest(self):
+        (answer, channel_stats, server_stats,
+         client_events, server_events) = _traced_remote_run()
+        assert answer.label == "result"
+
+        merged = _normalized_merge(client_events, server_events)
+        forest = build_span_tree(merged)
+
+        # The tentpole acceptance: zero orphans, zero violations.
+        assert forest.orphans == []
+        assert contract_violations(merged) == []
+        assert forest.roots, "no spans reconstructed at all"
+
+        # Every adopted server.request span sits under the client
+        # span that issued the request.
+        adopted = [node for node in forest.spans.values()
+                   if node.layer == "server"
+                   and node.name == "request"
+                   and "client_parent" in node.data]
+        assert adopted, "no server.request span adopted the context"
+        client_ids = {event.span_id for event in client_events
+                      if event.span_id is not None}
+        for node in adopted:
+            assert node.parent_id in client_ids
+            assert node.data["trace_id"] == "t-golden"
+
+    def test_fill_counts_reconcile_exactly(self):
+        (_, channel_stats, server_stats,
+         client_events, server_events) = _traced_remote_run()
+
+        merged = _normalized_merge(client_events, server_events)
+        forest = build_span_tree(merged)
+        fill_spans = [node for node in forest.spans.values()
+                      if node.layer == "server"
+                      and node.name == "request"
+                      and node.data.get("op") == "fill"]
+        round_trips = [event for event in client_events
+                       if event.layer == "channel"
+                       and event.event == "round_trip"]
+
+        # ChannelStats <-> ServerStats <-> the merged trace, all
+        # telling the same story.
+        assert channel_stats["messages"] == server_stats["fills"]
+        assert len(fill_spans) == server_stats["fills"]
+        assert len(round_trips) == channel_stats["messages"]
+        assert server_stats["requests"] == (
+            server_stats["fills"] + 2)  # + open + close
+        assert server_stats["sessions_opened"] == 1
+
+    def test_merged_stream_matches_golden(self):
+        (_, _, _, client_events,
+         server_events) = _traced_remote_run()
+        merged = _normalized_merge(client_events, server_events)
+        lines = [json.dumps(record.to_dict(), sort_keys=True)
+                 for record in merged]
+        text = "\n".join(lines) + "\n"
+        if REGEN:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            GOLDEN.write_text(text)
+            return
+        if not GOLDEN.exists():
+            pytest.fail("golden file %s missing -- run with "
+                        "REGEN_GOLDEN=1" % GOLDEN)
+        assert text.splitlines() == GOLDEN.read_text().splitlines(), (
+            "merged cross-process trace diverged from %s -- if "
+            "intentional, regenerate with REGEN_GOLDEN=1"
+            % GOLDEN.name)
+
+    def test_golden_file_reloads_into_the_same_forest(self):
+        """The checked-in golden is itself a valid export: loading
+        it back yields a rooted forest with no violations."""
+        if not GOLDEN.exists():
+            pytest.skip("golden not generated yet")
+        records = load_jsonl(str(GOLDEN))
+        assert records, "golden export is empty"
+        forest = build_span_tree(records)
+        assert forest.orphans == []
+        assert contract_violations(records) == []
+
+    def test_sampled_out_trace_records_nothing_on_either_side(self):
+        """rate=0.0 forces sampled=False: the client sends the
+        envelope with the verdict, and the *server* suppresses its
+        spans too -- one decision, both processes."""
+        server, host, port, server_tracer = _make_traced_server()
+        try:
+            baseline = len(server_tracer.events)
+            client_tracer = Tracer(record=True, clock=FakeClock(),
+                                   trace_id="t-dark")
+            context = ExecutionContext(
+                EngineConfig(trace_sample_rate=0.0),
+                tracer=client_tracer)
+            with connect(host, port, QUERY,
+                         context=context) as session:
+                session.root.first_child()
+            wait_until(lambda: server.active_sessions == 0,
+                       message="session teardown")
+            assert client_tracer.sampled is False
+            # Client side went quiet after the verdict.
+            assert [e for e in client_tracer.events
+                    if e.layer == "channel"] == []
+            # Server side: no server.request span carries this trace.
+            new = server_tracer.events[baseline:]
+            assert [e for e in new
+                    if e.data.get("trace_id") == "t-dark"] == []
+        finally:
+            server.drain()
+
+
+class TestTraceMergeCLI:
+    def test_repro_trace_merge_verb(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.runtime.observability import export_jsonl
+
+        (_, _, _, client_events,
+         server_events) = _traced_remote_run()
+        client_path = tmp_path / "client.jsonl"
+        server_path = tmp_path / "server.jsonl"
+        export_jsonl(client_events, str(client_path))
+        export_jsonl(server_events, str(server_path))
+        out_path = tmp_path / "merged.jsonl"
+
+        code = main(["trace", "merge", str(client_path),
+                     str(server_path), "-o", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace merge:" in out
+        assert "orphans" not in out
+
+        records = load_jsonl(str(out_path))
+        assert build_span_tree(records).orphans == []
+
+    def test_merge_exits_nonzero_on_orphans(self, tmp_path, capsys):
+        from repro.cli import main
+
+        orphan = {"layer": "server", "event": "request.begin",
+                  "data": {}, "span_id": 5, "parent_id": 99,
+                  "ts_ms": 0.0, "thread": 1}
+        ended = dict(orphan, event="request.end")
+        server_path = tmp_path / "server.jsonl"
+        server_path.write_text(json.dumps(orphan) + "\n"
+                               + json.dumps(ended) + "\n")
+        client_path = tmp_path / "client.jsonl"
+        client_path.write_text("")
+        code = main(["trace", "merge", str(client_path),
+                     str(server_path)])
+        assert code == 1
+        assert "orphans" in capsys.readouterr().out

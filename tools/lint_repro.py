@@ -25,6 +25,19 @@ E002  non-literal-event-name
     the contract is checkable; the few deliberate forwarding seams
     carry an inline suppression.
 
+E003  unbounded-metric-label
+    Label keyword arguments on metric writes (``.inc(...)`` /
+    ``.set(...)`` / ``.observe(...)``) must come from a small closed
+    vocabulary.  A label whose value space grows with traffic --
+    session ids, trace ids, hole ids, peer addresses, query text --
+    makes the registry (and any scraping Prometheus) grow without
+    bound; put such values in trace events or the flight recorder
+    instead.  Two shapes are flagged: a write chained directly off
+    ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` with any
+    keyword outside the vocabulary, and *any* ``inc``/``set``/
+    ``observe`` call with a keyword from the known-unbounded list
+    (``session``, ``trace_id``, ``peer``, ``query``, ...).
+
 X100  bare-except
     ``except:`` swallows ``KeyboardInterrupt``/``SystemExit``; name
     the exception class.
@@ -292,6 +305,64 @@ def _check_event_names(path: Path, tree: ast.Module,
 
 
 # ----------------------------------------------------------------------
+# E003: unbounded metric label values
+# ----------------------------------------------------------------------
+
+#: metric write methods whose keywords are label names
+_METRIC_WRITE_METHODS = frozenset({"inc", "set", "observe"})
+
+#: metric factory methods -- a write chained off one of these is
+#: unambiguously a metric write (not e.g. threading.Event.set)
+_METRIC_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: the closed label vocabulary: low-cardinality dimensions only
+_BOUNDED_LABELS = frozenset({
+    "op", "reason", "source", "channel", "cache", "buffer",
+    "counter", "kind", "phase", "outcome", "pattern", "code",
+    "method", "command", "event",
+})
+
+#: label names whose values grow with traffic, wherever they appear
+_UNBOUNDED_LABELS = frozenset({
+    "session", "session_id", "trace", "trace_id", "span", "span_id",
+    "peer", "address", "hole", "wire_id", "query", "detail",
+})
+
+
+def _check_metric_labels(path: Path, tree: ast.Module
+                         ) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_WRITE_METHODS):
+            continue
+        receiver = node.func.value
+        chained_off_factory = (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Attribute)
+            and receiver.func.attr in _METRIC_FACTORY_METHODS)
+        for keyword in node.keywords:
+            label = keyword.arg
+            if label is None:
+                continue  # **kwargs forwarding seam
+            if label in _UNBOUNDED_LABELS:
+                findings.append(Finding(
+                    path, node.lineno, "E003",
+                    "metric label %r has unbounded cardinality; "
+                    "emit it as a trace event or flight-recorder "
+                    "field instead" % label))
+            elif chained_off_factory \
+                    and label not in _BOUNDED_LABELS:
+                findings.append(Finding(
+                    path, node.lineno, "E003",
+                    "metric label %r is outside the closed label "
+                    "vocabulary %s" % (label,
+                                       sorted(_BOUNDED_LABELS))))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # X100/X101: bare except and real sleeps
 # ----------------------------------------------------------------------
 
@@ -396,6 +467,7 @@ def lint_file(path: Path, event_names: Dict[str, Dict[str, tuple]]
     allowed = _suppressions(source.splitlines())
     findings = (_check_lock_consistency(path, tree)
                 + _check_event_names(path, tree, event_names)
+                + _check_metric_labels(path, tree)
                 + _check_hygiene(path, tree)
                 + _check_socket_timeouts(path, tree))
     return [f for f in findings
