@@ -32,6 +32,7 @@ import struct
 import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+from ..runtime.locks import make_lock
 
 __all__ = ["SessionOutcome", "LoadReport", "run_session", "run_load",
            "percentile", "PATTERNS"]
@@ -373,7 +374,7 @@ def run_load(host: str, port: int, query: str,
     outcomes = [SessionOutcome(i, patterns[i % len(patterns)])
                 for i in range(sessions)]
     cursor = {"next": 0}
-    cursor_lock = threading.Lock()
+    cursor_lock = make_lock("loadgen.cursor")
 
     def worker() -> None:
         while True:

@@ -16,7 +16,6 @@ holes as it goes.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -32,6 +31,7 @@ from .holes import (
     validate_fill_reply,
 )
 from .lxp import LXPServer
+from ..runtime.locks import make_rlock
 
 __all__ = ["BufferComponent", "BufferStats"]
 
@@ -102,7 +102,7 @@ class BufferComponent(NavigableDocument):
         #: the concurrent subclasses (async prefetch) splice worker
         #: results through the same lock.  Re-entrant: a splice may
         #: happen inside a navigation that already holds it.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("buffer.component")
 
     @classmethod
     def prefilled(cls, tree: Tree, tracer=None,
@@ -114,10 +114,14 @@ class BufferComponent(NavigableDocument):
         hole-free subtree, so every later navigation is a buffer hit
         and no fill (hence no source navigation) can ever happen.
         """
+        # No lock: the buffer is thread-confined until returned (the
+        # same reasoning that exempts __init__).  Taking it here put
+        # buffer.component under pushdown.document in the lock-order
+        # graph and closed a name-level cycle with the demand-fill
+        # path (L010).
         buffer = cls(_PrefilledServer(), tracer=tracer, name=name)
-        with buffer._lock:
-            root = graft(fragment_of_tree(tree), buffer._top)
-            buffer._top.children = [root]
+        root = graft(fragment_of_tree(tree), buffer._top)
+        buffer._top.children = [root]
         return buffer
 
     # -- splicing --------------------------------------------------------
@@ -169,6 +173,9 @@ class BufferComponent(NavigableDocument):
         with self._lock:
             if self._root is None:
                 self.stats.navigations += 1
+                # demand fills run under the open-tree lock by
+                # design; see BLOCKING_HOLD_ALLOWED
+                # lint: allow=L011,L012
                 root = self._chase_elem_at(self._top, 0)
                 if root is None:
                     raise LXPProtocolError(
@@ -180,6 +187,9 @@ class BufferComponent(NavigableDocument):
         with self._lock:
             self.stats.navigations += 1
             before = self.stats.fills
+            # demand fills run under the open-tree lock by
+            # design; see BLOCKING_HOLD_ALLOWED
+            # lint: allow=L011,L012
             result = self._chase_elem_at(pointer, 0)
             if self.stats.fills == before:
                 self.stats.hits += 1
@@ -197,6 +207,9 @@ class BufferComponent(NavigableDocument):
                 self.stats.hits += 1
                 return None
             index = pointer.index_in_parent()
+            # demand fills run under the open-tree lock by
+            # design; see BLOCKING_HOLD_ALLOWED
+            # lint: allow=L011,L012
             result = self._chase_elem_at(parent, index + 1)
             if self.stats.fills == before:
                 self.stats.hits += 1

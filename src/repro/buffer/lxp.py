@@ -22,7 +22,6 @@ in the id, so the server keeps no per-hole table.
 from __future__ import annotations
 
 import random
-import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -30,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..runtime.config import validate_granularity
 from ..xtree.tree import Tree
 from .holes import FragElem, FragHole, Fragment, LXPProtocolError
+from ..runtime.locks import make_lock
 
 __all__ = ["LXPServer", "LXPStats", "TreeLXPServer",
            "AdaptiveTreeLXPServer", "RandomizedLXPServer",
@@ -50,7 +50,7 @@ class LXPStats:
 
     def __post_init__(self) -> None:
         # Not a dataclass field: equality/repr stay value-based.
-        self.lock = threading.Lock()
+        self.lock = make_lock("lxp.stats")
         # Optional observability hookup (not dataclass fields for the
         # same reason): when a MetricsRegistry is attached, every
         # measured reply also feeds the lxp_* metric series, labelled

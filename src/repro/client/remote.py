@@ -23,7 +23,6 @@ fragment protocol's advantage.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -40,6 +39,7 @@ from ..runtime.config import validate_granularity
 from ..runtime.context import ExecutionContext
 from ..runtime.resilience import Clock, resilient_server
 from .element import XMLElement
+from ..runtime.locks import make_lock
 
 __all__ = ["NavigableLXPServer", "MessageChannel", "MeteredTransport",
            "ChannelStats", "RPCDocument", "connect_remote",
@@ -141,7 +141,7 @@ class ChannelStats:
 
     def __post_init__(self) -> None:
         # Not a dataclass field: equality/repr stay value-based.
-        self.lock = threading.Lock()
+        self.lock = make_lock("channel.stats")
 
     def snapshot(self) -> dict:
         """A consistent point-in-time copy of the counters, taken

@@ -32,7 +32,6 @@ request each instead of navigation-by-navigation.
 
 from __future__ import annotations
 
-import threading
 import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -60,6 +59,7 @@ __all__ = ["MIXMediator", "MediatorError", "MediatorWarning",
 
 
 from ..errors import ReproError
+from ..runtime.locks import make_lock
 
 
 class MediatorError(ReproError):
@@ -351,7 +351,7 @@ class MIXMediator:
         #: serializes catalog registration: concurrent sessions may
         #: register sources on a shared mediator, and the name-clash
         #: check must be atomic with the insert
-        self._catalog_lock = threading.Lock()
+        self._catalog_lock = make_lock("mediator.catalog")
 
     # -- config compatibility views ----------------------------------------
     @property

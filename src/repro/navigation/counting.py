@@ -9,12 +9,12 @@ yields exactly the measurements the browsability experiments need.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .commands import LabelPredicate
 from .interface import NavigableDocument
+from ..runtime.locks import make_rlock
 
 if False:  # pragma: no cover - import cycle guard, typing only
     from ..runtime.context import Tracer
@@ -103,11 +103,20 @@ class CountingDocument(NavigableDocument):
         #: guards counters and the command log: with fan-out and
         #: prefetch workers, one meter is crossed by several threads.
         #: Re-entrant because a tracer callback may itself navigate.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("source.meter")
 
-    def _note(self, command: str, pointer) -> None:
+    def _note_locked(self, command: str, pointer) -> None:
+        """Record the command in the log; the caller holds the lock."""
         if self.log:
             self.trace.append((command, pointer))
+
+    def _publish(self, command: str) -> None:
+        """Tracer/metrics fan-out -- called *outside* the meter lock.
+
+        Both sinks run foreign code (tracer subscribers, metric
+        factories); invoking them while holding the meter RLock puts
+        every subscriber under this lock in the order graph (L012).
+        """
         if self.tracer is not None and self.tracer.active:
             # lint: allow=E002 -- command is "d"/"r"/"f"/"select"
             self.tracer.emit("source", command, source=self.name)
@@ -125,25 +134,29 @@ class CountingDocument(NavigableDocument):
     def down(self, pointer):
         with self._lock:
             self.counters.down += 1
-            self._note("d", pointer)
+            self._note_locked("d", pointer)
+        self._publish("d")
         return self.inner.down(pointer)
 
     def right(self, pointer):
         with self._lock:
             self.counters.right += 1
-            self._note("r", pointer)
+            self._note_locked("r", pointer)
+        self._publish("r")
         return self.inner.right(pointer)
 
     def fetch(self, pointer) -> str:
         with self._lock:
             self.counters.fetch += 1
-            self._note("f", pointer)
+            self._note_locked("f", pointer)
+        self._publish("f")
         return self.inner.fetch(pointer)
 
     def select(self, pointer, predicate: LabelPredicate):
         with self._lock:
             self.counters.select += 1
-            self._note("select", pointer)
+            self._note_locked("select", pointer)
+        self._publish("select")
         return self.inner.select(pointer, predicate)
 
     # -- measurement helpers ----------------------------------------------

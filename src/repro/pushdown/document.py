@@ -12,13 +12,13 @@ the single native round trip is a buffer hit.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Optional
 
 from ..buffer.component import BufferComponent
 from ..navigation.interface import NavigableDocument
 from ..runtime.context import ExecutionContext
 from .plan import PushedSource
+from ..runtime.locks import make_lock
 
 __all__ = ["PushedSourceDocument"]
 
@@ -31,7 +31,7 @@ class PushedSourceDocument(NavigableDocument):
         self._node = node
         self._context = context
         self._buffer: Optional[BufferComponent] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("pushdown.document")
 
     @property
     def executed(self) -> bool:
@@ -47,6 +47,10 @@ class PushedSourceDocument(NavigableDocument):
                 node = self._node
                 context = self._context
                 if context is not None:
+                    # the native request is single-flighted under
+                    # the document lock; the span/tracer fan-out
+                    # rides inside deliberately
+                    # lint: allow=L012
                     with context.span("pushdown", "execute",
                                       url=node.compiled.url):
                         tree = node.server.push(node.request)

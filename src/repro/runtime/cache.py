@@ -27,10 +27,10 @@ Two cache kinds exist:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
+from .locks import make_rlock
 
 __all__ = ["MISS", "CacheStats", "ManagedCache", "CacheManager"]
 
@@ -175,7 +175,7 @@ class CacheManager:
         #: global LRU over memo entries: (cache id, key) -> None
         self._lru: "OrderedDict" = OrderedDict()
         self.evictions = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cache.manager")
 
     # -- registration -----------------------------------------------------
     def cache(self, name: str, kind: str = "memo") -> ManagedCache:

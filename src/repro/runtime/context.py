@@ -36,6 +36,7 @@ from .cache import CacheManager
 from .config import EngineConfig
 from .observability import MetricsRegistry
 from .parallel import FanoutDispatcher
+from .locks import make_lock
 
 __all__ = ["TraceEvent", "Tracer", "ExecutionContext"]
 
@@ -140,7 +141,7 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self.trace_id = trace_id
         self.sampled = True
-        self._lock = threading.Lock()
+        self._lock = make_lock("trace.tracer")
         self._clock = clock
         self._span_ids = itertools.count(1)
         self._tls = threading.local()
@@ -362,7 +363,7 @@ class ExecutionContext:
         #: guards the registries: buffers and channels register from
         #: whichever thread opens them (fan-out tasks, prefetch
         #: workers), and names are minted from registry sizes
-        self._registry_lock = threading.Lock()
+        self._registry_lock = make_lock("context.registry")
         self._fanout: Optional[FanoutDispatcher] = None
         #: per-kind serial numbers behind :meth:`mint_operator_name`
         self._operator_serials: Dict[str, int] = {}

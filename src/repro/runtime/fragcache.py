@@ -61,6 +61,7 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
 from ..buffer.holes import FragHole, Fragment
 from ..buffer.lxp import LXPServer, reply_holes
 from ..xtree.tree import Tree
+from .locks import make_lock
 
 __all__ = [
     "FragmentKey", "FragcacheStats", "FragmentStore",
@@ -84,7 +85,7 @@ class FragcacheStats:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("fragcache.stats")
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -152,7 +153,7 @@ class _Shard:
     """
 
     def __init__(self) -> None:
-        self.lock = threading.Lock()
+        self.lock = make_lock("fragcache.shard")
         self.entries: Dict[FragmentKey, _Entry] = {}
         self.views: Dict[str, _ViewEntry] = {}
         self.inflight: Dict[FragmentKey, threading.Event] = {}
@@ -213,25 +214,38 @@ class FragmentStore:
         """
         shard = self._shard_of(key)
         while True:
+            # Observer callbacks are foreign code: collect outcomes
+            # under the lock, invoke them after it is released (the
+            # entry check and in-flight registration stay atomic).
+            outcomes: List[str] = []
+            hit: Optional[List[Fragment]] = None
+            waiter = None
             with shard.lock:
                 entry = shard.entries.get(key)
                 if entry is not None:
                     if entry.version == version:
                         self.stats.count("hit")
-                        if observer is not None:
-                            observer("hit")
-                        return list(entry.fragments)
-                    # The source snapshot advanced past this entry:
-                    # drop it and fall through to a producing miss.
-                    del shard.entries[key]
-                    self.stats.count("invalidate")
-                    if observer is not None:
-                        observer("invalidate")
-                waiter = shard.inflight.get(key)
-                if waiter is None:
-                    event = threading.Event()
-                    shard.inflight[key] = event
-                    break
+                        outcomes.append("hit")
+                        hit = list(entry.fragments)
+                    else:
+                        # The source snapshot advanced past this
+                        # entry: drop it and fall through to a
+                        # producing miss.
+                        del shard.entries[key]
+                        self.stats.count("invalidate")
+                        outcomes.append("invalidate")
+                if hit is None:
+                    waiter = shard.inflight.get(key)
+                    if waiter is None:
+                        event = threading.Event()
+                        shard.inflight[key] = event
+            if observer is not None:
+                for outcome in outcomes:
+                    observer(outcome)
+            if hit is not None:
+                return hit
+            if waiter is None:
+                break
             # Another session is filling this key: wait outside the
             # lock, then re-check the entry table from the top.
             self.stats.count("wait")
@@ -334,7 +348,7 @@ class FragmentStore:
 # The process-wide shared store
 # ----------------------------------------------------------------------
 
-_shared_lock = threading.Lock()
+_shared_lock = make_lock("fragcache.store")
 _shared: Optional[FragmentStore] = None
 
 
@@ -384,7 +398,7 @@ class CachingLXPServer(LXPServer):
         self._version_of = version_of
         self._tracer = tracer
         #: guards the completion-harvest state below
-        self._lock = threading.Lock()
+        self._lock = make_lock("fragcache.harvest")
         self._root_id: Optional[object] = None
         self._last_version: Optional[object] = None
         self._replies: Dict[object, Tuple[Fragment, ...]] = {}

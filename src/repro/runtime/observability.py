@@ -41,12 +41,13 @@ import collections
 import itertools
 import json
 import os
-import threading
 import time
 import zlib
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Deque, Dict, Iterable, List,
                     Optional, Sequence, Tuple, cast)
+
+from .locks import make_lock, make_rlock
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -301,7 +302,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._lock = threading.RLock()
+        self._lock = make_rlock("metrics.registry")
         self._instruments: Dict[str, _Instrument] = {}
 
     def _get(self, name: str, factory: Callable,
@@ -309,6 +310,10 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
+                # the factory is one of the registry's own
+                # constructors (_Counter/_Gauge/_Histogram), never
+                # user code; it touches no locks
+                # lint: allow=L012
                 instrument = factory()
                 self._instruments[name] = instrument
             if help_text and not instrument.help:
@@ -678,7 +683,7 @@ class FlightRecorder:
         self.capacity = max(1, int(capacity))
         self.incident_dir = incident_dir
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("observability.recorder")
         self._ring: Deque[Dict[str, Any]] = collections.deque(
             maxlen=self.capacity)
         self._recorded = 0

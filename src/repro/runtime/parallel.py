@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, List, Optional
+from .locks import make_lock
 
 __all__ = ["FanoutDispatcher"]
 
@@ -56,7 +57,7 @@ class FanoutDispatcher:
         #: causal span tree of the navigation that dispatched them
         self.tracer = tracer
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("fanout.dispatcher")
         self._local = threading.local()
 
     @property

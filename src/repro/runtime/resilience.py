@@ -31,7 +31,6 @@ a fake clock without ever sleeping for real (see
 
 from __future__ import annotations
 
-import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -44,6 +43,7 @@ from ..errors import (
     is_transient,
 )
 from .config import ConfigError
+from .locks import make_lock, make_rlock
 
 __all__ = [
     "Clock", "MonotonicClock", "SYSTEM_CLOCK",
@@ -183,7 +183,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self._probing = False
-        self._lock = threading.RLock()
+        self._lock = make_rlock("resilience.breaker")
         #: lifetime transition counters (reported through stats)
         self.opens = 0
         self.short_circuits = 0
@@ -265,7 +265,7 @@ class ResilienceStats:
     retry_wait_ms: float = 0.0     # cumulative backoff waited
 
     def __post_init__(self) -> None:
-        self.lock = threading.Lock()
+        self.lock = make_lock("resilience.stats")
 
     def snapshot(self) -> dict:
         """A consistent copy of the counters, taken under the lock.

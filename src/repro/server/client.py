@@ -29,7 +29,6 @@ the same request at the same session cannot help).
 from __future__ import annotations
 
 import socket
-import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..buffer.holes import FragHole, Fragment
@@ -40,6 +39,7 @@ from ..buffer.lxp import LXPServer
 from ..runtime.config import EngineConfig
 from ..runtime.context import ExecutionContext, Tracer
 from ..runtime.resilience import Clock, resilient_server
+from ..runtime.locks import make_lock
 from .wire import (
     MAX_FRAME_BYTES,
     TRACE_KEY,
@@ -126,7 +126,7 @@ class SocketChannel(LXPServer):
         self.trace_id = trace_id
         self.sampled = sampled
         self.stats = ChannelStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("client.channel")
         self.closed = False
 
     # -- the round trip ----------------------------------------------------
@@ -145,8 +145,13 @@ class SocketChannel(LXPServer):
                                        "session already closed")
             self.sock.settimeout(self.timeout_ms / 1000.0)
             try:
+                # the channel mutex serializes whole round trips;
+                # every wire op is bounded by the settimeout above
+                # (see BLOCKING_HOLD_ALLOWED)
+                # lint: allow=L011
                 sent = send_frame(self.sock, request,
                                   self.max_frame_bytes)
+                # lint: allow=L011 -- same deadline-bounded round trip
                 reply, received = recv_frame_sized(self.sock,
                                                    self.max_frame_bytes)
             except (socket.timeout, ConnectionError, OSError,
@@ -236,8 +241,12 @@ class SocketChannel(LXPServer):
             self.closed = True
             try:
                 self.sock.settimeout(self.timeout_ms / 1000.0)
+                # close handshake under the channel mutex, bounded
+                # by the settimeout above
+                # lint: allow=L011
                 send_frame(self.sock, {"op": "close"},
                            self.max_frame_bytes)
+                # lint: allow=L011 -- same deadline-bounded handshake
                 recv_frame_sized(self.sock, self.max_frame_bytes)
             except (socket.timeout, OSError, WireError):
                 pass

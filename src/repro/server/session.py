@@ -22,7 +22,6 @@ runaway navigation is cut mid-request -- deterministically under a
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, Iterator, Optional
 
 from ..buffer.holes import fragment_wire_size
@@ -31,6 +30,7 @@ from ..errors import TransientSourceError
 from ..navigation.interface import NavigableDocument
 from ..runtime.resilience import SYSTEM_CLOCK, Clock
 from .wire import MalformedFrameError
+from ..runtime.locks import make_lock
 
 __all__ = ["HoleTable", "SessionBudgetError", "RequestDeadlineError",
            "DeadlineDocument", "Session"]
@@ -66,7 +66,7 @@ class HoleTable:
         self._to_wire: Dict[object, int] = {}
         self._to_hole: Dict[int, object] = {}
         self._serial = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("server.holes")
 
     def intern(self, hole_id: object) -> int:
         """The wire integer for ``hole_id`` (minted on first use)."""

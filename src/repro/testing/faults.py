@@ -18,11 +18,11 @@ be reproduced exactly, with zero real sleeps:
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, List, Optional, Union
 
 from ..errors import TransientSourceError
 from ..runtime.resilience import Clock
+from ..runtime.locks import make_lock
 
 __all__ = [
     "FakeClock", "FailureSchedule",
@@ -44,7 +44,7 @@ class FakeClock(Clock):
     def __init__(self, start_ms: float = 0.0):
         self._now = start_ms
         self.sleeps: List[float] = []
-        self._lock = threading.Lock()
+        self._lock = make_lock("testing.clock")
 
     def now_ms(self) -> float:
         with self._lock:
@@ -100,7 +100,7 @@ class FailureSchedule:
         #: one schedule may be consumed by several concurrent
         #: sessions; step consumption must be atomic so exactly the
         #: scripted number of failures is injected overall
-        self._lock = threading.Lock()
+        self._lock = make_lock("testing.schedule")
 
     @classmethod
     def first(cls, n: int, error=None) -> "FailureSchedule":
@@ -218,7 +218,7 @@ class VersionedLXPServer:
             server.stats = self.stats
             self._servers.append(server)
         self._version = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("testing.versioned")
 
     def snapshot_version(self) -> int:
         """The current snapshot epoch (0-based index)."""

@@ -152,14 +152,19 @@ class TestFindingsModel:
     def test_codes_documented_in_protocols(self):
         """Every registered code appears in the PROTOCOLS.md table
         with its registry severity and title -- and no ghost codes
-        are documented."""
+        are documented.  Scoped to the "Static diagnostics" section:
+        the repo linter's own codes live in "Concurrency discipline"
+        and have their own sync test."""
         text = (REPO / "docs" / "PROTOCOLS.md").read_text()
+        section = text.split("## Static diagnostics", 1)[1]
+        section = section.split("\n## ", 1)[0]
         for code, info in CODES.items():
             row = "| `%s` | %s | `%s` |" % (code, info.severity,
                                             info.title)
-            assert row in text, "PROTOCOLS.md missing/outdated: %s" % row
+            assert row in section, \
+                "PROTOCOLS.md missing/outdated: %s" % row
         import re
-        documented = set(re.findall(r"\| `([A-Z]\d{3})` \|", text))
+        documented = set(re.findall(r"\| `([A-Z]\d{3})` \|", section))
         assert documented == set(CODES)
 
 

@@ -1,0 +1,6 @@
+"""``python -m tools.lint`` entry point."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

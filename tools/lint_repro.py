@@ -1,498 +1,44 @@
 #!/usr/bin/env python
-"""Repo linter: concurrency and contract checks for ``src/repro``.
+"""Back-compat shim for the repo linter.
 
-A small AST-based linter enforcing three invariants that ordinary
-tests cannot see (they are about *all* call sites, not any one run):
+The linter grew into the :mod:`tools.lint` package (shared
+suppression engine, per-rule modules, and the interprocedural
+lock-order analysis).  This file keeps the historical entry point and
+symbols alive for CI and for tests that load it by file path:
 
-L001  lock-consistency
-    Inside a class that guards an attribute with a lock anywhere
-    (i.e. some method mutates ``self.attr`` under ``with self._lock``),
-    every other mutation of that same attribute must also happen under
-    a ``with`` on one of the class's locks.  ``__init__`` and
-    ``__post_init__`` are exempt (no concurrent observer exists yet),
-    as are helper methods whose name ends in ``_locked`` (called with
-    the lock already held, by convention).
+* ``python tools/lint_repro.py [ROOT ...]`` still works,
+* ``lint_file(path, event_names)``, ``_load_event_names(repo_root)``,
+  ``Finding`` and ``main`` are re-exported unchanged.
 
-E001  unknown-event-name
-    ``tracer.emit(layer, name)`` / ``tracer.span(layer, name)`` /
-    ``context.trace(layer, name)`` with literal arguments must use a
-    name registered in ``repro.runtime.observability.EVENT_NAMES``
-    (spans table for ``span``, events table for ``emit``/``trace``).
-    The golden traces and docs/PROTOCOLS.md key off these names.
+New capabilities (the lock-order graph dump, dynamic-vs-static
+containment) live on the package driver::
 
-E002  non-literal-event-name
-    The ``name`` argument of those calls must be a string literal so
-    the contract is checkable; the few deliberate forwarding seams
-    carry an inline suppression.
+    python -m tools.lint --lock-graph lockgraph.json
 
-E003  unbounded-metric-label
-    Label keyword arguments on metric writes (``.inc(...)`` /
-    ``.set(...)`` / ``.observe(...)``) must come from a small closed
-    vocabulary.  A label whose value space grows with traffic --
-    session ids, trace ids, hole ids, peer addresses, query text --
-    makes the registry (and any scraping Prometheus) grow without
-    bound; put such values in trace events or the flight recorder
-    instead.  Two shapes are flagged: a write chained directly off
-    ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` with any
-    keyword outside the vocabulary, and *any* ``inc``/``set``/
-    ``observe`` call with a keyword from the known-unbounded list
-    (``session``, ``trace_id``, ``peer``, ``query``, ...).
-
-X100  bare-except
-    ``except:`` swallows ``KeyboardInterrupt``/``SystemExit``; name
-    the exception class.
-
-X101  real-sleep
-    ``time.sleep`` outside the one sanctioned site (the ``SystemClock``
-    in ``runtime/resilience.py``) breaks the deterministic testing
-    clock and slows the suite.
-
-X102  unbounded-socket
-    Network calls must carry explicit timeouts; a forgotten one is an
-    unbounded hang (the exact failure mode the session server's
-    idle/slow-loris hardening exists to prevent).  Two shapes are
-    flagged: ``socket.create_connection(...)`` without a ``timeout=``
-    keyword, and any file that creates sockets (``socket.socket(...)``)
-    or accepts connections (``.accept()``) without ever calling
-    ``.settimeout(...)`` / ``socket.setdefaulttimeout(...)``.  Code
-    that only *uses* sockets handed to it (e.g. the wire codec) is
-    untouched.
-
-Suppression: a comment ``# lint: allow=CODE[,CODE]`` on the flagged
-line or the line directly above skips those codes for that line.
-
-Exit status: 0 when clean, 1 when any finding survives suppression.
-
-Usage::
-
-    python tools/lint_repro.py [ROOT ...]   # default: src/repro
+See ``tools/lint/__init__.py`` for the module map and
+docs/PROTOCOLS.md ("Concurrency discipline") for the L-code contract.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-_ALLOW_RE = re.compile(r"#\s*lint:\s*allow=([A-Z0-9,\s]+)")
+# Tests load this file by path (importlib spec_from_file_location),
+# in which case the repo root is not importable yet.
+_REPO_ROOT = str(Path(__file__).resolve().parent.parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
-#: Mutating method names on a container attribute (``self.x.append(..)``).
-_MUTATOR_METHODS = frozenset({
-    "append", "appendleft", "add", "extend", "insert", "update",
-    "setdefault", "pop", "popleft", "popitem", "remove", "discard",
-    "clear", "sort",
-})
+from tools.lint import (  # noqa: E402  (path setup must run first)
+    CODES, Finding, _load_event_names, lint_file, lint_file_hygiene,
+    load_event_names, main,
+)
 
-#: The one file allowed to call ``time.sleep`` (the real clock).
-_SLEEP_ALLOWED = ("runtime", "resilience.py")
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, code: str, message: str):
-        self.path = path
-        self.line = line
-        self.code = code
-        self.message = message
-
-    def render(self) -> str:
-        return "%s:%d: %s %s" % (self.path, self.line, self.code,
-                                 self.message)
-
-
-def _suppressions(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Line number -> codes allowed there (by same-line or
-    line-above ``# lint: allow=`` comments)."""
-    allowed: Dict[int, Set[str]] = {}
-    for idx, text in enumerate(source_lines, start=1):
-        match = _ALLOW_RE.search(text)
-        if match:
-            codes = {c.strip() for c in match.group(1).split(",")
-                     if c.strip()}
-            allowed.setdefault(idx, set()).update(codes)
-            allowed.setdefault(idx + 1, set()).update(codes)
-    return allowed
-
-
-# ----------------------------------------------------------------------
-# L001: lock-consistency
-# ----------------------------------------------------------------------
-
-def _self_attr(node: ast.AST) -> Optional[str]:
-    """The attribute name if ``node`` is ``self.<attr>`` (possibly
-    through a subscript), else None."""
-    while isinstance(node, ast.Subscript):
-        node = node.value
-    if (isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "self"):
-        return node.attr
-    return None
-
-
-def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
-    """Attributes assigned a ``threading.Lock()``/``RLock()`` anywhere
-    in the class body."""
-    locks: Set[str] = set()
-    for node in ast.walk(cls):
-        if not isinstance(node, ast.Assign):
-            continue
-        value = node.value
-        if not (isinstance(value, ast.Call)
-                and isinstance(value.func, ast.Attribute)
-                and value.func.attr in ("Lock", "RLock", "Condition")):
-            continue
-        for target in node.targets:
-            attr = _self_attr(target)
-            if attr is not None:
-                locks.add(attr)
-    return locks
-
-
-def _iter_mutations(func: ast.AST):
-    """Yield ``(attr, lineno, node)`` for every mutation of a
-    ``self.<attr>`` inside ``func`` (without entering nested
-    functions or classes -- they have their own discipline)."""
-
-    def walk(node: ast.AST):
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef, ast.Lambda)):
-                continue
-            yield child
-            yield from walk(child)
-
-    for node in walk(func):
-        if isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = (node.targets if isinstance(node, ast.Assign)
-                       else [node.target])
-            for target in targets:
-                # plain rebinds of self.attr in @property setters etc.
-                # count; tuple targets unpacked
-                elts = (target.elts
-                        if isinstance(target, (ast.Tuple, ast.List))
-                        else [target])
-                for elt in elts:
-                    attr = _self_attr(elt)
-                    if attr is not None:
-                        subscripted = isinstance(elt, ast.Subscript) \
-                            or isinstance(getattr(elt, "value", None),
-                                          ast.Subscript)
-                        yield attr, node.lineno, subscripted
-        elif isinstance(node, ast.Delete):
-            for target in node.targets:
-                attr = _self_attr(target)
-                if attr is not None:
-                    yield attr, node.lineno, True
-        elif (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _MUTATOR_METHODS):
-            attr = _self_attr(node.func.value)
-            if attr is not None:
-                yield attr, node.lineno, True
-
-
-def _with_lock_spans(func: ast.AST, locks: Set[str]
-                     ) -> List[Tuple[int, int]]:
-    """(start, end) line spans of ``with self.<lock>:`` blocks."""
-    spans: List[Tuple[int, int]] = []
-    for node in ast.walk(func):
-        if not isinstance(node, ast.With):
-            continue
-        for item in node.items:
-            attr = _self_attr(item.context_expr)
-            if attr in locks:
-                spans.append((node.lineno, node.end_lineno or node.lineno))
-                break
-    return spans
-
-
-def _check_lock_consistency(path: Path, tree: ast.Module
-                            ) -> List[Finding]:
-    findings: List[Finding] = []
-    for cls in [n for n in ast.walk(tree)
-                if isinstance(n, ast.ClassDef)]:
-        locks = _lock_attrs(cls)
-        if not locks:
-            continue
-        methods = [n for n in cls.body
-                   if isinstance(n, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef))]
-        # Pass 1: which attributes does this class ever mutate under
-        # one of its locks?  Those are the guarded attributes.
-        guarded: Set[str] = set()
-        per_method: Dict[ast.AST, List[Tuple[str, int, bool]]] = {}
-        for method in methods:
-            spans = _with_lock_spans(method, locks)
-            muts = list(_iter_mutations(method))
-            per_method[method] = muts
-            for attr, lineno, _sub in muts:
-                if any(lo <= lineno <= hi for lo, hi in spans):
-                    guarded.add(attr)
-        guarded -= locks
-        if not guarded:
-            continue
-        # Pass 2: every other mutation of a guarded attribute must
-        # also be inside a with-lock block.
-        for method in methods:
-            if method.name in ("__init__", "__post_init__") \
-                    or method.name.endswith("_locked"):
-                continue
-            spans = _with_lock_spans(method, locks)
-            for attr, lineno, _sub in per_method[method]:
-                if attr not in guarded:
-                    continue
-                if any(lo <= lineno <= hi for lo, hi in spans):
-                    continue
-                findings.append(Finding(
-                    path, lineno, "L001",
-                    "%s.%s mutates self.%s outside its lock (guarded "
-                    "elsewhere in the class)" % (cls.name, method.name,
-                                                 attr)))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# E001/E002: the event-name contract
-# ----------------------------------------------------------------------
-
-_TRACE_METHODS = {"emit": "events", "trace": "events", "span": "spans"}
-
-
-def _check_event_names(path: Path, tree: ast.Module,
-                       event_names: Dict[str, Dict[str, tuple]]
-                       ) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _TRACE_METHODS):
-            continue
-        if len(node.args) < 2:
-            continue  # not the (layer, name, ...) shape
-        table = _TRACE_METHODS[node.func.attr]
-        layer_arg, name_arg = node.args[0], node.args[1]
-        if not (isinstance(layer_arg, ast.Constant)
-                and isinstance(layer_arg.value, str)):
-            # a forwarding seam (layer itself is a variable)
-            findings.append(Finding(
-                path, node.lineno, "E002",
-                "%s() with non-literal layer/name cannot be checked "
-                "against EVENT_NAMES" % node.func.attr))
-            continue
-        layer = layer_arg.value
-        if not (isinstance(name_arg, ast.Constant)
-                and isinstance(name_arg.value, str)):
-            findings.append(Finding(
-                path, node.lineno, "E002",
-                "%s(%r, <non-literal>) event name must be a string "
-                "literal" % (node.func.attr, layer)))
-            continue
-        name = name_arg.value
-        known = event_names.get(table, {}).get(layer)
-        if known is None:
-            findings.append(Finding(
-                path, node.lineno, "E001",
-                "layer %r is not in the EVENT_NAMES %s table"
-                % (layer, table)))
-        elif name not in known:
-            findings.append(Finding(
-                path, node.lineno, "E001",
-                "%s(%r, %r): name not in EVENT_NAMES[%r][%r]"
-                % (node.func.attr, layer, name, table, layer)))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# E003: unbounded metric label values
-# ----------------------------------------------------------------------
-
-#: metric write methods whose keywords are label names
-_METRIC_WRITE_METHODS = frozenset({"inc", "set", "observe"})
-
-#: metric factory methods -- a write chained off one of these is
-#: unambiguously a metric write (not e.g. threading.Event.set)
-_METRIC_FACTORY_METHODS = frozenset({"counter", "gauge", "histogram"})
-
-#: the closed label vocabulary: low-cardinality dimensions only
-_BOUNDED_LABELS = frozenset({
-    "op", "reason", "source", "channel", "cache", "buffer",
-    "counter", "kind", "phase", "outcome", "pattern", "code",
-    "method", "command", "event",
-})
-
-#: label names whose values grow with traffic, wherever they appear
-_UNBOUNDED_LABELS = frozenset({
-    "session", "session_id", "trace", "trace_id", "span", "span_id",
-    "peer", "address", "hole", "wire_id", "query", "detail",
-})
-
-
-def _check_metric_labels(path: Path, tree: ast.Module
-                         ) -> List[Finding]:
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _METRIC_WRITE_METHODS):
-            continue
-        receiver = node.func.value
-        chained_off_factory = (
-            isinstance(receiver, ast.Call)
-            and isinstance(receiver.func, ast.Attribute)
-            and receiver.func.attr in _METRIC_FACTORY_METHODS)
-        for keyword in node.keywords:
-            label = keyword.arg
-            if label is None:
-                continue  # **kwargs forwarding seam
-            if label in _UNBOUNDED_LABELS:
-                findings.append(Finding(
-                    path, node.lineno, "E003",
-                    "metric label %r has unbounded cardinality; "
-                    "emit it as a trace event or flight-recorder "
-                    "field instead" % label))
-            elif chained_off_factory \
-                    and label not in _BOUNDED_LABELS:
-                findings.append(Finding(
-                    path, node.lineno, "E003",
-                    "metric label %r is outside the closed label "
-                    "vocabulary %s" % (label,
-                                       sorted(_BOUNDED_LABELS))))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# X100/X101: bare except and real sleeps
-# ----------------------------------------------------------------------
-
-def _check_hygiene(path: Path, tree: ast.Module) -> List[Finding]:
-    findings: List[Finding] = []
-    sleep_ok = path.parts[-2:] == _SLEEP_ALLOWED
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            findings.append(Finding(
-                path, node.lineno, "X100",
-                "bare 'except:' (catches KeyboardInterrupt; name the "
-                "exception class)"))
-        elif (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "sleep"
-                and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == "time"
-                and not sleep_ok):
-            findings.append(Finding(
-                path, node.lineno, "X101",
-                "time.sleep outside runtime/resilience.py breaks the "
-                "testing clock (inject a Clock instead)"))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# X102: sockets without explicit timeouts
-# ----------------------------------------------------------------------
-
-def _is_socket_attr(func: ast.expr, attr: str) -> bool:
-    """``socket.<attr>`` (module-qualified attribute reference)."""
-    return (isinstance(func, ast.Attribute)
-            and func.attr == attr
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "socket")
-
-
-def _check_socket_timeouts(path: Path, tree: ast.Module
-                           ) -> List[Finding]:
-    sets_timeout = False
-    creators: List[Tuple[int, str]] = []
-    findings: List[Finding] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        func = node.func
-        if isinstance(func, ast.Attribute) \
-                and func.attr == "settimeout":
-            sets_timeout = True
-        elif _is_socket_attr(func, "setdefaulttimeout"):
-            sets_timeout = True
-        elif _is_socket_attr(func, "create_connection"):
-            has_timeout = (len(node.args) >= 2
-                           or any(kw.arg == "timeout"
-                                  for kw in node.keywords))
-            if not has_timeout:
-                findings.append(Finding(
-                    path, node.lineno, "X102",
-                    "socket.create_connection without an explicit "
-                    "timeout= hangs forever on a dead peer"))
-        elif _is_socket_attr(func, "socket"):
-            creators.append((node.lineno, "socket.socket(...)"))
-        elif isinstance(func, ast.Attribute) \
-                and func.attr == "accept":
-            creators.append((node.lineno, ".accept()"))
-    if not sets_timeout:
-        for lineno, what in creators:
-            findings.append(Finding(
-                path, lineno, "X102",
-                "%s in a file that never calls .settimeout() -- "
-                "blocking socket operations need an explicit bound"
-                % what))
-    return findings
-
-
-# ----------------------------------------------------------------------
-# driver
-# ----------------------------------------------------------------------
-
-def _load_event_names(repo_root: Path) -> Dict[str, Dict[str, tuple]]:
-    """EVENT_NAMES parsed from the observability module's AST -- the
-    linter must not import the package it lints."""
-    source = (repo_root / "src" / "repro" / "runtime"
-              / "observability.py").read_text()
-    tree = ast.parse(source)
-    for node in ast.walk(tree):
-        if (isinstance(node, (ast.Assign, ast.AnnAssign))):
-            targets = (node.targets if isinstance(node, ast.Assign)
-                       else [node.target])
-            for target in targets:
-                if isinstance(target, ast.Name) \
-                        and target.id == "EVENT_NAMES" \
-                        and node.value is not None:
-                    return ast.literal_eval(node.value)
-    raise SystemExit("EVENT_NAMES not found in runtime/observability.py")
-
-
-def lint_file(path: Path, event_names: Dict[str, Dict[str, tuple]]
-              ) -> List[Finding]:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    allowed = _suppressions(source.splitlines())
-    findings = (_check_lock_consistency(path, tree)
-                + _check_event_names(path, tree, event_names)
-                + _check_metric_labels(path, tree)
-                + _check_hygiene(path, tree)
-                + _check_socket_timeouts(path, tree))
-    return [f for f in findings
-            if f.code not in allowed.get(f.line, ())]
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    repo_root = Path(__file__).resolve().parent.parent
-    roots = [Path(a) for a in argv] or [repo_root / "src" / "repro"]
-    event_names = _load_event_names(repo_root)
-    findings: List[Finding] = []
-    count = 0
-    for root in roots:
-        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
-        for path in files:
-            count += 1
-            findings.extend(lint_file(path, event_names))
-    findings.sort(key=lambda f: (str(f.path), f.line, f.code))
-    for finding in findings:
-        print(finding.render())
-    print("lint_repro: %d file(s), %d finding(s)"
-          % (count, len(findings)), file=sys.stderr)
-    return 1 if findings else 0
-
+__all__ = [
+    "CODES", "Finding", "_load_event_names", "lint_file",
+    "lint_file_hygiene", "load_event_names", "main",
+]
 
 if __name__ == "__main__":
     raise SystemExit(main())
